@@ -1,0 +1,69 @@
+// Ablation: the control-plane design knobs DESIGN.md calls out.
+//
+// Left-right inter-rack at 80% load; each section varies one knob with the
+// rest at defaults. Shows (i) the refresh-rate/overhead trade-off, (ii) the
+// pruning depth sweet spot (paper §4.3.1 says top-2), (iii) delegation
+// refresh period, (iv) virtual-link overcommit.
+#include "bench_util.h"
+
+namespace {
+void report(const char* label, const pase::bench::ScenarioResult& res) {
+  std::printf("%-28s afct=%8.3f ms   p99=%8.3f ms   msgs=%8llu\n", label,
+              res.afct() * 1e3, res.fct_p99() * 1e3,
+              static_cast<unsigned long long>(res.control.messages_sent));
+}
+}  // namespace
+
+int main() {
+  using namespace pase::bench;
+  const double load = 0.8;
+  std::printf("Arbitration knob ablations (left-right, load %.0f%%)\n\n",
+              load * 100);
+
+  std::printf("-- source refresh period (RTTs) --\n");
+  for (double rtts : {0.5, 1.0, 2.0, 4.0}) {
+    auto cfg = left_right(Protocol::kPase, load);
+    cfg.arbitration_period_rtts = rtts;
+    char label[64];
+    std::snprintf(label, sizeof label, "refresh = %.1f RTT", rtts);
+    report(label, run_scenario(cfg));
+  }
+
+  std::printf("\n-- early-pruning depth (top-k queues ascend) --\n");
+  for (int k : {1, 2, 3}) {
+    auto cfg = left_right(Protocol::kPase, load);
+    cfg.pase.pruning_queues = k;
+    char label[64];
+    std::snprintf(label, sizeof label, "prune below queue %d", k);
+    report(label, run_scenario(cfg));
+  }
+  {
+    auto cfg = left_right(Protocol::kPase, load);
+    cfg.pase.early_pruning = false;
+    report("no pruning", run_scenario(cfg));
+  }
+
+  std::printf("\n-- delegation update period --\n");
+  for (double ms : {0.5, 1.0, 2.0}) {
+    auto cfg = left_right(Protocol::kPase, load);
+    cfg.pase.delegation_update_period = ms * 1e-3;
+    char label[64];
+    std::snprintf(label, sizeof label, "delegation period %.1f ms", ms);
+    report(label, run_scenario(cfg));
+  }
+  {
+    auto cfg = left_right(Protocol::kPase, load);
+    cfg.pase.delegation = false;
+    report("no delegation", run_scenario(cfg));
+  }
+
+  std::printf("\n-- virtual-link overcommit --\n");
+  for (double oc : {1.0, 1.25, 1.5, 2.0}) {
+    auto cfg = left_right(Protocol::kPase, load);
+    cfg.pase.delegation_overcommit = oc;
+    char label[64];
+    std::snprintf(label, sizeof label, "overcommit %.2fx", oc);
+    report(label, run_scenario(cfg));
+  }
+  return 0;
+}

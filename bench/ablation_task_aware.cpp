@@ -1,0 +1,57 @@
+// Ablation: task-aware arbitration (paper §3.1.1: "FlowSize can be replaced
+// by ... task-id for task-aware scheduling [17]").
+//
+// Partition/aggregate queries (incast fan-in, 8 workers per query). A query
+// finishes when its *last* response lands, so interleaving queries (SJF)
+// hurts query completion time even when it helps per-flow FCT. Task-aware
+// arbitration serializes whole tasks in arrival order (FIFO over tasks).
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace {
+std::vector<double> query_fcts(const pase::bench::ScenarioResult& res,
+                               int fanout) {
+  std::vector<double> out;
+  double worst = 0;
+  int in_query = 0;
+  for (const auto& r : res.records) {
+    if (r.background) continue;
+    worst = std::max(worst, r.completed() ? r.fct() : 1.0);
+    if (++in_query == fanout) {
+      out.push_back(worst);
+      worst = 0;
+      in_query = 0;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  using namespace pase::bench;
+  const int fanout = 8;
+  std::printf("Task-aware vs size-based arbitration, incast queries\n");
+  std::printf("%-10s%18s%18s%18s%18s\n", "load(%)", "SJF-query-avg",
+              "task-query-avg", "SJF-query-p99", "task-query-p99");
+  for (double load : {0.3, 0.5, 0.7, 0.9}) {
+    auto make = [&](pase::core::Criterion crit) {
+      ScenarioConfig cfg = all_to_all_40(Protocol::kPase, load, 1600, 31);
+      cfg.traffic.pattern = Pattern::kIncast;
+      cfg.traffic.incast_fanout = fanout;
+      cfg.traffic.assign_task_ids = true;
+      cfg.traffic.num_background_flows = 0;
+      cfg.pase.criterion = crit;
+      return run_scenario(cfg);
+    };
+    auto sjf = make(pase::core::Criterion::kShortestFlowFirst);
+    auto task = make(pase::core::Criterion::kTaskAware);
+    auto qs = query_fcts(sjf, fanout);
+    auto qt = query_fcts(task, fanout);
+    std::printf("%-10.0f%18.3f%18.3f%18.3f%18.3f\n", load * 100,
+                pase::stats::mean(qs) * 1e3, pase::stats::mean(qt) * 1e3,
+                pase::stats::percentile(qs, 99) * 1e3,
+                pase::stats::percentile(qt, 99) * 1e3);
+  }
+  return 0;
+}

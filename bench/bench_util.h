@@ -1,0 +1,92 @@
+// Shared helpers for the figure-reproduction benches: the paper's standard
+// scenarios (§4.1) and table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace pase::bench {
+
+using workload::Pattern;
+using workload::Protocol;
+using workload::ScenarioConfig;
+using workload::ScenarioResult;
+
+inline const std::vector<double>& standard_loads() {
+  static const std::vector<double> loads{0.1, 0.2, 0.3, 0.4, 0.5,
+                                         0.6, 0.7, 0.8, 0.9};
+  return loads;
+}
+
+// §4.1 default: 3-tier tree, left-right traffic, U[2,198] KB, 2 background
+// flows ("left-right inter-rack" scenario).
+inline ScenarioConfig left_right(Protocol p, double load,
+                                 int num_flows = 1000,
+                                 std::uint64_t seed = 11) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.topology = ScenarioConfig::TopologyKind::kThreeTier;
+  cfg.traffic.pattern = Pattern::kLeftRight;
+  cfg.traffic.load = load;
+  cfg.traffic.num_flows = num_flows;
+  cfg.traffic.seed = seed;
+  return cfg;
+}
+
+// D2TCP's experiment 4.1.3 (paper §2/§4.2): 20-host rack, random pairs,
+// U[100,500] KB, two background flows, optional U[5,25] ms deadlines.
+inline ScenarioConfig intra_rack_20(Protocol p, double load,
+                                    bool deadlines,
+                                    int num_flows = 800,
+                                    std::uint64_t seed = 13) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 20;
+  cfg.traffic.pattern = Pattern::kIntraRackRandom;
+  cfg.traffic.load = load;
+  cfg.traffic.num_flows = num_flows;
+  cfg.traffic.size_min_bytes = 100e3;
+  cfg.traffic.size_max_bytes = 500e3;
+  if (deadlines) {
+    cfg.traffic.deadline_min = 5e-3;
+    cfg.traffic.deadline_max = 25e-3;
+  }
+  cfg.traffic.seed = seed;
+  return cfg;
+}
+
+// §4.2.2 all-to-all scenario: 40-host rack, U[2,198] KB.
+inline ScenarioConfig all_to_all_40(Protocol p, double load,
+                                    int num_flows = 1000,
+                                    std::uint64_t seed = 19) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 40;
+  cfg.traffic.pattern = Pattern::kIntraRackRandom;
+  cfg.traffic.load = load;
+  cfg.traffic.num_flows = num_flows;
+  cfg.traffic.seed = seed;
+  return cfg;
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-10s", "load(%)");
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(double load, const std::vector<double>& values,
+                      const char* fmt = "%16.3f") {
+  std::printf("%-10.0f", load * 100);
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+}  // namespace pase::bench

@@ -1,0 +1,24 @@
+// Figure 1: limits of self-adjusting endpoints in isolation.
+//
+// Deadline-constrained intra-rack workload (20 hosts, U[100,500] KB flows,
+// U[5,25] ms deadlines, 2 background flows). Application throughput =
+// fraction of deadlines met, as a function of load, for D2TCP, DCTCP and
+// pFabric. Expected shape: D2TCP tracks deadlines at low load but converges
+// to DCTCP at high load; both fall far behind pFabric.
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 1: application throughput (fraction of deadlines met)",
+               {"pFabric", "D2TCP", "DCTCP"});
+  for (double load : standard_loads()) {
+    std::vector<double> row;
+    for (auto p : {Protocol::kPfabric, Protocol::kD2tcp, Protocol::kDctcp}) {
+      row.push_back(
+          run_scenario(intra_rack_20(p, load, /*deadlines=*/true))
+              .app_throughput());
+    }
+    print_row(load, row);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 2: limits of arbitration in isolation.
+//
+// Same intra-rack all-to-all workload as Fig. 1 but without deadlines;
+// metric is AFCT (log scale in the paper). Expected shape: PDQ beats DCTCP
+// at low load (fast convergence), then crosses over and loses at high load
+// (flow-switching overhead).
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 2: AFCT (ms), PDQ vs DCTCP", {"PDQ", "DCTCP"});
+  for (double load : standard_loads()) {
+    std::vector<double> row;
+    for (auto p : {Protocol::kPdq, Protocol::kDctcp}) {
+      row.push_back(run_scenario(intra_rack_20(p, load, false)).afct() * 1e3);
+    }
+    print_row(load, row);
+  }
+  return 0;
+}

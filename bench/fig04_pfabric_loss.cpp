@@ -1,0 +1,22 @@
+// Figure 4: loss rate of pFabric under the worker->aggregator scenario.
+//
+// 40-host rack, flows U[2,198] KB, aggregators picked round-robin. The local
+// per-hop drop decisions waste upstream transmissions, so the loss rate
+// shoots up with load (the paper reports >40% beyond 80% load).
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 4: pFabric loss rate (%), worker->aggregator",
+               {"loss", "AFCT(ms)"});
+  std::vector<double> loads = standard_loads();
+  loads.push_back(0.95);
+  for (double load : loads) {
+    ScenarioConfig cfg = all_to_all_40(Protocol::kPfabric, load, 1200, 17);
+    cfg.traffic.pattern = Pattern::kWorkerAggregator;
+    cfg.traffic.num_background_flows = 0;
+    auto res = run_scenario(cfg);
+    print_row(load, {res.loss_rate() * 100, res.afct() * 1e3});
+  }
+  return 0;
+}

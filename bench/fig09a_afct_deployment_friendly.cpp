@@ -1,0 +1,20 @@
+// Figure 9(a): PASE vs the deployment-friendly transports.
+//
+// Left-right inter-rack scenario (80 left hosts -> 80 right hosts across the
+// 10G core, U[2,198] KB flows + 2 background flows). Expected: PASE improves
+// AFCT by ~40-60% over L2DCT and ~70% over DCTCP across loads.
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 9(a): AFCT (ms), left-right inter-rack",
+               {"PASE", "L2DCT", "DCTCP"});
+  for (double load : standard_loads()) {
+    std::vector<double> row;
+    for (auto p : {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp}) {
+      row.push_back(run_scenario(left_right(p, load)).afct() * 1e3);
+    }
+    print_row(load, row);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 10(a): 99th-percentile FCT, PASE vs pFabric, left-right inter-rack.
+//
+// Expected: comparable at low/mid load; PASE wins at >= 60% load (pFabric's
+// persistent high loss inflates its tail), by >85% at 90% load.
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 10(a): 99th percentile FCT (ms), left-right",
+               {"PASE", "pFabric", "PASE-afct", "pFab-afct"});
+  for (double load : standard_loads()) {
+    auto res_pase = run_scenario(left_right(Protocol::kPase, load));
+    auto res_pfab = run_scenario(left_right(Protocol::kPfabric, load));
+    print_row(load, {res_pase.fct_p99() * 1e3, res_pfab.fct_p99() * 1e3,
+                     res_pase.afct() * 1e3, res_pfab.afct() * 1e3});
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 10(b): CDF of FCTs at 70% load, PASE vs pFabric (left-right).
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  std::printf("Figure 10(b): FCT CDF at 70%% load, PASE vs pFabric\n");
+  std::printf("%-12s%16s%16s\n", "fraction", "PASE(ms)", "pFabric(ms)");
+  auto res_pase = run_scenario(left_right(Protocol::kPase, 0.7));
+  auto res_pfab = run_scenario(left_right(Protocol::kPfabric, 0.7));
+  auto c1 = pase::stats::fct_cdf(res_pase.records, 20);
+  auto c2 = pase::stats::fct_cdf(res_pfab.records, 20);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    std::printf("%-12.2f%16.3f%16.3f\n", c1[i].fraction, c1[i].x * 1e3,
+                c2[i].x * 1e3);
+  }
+  return 0;
+}

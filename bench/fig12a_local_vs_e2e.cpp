@@ -1,0 +1,42 @@
+// Figure 12(a): end-to-end arbitration vs endpoint-local arbitration.
+//
+// Left-right inter-rack scenario. Local mode arbitrates only the source's
+// own access link and sends no arbitration messages at all. End-to-end
+// arbitration protects short flows at the shared agg-core bottleneck.
+//
+// NOTE (reproduction deviation, see EXPERIMENTS.md): in our simulator the
+// self-adjusting endpoints recover most of the bottleneck sharing in local
+// mode, so the end-to-end win concentrates in small-flow FCT and drops
+// rather than the paper's up-to-60% AFCT gap.
+#include "bench_util.h"
+
+namespace {
+double small_flow_afct(const pase::bench::ScenarioResult& res) {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : res.records) {
+    if (r.background || !r.completed() || r.size_bytes > 50e3) continue;
+    sum += r.fct();
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+}  // namespace
+
+int main() {
+  using namespace pase::bench;
+  std::printf("Figure 12(a): local vs end-to-end arbitration, left-right\n");
+  std::printf("%-10s%14s%14s%14s%14s%14s%14s\n", "load(%)", "local-afct",
+              "e2e-afct", "local-small", "e2e-small", "local-p99", "e2e-p99");
+  for (double load : standard_loads()) {
+    auto local_cfg = left_right(Protocol::kPase, load);
+    local_cfg.pase.local_only = true;
+    auto local = run_scenario(local_cfg);
+    auto e2e = run_scenario(left_right(Protocol::kPase, load));
+    std::printf("%-10.0f%14.3f%14.3f%14.3f%14.3f%14.3f%14.3f\n", load * 100,
+                local.afct() * 1e3, e2e.afct() * 1e3,
+                small_flow_afct(local) * 1e3, small_flow_afct(e2e) * 1e3,
+                local.fct_p99() * 1e3, e2e.fct_p99() * 1e3);
+  }
+  return 0;
+}

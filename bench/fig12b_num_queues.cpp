@@ -1,0 +1,22 @@
+// Figure 12(b): PASE with a varying number of switch priority queues.
+//
+// Left-right inter-rack scenario. Expected: 4 queues already capture most of
+// the benefit; more than that is marginal (paper §4.3.2) — exactly why PASE
+// works on commodity switches (Table 2).
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 12(b): AFCT (ms) vs number of priority queues",
+               {"3 queues", "4 queues", "6 queues", "8 queues"});
+  for (double load : standard_loads()) {
+    std::vector<double> row;
+    for (int q : {3, 4, 6, 8}) {
+      auto cfg = left_right(Protocol::kPase, load);
+      cfg.pase.num_queues = q;
+      row.push_back(run_scenario(cfg).afct() * 1e3);
+    }
+    print_row(load, row);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 13(a): value of the reference rate (guided rate control).
+//
+// Intra-rack 20-host scenario with U[100,500] KB flows. PASE-DCTCP keeps the
+// arbitration-driven queue assignment but ignores Rref, running stock DCTCP
+// slow start inside the priority queues.
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 13(a): AFCT (ms), PASE vs PASE-DCTCP",
+               {"PASE", "PASE-DCTCP", "improv(%)"});
+  for (double load : standard_loads()) {
+    auto cfg = intra_rack_20(Protocol::kPase, load, false);
+    auto full = run_scenario(cfg);
+    cfg.pase.use_reference_rate = false;
+    auto ablated = run_scenario(cfg);
+    const double improvement =
+        100.0 * (ablated.afct() - full.afct()) / ablated.afct();
+    print_row(load, {full.afct() * 1e3, ablated.afct() * 1e3, improvement});
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 13(b): testbed reproduction.
+//
+// The paper's testbed: a single rack of 10 nodes (9 clients, 1 server),
+// 1 Gbps links, 250 us RTT, 100-packet port queues, marking threshold K=20,
+// 8 priority queues, flows U[100,500] KB toward the server plus one
+// long-lived background flow. We reproduce it in simulation with identical
+// parameters (substitution documented in DESIGN.md/EXPERIMENTS.md).
+// Expected: PASE achieves ~50-60% lower AFCT than DCTCP.
+#include "bench_util.h"
+
+namespace {
+pase::bench::ScenarioConfig testbed(pase::bench::Protocol p, double load) {
+  using namespace pase::bench;
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 10;
+  cfg.rack.per_link_delay = 62.5e-6;  // 4 hops -> 250 us RTT
+  cfg.queue_capacity_pkts = 100;
+  cfg.mark_threshold_pkts = 20;
+  cfg.traffic.pattern = Pattern::kWorkerAggregator;  // clients -> server
+  cfg.traffic.load = load;
+  cfg.traffic.num_flows = 700;
+  cfg.traffic.size_min_bytes = 100e3;
+  cfg.traffic.size_max_bytes = 500e3;
+  cfg.traffic.num_background_flows = 1;
+  cfg.traffic.seed = 23;
+  return cfg;
+}
+}  // namespace
+
+int main() {
+  using namespace pase::bench;
+  print_header("Figure 13(b): testbed-like AFCT (ms), PASE vs DCTCP",
+               {"PASE", "DCTCP", "improv(%)"});
+  for (double load : standard_loads()) {
+    auto res_pase = run_scenario(testbed(Protocol::kPase, load));
+    auto res_dctcp = run_scenario(testbed(Protocol::kDctcp, load));
+    const double improvement =
+        100.0 * (res_dctcp.afct() - res_pase.afct()) / res_dctcp.afct();
+    print_row(load, {res_pase.afct() * 1e3, res_dctcp.afct() * 1e3,
+                     improvement});
+  }
+  return 0;
+}

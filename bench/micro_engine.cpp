@@ -1,0 +1,146 @@
+// google-benchmark micro-benchmarks for the simulation substrate: event
+// queue throughput, queue disciplines, Algorithm 1, and whole-scenario
+// simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "core/arbitration_algorithm.h"
+#include "net/pfabric_queue.h"
+#include "net/priority_queue_bank.h"
+#include "net/red_ecn_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace pase;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Rng rng(1);
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      s.schedule(rng.uniform(0, 1.0), [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_TimerRestartChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Timer t(s, [] {});
+    for (int i = 0; i < 1000; ++i) t.restart(1e-3);
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TimerRestartChurn);
+
+template <typename Q>
+void queue_churn(Q& q, int n, sim::Rng& rng) {
+  struct Shim : net::Queue {
+    using net::Queue::do_dequeue;
+    using net::Queue::do_enqueue;
+  };
+  for (int i = 0; i < n; ++i) {
+    auto p = net::make_data_packet(
+        static_cast<net::FlowId>(rng.uniform_int(1, 64)), 0, 1,
+        static_cast<std::uint32_t>(i));
+    p->remaining_size = rng.uniform(1e3, 1e6);
+    p->priority = static_cast<int>(rng.uniform_int(0, 7));
+    (q.*(&Shim::do_enqueue))(std::move(p));
+    if (i % 2 == 1) {
+      auto out = (q.*(&Shim::do_dequeue))();
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  while (!q.empty()) {
+    auto out = (q.*(&Shim::do_dequeue))();
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_RedEcnQueue(benchmark::State& state) {
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    net::RedEcnQueue q(225, 65);
+    queue_churn(q, 1000, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RedEcnQueue);
+
+void BM_PriorityQueueBank(benchmark::State& state) {
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    net::PriorityQueueBank q(8, 500, 65);
+    queue_churn(q, 1000, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PriorityQueueBank);
+
+void BM_PfabricQueue(benchmark::State& state) {
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    net::PfabricQueue q(76);
+    queue_churn(q, 1000, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PfabricQueue);
+
+void BM_Algorithm1Arbitration(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  core::FlowTable table(10e9, 7, 40e6, 1.0);
+  sim::Rng rng(5);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto id = static_cast<net::FlowId>(i++ % flows + 1);
+    auto r = table.update_and_arbitrate(id, rng.uniform(2e3, 198e3), 1e9,
+                                        0.0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Algorithm1Arbitration)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_FullScenarioPase(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::ScenarioConfig cfg;
+    cfg.protocol = workload::Protocol::kPase;
+    cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+    cfg.rack.num_hosts = 10;
+    cfg.traffic.load = 0.7;
+    cfg.traffic.num_flows = 100;
+    cfg.traffic.seed = 6;
+    auto res = workload::run_scenario(cfg);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_FullScenarioPase)->Unit(benchmark::kMillisecond);
+
+void BM_FullScenarioPfabric(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::ScenarioConfig cfg;
+    cfg.protocol = workload::Protocol::kPfabric;
+    cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+    cfg.rack.num_hosts = 10;
+    cfg.traffic.load = 0.7;
+    cfg.traffic.num_flows = 100;
+    cfg.traffic.seed = 6;
+    auto res = workload::run_scenario(cfg);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_FullScenarioPfabric)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

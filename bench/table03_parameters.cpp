@@ -1,0 +1,27 @@
+// Table 3: the default simulation parameters every experiment runs with.
+// Printed here so bench outputs are self-describing.
+#include <cstdio>
+
+#include "core/pase_config.h"
+#include "workload/defaults.h"
+
+int main() {
+  using pase::workload::Table3;
+  pase::core::PaseConfig pase_cfg;
+  std::printf("Table 3: default parameter settings\n");
+  std::printf("%-10s %-28s %s\n", "Scheme", "Parameter", "Value");
+  std::printf("%-10s %-28s %zu pkts\n", "DCTCP", "qSize", Table3::kDctcpQueuePkts);
+  std::printf("%-10s %-28s %zu (1G) / %zu (10G)\n", "D2TCP", "markingThresh",
+              Table3::kMarkThreshold1G, Table3::kMarkThreshold10G);
+  std::printf("%-10s %-28s %.0f ms\n", "L2DCT", "minRTO", Table3::kDctcpMinRto * 1e3);
+  std::printf("%-10s %-28s %zu pkts (= 2xBDP)\n", "pFabric", "qSize", Table3::kPfabricQueuePkts);
+  std::printf("%-10s %-28s %.0f pkts (= BDP)\n", "pFabric", "initCwnd", Table3::kPfabricInitCwnd);
+  std::printf("%-10s %-28s %.0f ms (~3.3xRTT)\n", "pFabric", "minRTO", Table3::kPfabricMinRto * 1e3);
+  std::printf("%-10s %-28s %zu pkts\n", "PASE", "qSize", Table3::kPaseQueuePkts);
+  std::printf("%-10s %-28s %.0f ms\n", "PASE", "minRTO (top queue)", pase_cfg.min_rto_top * 1e3);
+  std::printf("%-10s %-28s %.0f ms\n", "PASE", "minRTO (other queues)", pase_cfg.min_rto_low * 1e3);
+  std::printf("%-10s %-28s %d\n", "PASE", "numQue", pase_cfg.num_queues);
+  std::printf("%-10s %-28s %d (reserved for background)\n", "PASE",
+              "background queue", pase_cfg.background_queue());
+  return 0;
+}

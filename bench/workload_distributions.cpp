@@ -1,0 +1,36 @@
+// Robustness beyond the paper's uniform sizes: the empirical web-search and
+// data-mining distributions (heavy-tailed) on the all-to-all rack.
+// The paper's claim that PASE "performs well for a wide range of application
+// workloads" is exercised here.
+#include "bench_util.h"
+
+int main() {
+  using namespace pase::bench;
+  using pase::workload::SizeDistribution;
+  struct Dist {
+    const char* name;
+    SizeDistribution d;
+    int flows;
+  };
+  for (const auto& dist :
+       {Dist{"web-search", SizeDistribution::kWebSearch, 500},
+        Dist{"data-mining", SizeDistribution::kDataMining, 500}}) {
+    std::printf("=== %s distribution, all-to-all intra-rack ===\n", dist.name);
+    std::printf("%-10s%14s%14s%14s%14s%14s\n", "load(%)", "PASE", "pFabric",
+                "DCTCP", "PASE-p99", "pFab-p99");
+    for (double load : {0.3, 0.6, 0.8}) {
+      std::vector<ScenarioResult> rs;
+      for (auto p :
+           {Protocol::kPase, Protocol::kPfabric, Protocol::kDctcp}) {
+        auto cfg = all_to_all_40(p, load, dist.flows, 43);
+        cfg.traffic.size_dist = dist.d;
+        cfg.max_duration = 60.0;  // elephants take a while
+        rs.push_back(run_scenario(cfg));
+      }
+      std::printf("%-10.0f%14.3f%14.3f%14.3f%14.3f%14.3f\n", load * 100,
+                  rs[0].afct() * 1e3, rs[1].afct() * 1e3, rs[2].afct() * 1e3,
+                  rs[0].fct_p99() * 1e3, rs[1].fct_p99() * 1e3);
+    }
+  }
+  return 0;
+}

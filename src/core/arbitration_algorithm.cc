@@ -1,0 +1,86 @@
+#include "core/arbitration_algorithm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pase::core {
+
+FlowTable::FlowTable(double capacity_bps, int num_data_queues,
+                     double base_rate_bps, sim::Time entry_timeout)
+    : capacity_(capacity_bps),
+      num_data_queues_(num_data_queues),
+      base_rate_(base_rate_bps),
+      entry_timeout_(entry_timeout) {
+  assert(capacity_bps > 0 && num_data_queues >= 1);
+}
+
+void FlowTable::prune(sim::Time now) {
+  const sim::Time cutoff = now - entry_timeout_;
+  std::erase_if(flows_,
+                [cutoff](const Entry& e) { return e.last_update < cutoff; });
+}
+
+FlowTable::Result FlowTable::update_and_arbitrate(net::FlowId id, double key,
+                                                  double demand,
+                                                  sim::Time now) {
+  prune(now);
+  // Remove any stale position, then insert at the sorted slot.
+  std::erase_if(flows_, [id](const Entry& e) { return e.id == id; });
+  Entry e{id, key, demand, now};
+  auto it = std::lower_bound(flows_.begin(), flows_.end(), e, more_critical);
+  flows_.insert(it, e);
+  return arbitrate(id);
+}
+
+FlowTable::Result FlowTable::arbitrate(net::FlowId id) const {
+  for (const auto& e : flows_) {
+    if (e.id == id) return arbitrate_entry(e);
+  }
+  // Unknown flow: treat as least critical (belongs in the lowest queue).
+  return Result{num_data_queues_ - 1, base_rate_};
+}
+
+FlowTable::Result FlowTable::arbitrate_entry(const Entry& f) const {
+  double adh = 0.0;  // aggregate demand of more-critical flows
+  for (const auto& e : flows_) {
+    if (e.id == f.id) break;  // sorted: everything before f is more critical
+    adh += e.demand;
+  }
+  Result r;
+  if (adh < capacity_) {
+    r.prio_queue = 0;
+    r.ref_rate = std::min(f.demand, capacity_ - adh);
+  } else {
+    r.prio_queue = std::min(static_cast<int>(adh / capacity_),
+                            num_data_queues_ - 1);
+    r.ref_rate = base_rate_;
+  }
+  return r;
+}
+
+void FlowTable::remove(net::FlowId id) {
+  std::erase_if(flows_, [id](const Entry& e) { return e.id == id; });
+}
+
+bool FlowTable::contains(net::FlowId id) const {
+  return std::any_of(flows_.begin(), flows_.end(),
+                     [id](const Entry& e) { return e.id == id; });
+}
+
+double FlowTable::total_demand() const {
+  double sum = 0.0;
+  for (const auto& e : flows_) sum += e.demand;
+  return sum;
+}
+
+double FlowTable::top_queue_demand() const {
+  double adh = 0.0;
+  for (const auto& e : flows_) {
+    if (adh >= capacity_) break;  // flows from here on are not in the top queue
+    adh += e.demand;
+  }
+  return std::min(adh, capacity_);
+}
+
+}  // namespace pase::core

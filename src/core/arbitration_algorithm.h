@@ -1,0 +1,78 @@
+// Algorithm 1 from the paper: per-link flow table + (PrioQue, Rref)
+// computation.
+//
+// The arbitrator keeps the link's flows sorted by scheduling criterion
+// (remaining size for SJF, absolute deadline for EDF). For a flow f:
+//   ADH = sum of demands of flows more critical than f
+//   ADH < C  -> top queue, Rref = min(demand, C - ADH)
+//   ADH >= C -> queue floor(ADH / C) (clamped to the lowest data queue),
+//               Rref = base rate (one packet per RTT)
+// so each intermediate queue absorbs an aggregate demand of C and the lowest
+// queue absorbs everything else, exactly as §3.1.1 prescribes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pase_config.h"
+#include "net/packet.h"
+
+namespace pase::core {
+
+class FlowTable {
+ public:
+  struct Result {
+    int prio_queue = 0;
+    double ref_rate = 0.0;  // bps
+  };
+
+  FlowTable(double capacity_bps, int num_data_queues, double base_rate_bps,
+            sim::Time entry_timeout);
+
+  // Inserts or refreshes the flow (key = remaining size or deadline,
+  // depending on the criterion the caller uses) and runs Algorithm 1 for it.
+  Result update_and_arbitrate(net::FlowId id, double key, double demand,
+                              sim::Time now);
+
+  // Arbitrates without mutating state (used for introspection/tests).
+  Result arbitrate(net::FlowId id) const;
+
+  void remove(net::FlowId id);
+  bool contains(net::FlowId id) const;
+  std::size_t size() const { return flows_.size(); }
+
+  void set_capacity(double capacity_bps) { capacity_ = capacity_bps; }
+  double capacity() const { return capacity_; }
+
+  // Aggregate demand of flows currently mapped to the top queue.
+  double top_queue_demand() const;
+
+  // Total demand across all flows, uncapped — what this link *wants*.
+  // Delegation reports use this so a starved child can still claim a bigger
+  // share of the parent link.
+  double total_demand() const;
+
+ private:
+  struct Entry {
+    net::FlowId id;
+    double key;
+    double demand;
+    sim::Time last_update;
+  };
+
+  static bool more_critical(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void prune(sim::Time now);
+  Result arbitrate_entry(const Entry& e) const;
+
+  double capacity_;
+  int num_data_queues_;
+  double base_rate_;
+  sim::Time entry_timeout_;
+  std::vector<Entry> flows_;  // sorted, most critical first
+};
+
+}  // namespace pase::core

@@ -1,0 +1,543 @@
+#include "core/arbitration_plane.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pase::core {
+
+// ---------------------------------------------------------------------------
+// PlaneTopology adapters
+
+PlaneTopology PlaneTopology::from(topo::ThreeTier& tt) {
+  PlaneTopology pt;
+  pt.topo = tt.topo.get();
+  pt.host_rate_bps = tt.config.host_rate_bps;
+  pt.fabric_rate_bps = tt.config.fabric_rate_bps;
+  const auto& hosts = tt.topo->hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const int tor_idx = tt.tor_of_host(static_cast<int>(i));
+    pt.hosts[hosts[i]->id()] =
+        HostInfo{hosts[i].get(), tt.tors[static_cast<std::size_t>(tor_idx)],
+                 tt.agg_of_tor(tor_idx)};
+  }
+  return pt;
+}
+
+PlaneTopology PlaneTopology::from(topo::SingleRack& rack) {
+  PlaneTopology pt;
+  pt.topo = rack.topo.get();
+  pt.host_rate_bps = rack.config.host_rate_bps;
+  pt.fabric_rate_bps = rack.config.host_rate_bps;
+  for (const auto& h : rack.topo->hosts()) {
+    pt.hosts[h->id()] = HostInfo{h.get(), rack.tor, nullptr};
+  }
+  return pt;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
+                                   PaseConfig cfg)
+    : sim_(&sim), pt_(std::move(pt)), cfg_(cfg) {
+  // Endpoint arbitrators: one pair per host, living on the host.
+  for (auto& [id, info] : pt_.hosts) {
+    HostState hs;
+    hs.info = info;
+    hs.up = std::make_unique<LinkArbitrator>(info.host->name() + ".up", id,
+                                             pt_.host_rate_bps, cfg_);
+    hs.down = std::make_unique<LinkArbitrator>(info.host->name() + ".down", id,
+                                               pt_.host_rate_bps, cfg_);
+    info.host->set_control_handler(
+        [this, id](net::PacketPtr p) { on_host_control(id, std::move(p)); });
+    host_states_.emplace(id, std::move(hs));
+
+    // ToR arbitrators, created lazily the first time a host names its ToR.
+    net::Switch* tor = info.tor;
+    if (tor != nullptr && !tor_states_.contains(tor->id())) {
+      TorState ts;
+      ts.tor = tor;
+      ts.agg = info.agg;
+      if (info.agg != nullptr) {
+        ts.up = std::make_unique<LinkArbitrator>(tor->name() + ".up",
+                                                 tor->id(),
+                                                 pt_.fabric_rate_bps, cfg_);
+        ts.down = std::make_unique<LinkArbitrator>(tor->name() + ".down",
+                                                   tor->id(),
+                                                   pt_.fabric_rate_bps, cfg_);
+      }
+      net::Switch* sw = tor;
+      tor->set_control_handler([this, sw](net::PacketPtr p) {
+        on_switch_control(sw, std::move(p));
+      });
+      tor_states_.emplace(tor->id(), std::move(ts));
+    }
+    // Agg arbitrators.
+    net::Switch* agg = info.agg;
+    if (agg != nullptr && !agg_states_.contains(agg->id())) {
+      AggState as;
+      as.agg = agg;
+      as.up = std::make_unique<LinkArbitrator>(agg->name() + ".up", agg->id(),
+                                               pt_.fabric_rate_bps, cfg_);
+      as.down = std::make_unique<LinkArbitrator>(agg->name() + ".down",
+                                                 agg->id(),
+                                                 pt_.fabric_rate_bps, cfg_);
+      net::Switch* sw = agg;
+      agg->set_control_handler([this, sw](net::PacketPtr p) {
+        on_switch_control(sw, std::move(p));
+      });
+      agg_states_.emplace(agg->id(), std::move(as));
+    }
+  }
+
+  // Delegation: carve the Agg<->Core links into per-ToR virtual links.
+  // (Meaningless in local-only mode, where no fabric arbitration happens.)
+  if (cfg_.local_only) cfg_.delegation = false;
+  if (cfg_.delegation) {
+    // Count children per agg for the initial equal split.
+    std::unordered_map<net::NodeId, int> children;
+    for (auto& [tid, ts] : tor_states_) {
+      if (ts.agg != nullptr) ++children[ts.agg->id()];
+    }
+    for (auto& [tid, ts] : tor_states_) {
+      if (ts.agg == nullptr) continue;
+      const double share =
+          pt_.fabric_rate_bps / children[ts.agg->id()];
+      ts.virt_up = std::make_unique<LinkArbitrator>(
+          ts.tor->name() + ".virt_up", ts.tor->id(), share, cfg_);
+      ts.virt_down = std::make_unique<LinkArbitrator>(
+          ts.tor->name() + ".virt_down", ts.tor->id(), share, cfg_);
+      auto& as = agg_states_.at(ts.agg->id());
+      as.demand_up[tid] = 0.0;
+      as.demand_down[tid] = 0.0;
+      schedule_delegation_reports(ts);
+    }
+  }
+}
+
+void ArbitrationPlane::schedule_delegation_reports(TorState& ts) {
+  TorState* tsp = &ts;
+  sim_->schedule(cfg_.delegation_update_period, [this, tsp] {
+    send_delegation_report(*tsp);
+    schedule_delegation_reports(*tsp);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+double ArbitrationPlane::key_of(const transport::Flow& flow,
+                                double remaining_bytes) const {
+  switch (cfg_.criterion) {
+    case Criterion::kEarliestDeadlineFirst:
+      if (flow.has_deadline()) return flow.deadline;
+      break;
+    case Criterion::kTaskAware:
+      if (flow.task_id != 0) return static_cast<double>(flow.task_id);
+      break;
+    case Criterion::kShortestFlowFirst:
+      break;
+  }
+  return remaining_bytes;
+}
+
+bool ArbitrationPlane::same_rack(const transport::Flow& f) const {
+  return pt_.hosts.at(f.src).tor == pt_.hosts.at(f.dst).tor;
+}
+
+bool ArbitrationPlane::same_agg(const transport::Flow& f) const {
+  return pt_.hosts.at(f.src).agg == pt_.hosts.at(f.dst).agg;
+}
+
+net::PacketPtr ArbitrationPlane::make_arb_packet(net::PacketType type,
+                                                 const transport::Flow& flow,
+                                                 net::NodeId from,
+                                                 net::NodeId to) {
+  auto p = net::make_control_packet(type, flow.id, from, to);
+  p->ecn_capable = false;
+  p->priority = 0;
+  p->remaining_size = 0.0;
+  p->arb.deadline = flow.deadline;
+  return p;
+}
+
+void ArbitrationPlane::send_from_host(net::NodeId host, net::PacketPtr p) {
+  ++stats_.messages_sent;
+  pt_.hosts.at(host).host->send(std::move(p));
+}
+
+void ArbitrationPlane::send_from_switch(net::Switch& sw, net::PacketPtr p) {
+  ++stats_.messages_sent;
+  // receive() routes packets not addressed to the switch itself.
+  sw.receive(std::move(p));
+}
+
+void ArbitrationPlane::respond(net::NodeId from_node, net::PacketPtr request) {
+  net::PacketPtr p = std::move(request);
+  const net::NodeId src_host = flows_.contains(p->flow)
+                                   ? flows_.at(p->flow).flow.src
+                                   : net::kInvalidNode;
+  if (src_host == net::kInvalidNode) return;  // flow already torn down
+  p->type = net::PacketType::kArbResponse;
+  p->src = from_node;
+  p->dst = src_host;
+  ++stats_.responses;
+  if (from_node == src_host) {
+    // Host-local arbitration: the result is applied synchronously by the
+    // caller; no packet needs to travel.
+    return;
+  }
+  auto host_it = pt_.hosts.find(from_node);
+  if (host_it != pt_.hosts.end()) {
+    send_from_host(from_node, std::move(p));
+  } else {
+    auto tor_it = tor_states_.find(from_node);
+    net::Switch* sw = tor_it != tor_states_.end()
+                          ? tor_it->second.tor
+                          : agg_states_.at(from_node).agg;
+    send_from_switch(*sw, std::move(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sender half
+
+FlowTable::Result ArbitrationPlane::register_sender(
+    ArbitrationClient& client, const transport::Flow& flow,
+    double remaining_bytes, double demand_bps) {
+  FlowCtx ctx;
+  ctx.flow = flow;
+  ctx.client = &client;
+  flows_[flow.id] = ctx;
+  return source_arbitrate(flow, remaining_bytes, demand_bps);
+}
+
+FlowTable::Result ArbitrationPlane::source_arbitrate(
+    const transport::Flow& flow, double remaining_bytes, double demand_bps) {
+  auto& hs = host_states_.at(flow.src);
+  ++stats_.arbitrations;
+  FlowTable::Result local = hs.up->process(
+      flow.id, key_of(flow, remaining_bytes), demand_bps, sim_->now());
+
+  const bool needs_fabric = !cfg_.local_only && !same_rack(flow);
+  const bool pruned =
+      cfg_.early_pruning && local.prio_queue >= cfg_.pruning_queues;
+  if (needs_fabric && !pruned) {
+    auto p = make_arb_packet(net::PacketType::kArbRequest, flow, flow.src,
+                             pt_.hosts.at(flow.src).tor->id());
+    p->arb.flow_size = remaining_bytes;
+    p->arb.demand = demand_bps;
+    p->arb.receiver_half = false;
+    p->arb.prio_queue = local.prio_queue;
+    p->arb.ref_rate = local.ref_rate;
+    p->arb.hops = 1;
+    ++stats_.requests;
+    send_from_host(flow.src, std::move(p));
+  } else if (needs_fabric && pruned) {
+    ++stats_.pruned_requests;
+  }
+  return local;
+}
+
+void ArbitrationPlane::sender_finished(const transport::Flow& flow) {
+  auto it = flows_.find(flow.id);
+  auto& hs = host_states_.at(flow.src);
+  hs.up->remove(flow.id);
+  if (!cfg_.local_only && !same_rack(flow)) {
+    auto p = make_arb_packet(net::PacketType::kArbFin, flow, flow.src,
+                             pt_.hosts.at(flow.src).tor->id());
+    p->arb.receiver_half = false;
+    ++stats_.fins;
+    send_from_host(flow.src, std::move(p));
+  }
+  if (it != flows_.end()) flows_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Receiver half
+
+void ArbitrationPlane::attach_receiver(transport::Receiver& receiver) {
+  const transport::Flow flow = receiver.flow();
+  receiver.on_data = [this, flow](const net::Packet& p) {
+    receiver_data_arrived(flow, p.remaining_size);
+  };
+  auto prev = std::move(receiver.on_complete);
+  receiver.on_complete = [this, flow,
+                          prev = std::move(prev)](transport::Receiver& r) {
+    receiver_finished(flow);
+    if (prev) prev(r);
+  };
+}
+
+void ArbitrationPlane::receiver_data_arrived(const transport::Flow& flow,
+                                             double remaining_bytes) {
+  // Local-only mode (Fig. 12a): no arbitration traffic crosses the network,
+  // so there is no receiver half at all — the source's own uplink arbitrator
+  // is the only one consulted.
+  if (cfg_.local_only) return;
+  auto it = flows_.find(flow.id);
+  if (it == flows_.end()) return;  // sender already gone
+  FlowCtx& ctx = it->second;
+  if (ctx.last_rx_arbitration >= 0.0 &&
+      sim_->now() - ctx.last_rx_arbitration < cfg_.arbitration_period) {
+    return;
+  }
+  ctx.last_rx_arbitration = sim_->now();
+
+  auto& hs = host_states_.at(flow.dst);
+  const double demand =
+      std::min(pt_.host_rate_bps, remaining_bytes * 8.0 / cfg_.rtt);
+  ++stats_.arbitrations;
+  FlowTable::Result local = hs.down->process(
+      flow.id, key_of(flow, remaining_bytes), demand, sim_->now());
+
+  auto p = make_arb_packet(net::PacketType::kArbRequest, flow, flow.dst,
+                           net::kInvalidNode);
+  p->arb.flow_size = remaining_bytes;
+  p->arb.demand = demand;
+  p->arb.receiver_half = true;
+  p->arb.prio_queue = local.prio_queue;
+  p->arb.ref_rate = local.ref_rate;
+  p->arb.hops = 1;
+
+  const bool needs_fabric = !same_rack(flow);
+  const bool pruned =
+      cfg_.early_pruning && local.prio_queue >= cfg_.pruning_queues;
+  if (needs_fabric && !pruned) {
+    p->dst = pt_.hosts.at(flow.dst).tor->id();
+    ++stats_.requests;
+    send_from_host(flow.dst, std::move(p));
+  } else {
+    // The receiver-half result is complete; ship it to the source.
+    if (pruned && needs_fabric) ++stats_.pruned_requests;
+    p->type = net::PacketType::kArbResponse;
+    p->dst = flow.src;
+    ++stats_.responses;
+    send_from_host(flow.dst, std::move(p));
+  }
+}
+
+void ArbitrationPlane::receiver_finished(const transport::Flow& flow) {
+  if (cfg_.local_only) return;  // no receiver half in local-only mode
+  auto& hs = host_states_.at(flow.dst);
+  hs.down->remove(flow.id);
+  if (!cfg_.local_only && !same_rack(flow)) {
+    auto p = make_arb_packet(net::PacketType::kArbFin, flow, flow.dst,
+                             pt_.hosts.at(flow.dst).tor->id());
+    p->arb.receiver_half = true;
+    ++stats_.fins;
+    send_from_host(flow.dst, std::move(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control packet dispatch
+
+void ArbitrationPlane::on_host_control(net::NodeId host, net::PacketPtr p) {
+  (void)host;
+  if (p->type != net::PacketType::kArbResponse) return;
+  auto it = flows_.find(p->flow);
+  if (it == flows_.end() || it->second.client == nullptr) return;
+  it->second.client->arbitration_update(p->arb.prio_queue, p->arb.ref_rate,
+                                        p->arb.receiver_half);
+}
+
+void ArbitrationPlane::on_switch_control(net::Switch* sw, net::PacketPtr p) {
+  auto tor_it = tor_states_.find(sw->id());
+  if (tor_it != tor_states_.end()) {
+    TorState& ts = tor_it->second;
+    switch (p->type) {
+      case net::PacketType::kArbRequest:
+        handle_request_at_tor(ts, std::move(p));
+        return;
+      case net::PacketType::kArbFin:
+        handle_fin_at_tor(ts, std::move(p));
+        return;
+      case net::PacketType::kArbDelegate:
+        handle_grant_at_tor(ts, *p);
+        return;
+      default:
+        return;
+    }
+  }
+  auto agg_it = agg_states_.find(sw->id());
+  if (agg_it != agg_states_.end()) {
+    AggState& as = agg_it->second;
+    switch (p->type) {
+      case net::PacketType::kArbRequest:
+        handle_request_at_agg(as, std::move(p));
+        return;
+      case net::PacketType::kArbFin:
+        handle_fin_at_agg(as, std::move(p));
+        return;
+      case net::PacketType::kArbReport:
+        handle_report_at_agg(as, *p);
+        return;
+      default:
+        return;
+    }
+  }
+}
+
+namespace {
+void fold(net::ArbHeader& h, const FlowTable::Result& r) {
+  h.prio_queue = std::max(h.prio_queue, r.prio_queue);
+  h.ref_rate = std::min(h.ref_rate, r.ref_rate);
+}
+}  // namespace
+
+void ArbitrationPlane::handle_request_at_tor(TorState& ts, net::PacketPtr p) {
+  auto it = flows_.find(p->flow);
+  if (it == flows_.end()) return;  // torn down while the request was in flight
+  const transport::Flow& flow = it->second.flow;
+  const double key = key_of(flow, p->arb.flow_size);
+  LinkArbitrator* arb = p->arb.receiver_half ? ts.down.get() : ts.up.get();
+  if (arb == nullptr) {  // single-rack: nothing above the ToR
+    respond(ts.tor->id(), std::move(p));
+    return;
+  }
+  ++stats_.arbitrations;
+  ++p->arb.hops;
+  fold(p->arb, arb->process(p->flow, key, p->arb.demand, sim_->now()));
+
+  if (cfg_.early_pruning && p->arb.prio_queue >= cfg_.pruning_queues) {
+    ++stats_.pruned_requests;
+    respond(ts.tor->id(), std::move(p));
+    return;
+  }
+  if (same_agg(flow)) {  // the Agg<->Core links are not on this path
+    respond(ts.tor->id(), std::move(p));
+    return;
+  }
+  if (cfg_.delegation) {
+    LinkArbitrator* virt =
+        p->arb.receiver_half ? ts.virt_down.get() : ts.virt_up.get();
+    ++stats_.arbitrations;
+    fold(p->arb, virt->process(p->flow, key, p->arb.demand, sim_->now()));
+    respond(ts.tor->id(), std::move(p));
+    return;
+  }
+  // Ascend to the aggregation arbitrator.
+  p->dst = ts.agg->id();
+  ++stats_.requests;
+  send_from_switch(*ts.tor, std::move(p));
+}
+
+void ArbitrationPlane::handle_request_at_agg(AggState& as, net::PacketPtr p) {
+  auto it = flows_.find(p->flow);
+  if (it == flows_.end()) return;
+  const transport::Flow& flow = it->second.flow;
+  const double key = key_of(flow, p->arb.flow_size);
+  LinkArbitrator* arb = p->arb.receiver_half ? as.down.get() : as.up.get();
+  ++stats_.arbitrations;
+  ++p->arb.hops;
+  fold(p->arb, arb->process(p->flow, key, p->arb.demand, sim_->now()));
+  respond(as.agg->id(), std::move(p));
+}
+
+void ArbitrationPlane::handle_fin_at_tor(TorState& ts, net::PacketPtr p) {
+  if (p->arb.receiver_half) {
+    if (ts.down) ts.down->remove(p->flow);
+    if (ts.virt_down) ts.virt_down->remove(p->flow);
+  } else {
+    if (ts.up) ts.up->remove(p->flow);
+    if (ts.virt_up) ts.virt_up->remove(p->flow);
+  }
+  // Forward to the agg unless delegation means it never saw the flow. The
+  // flow may not exist up there (pruning) — removal is idempotent either way.
+  if (ts.agg != nullptr && !cfg_.delegation) {
+    p->dst = ts.agg->id();
+    ++stats_.fins;
+    send_from_switch(*ts.tor, std::move(p));
+  }
+}
+
+void ArbitrationPlane::handle_fin_at_agg(AggState& as, net::PacketPtr p) {
+  if (p->arb.receiver_half) {
+    as.down->remove(p->flow);
+  } else {
+    as.up->remove(p->flow);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delegation
+
+void ArbitrationPlane::send_delegation_report(TorState& ts) {
+  if (ts.agg == nullptr || !cfg_.delegation) return;
+  for (const bool down : {false, true}) {
+    const double demand = down ? ts.virt_down->table().total_demand()
+                               : ts.virt_up->table().total_demand();
+    // Suppress no-change reports: an idle rack costs the control plane
+    // nothing, so overhead scales with activity rather than wall time.
+    double& reported = down ? ts.reported_down : ts.reported_up;
+    if (reported >= 0.0 &&
+        std::abs(demand - reported) < 0.01 * pt_.fabric_rate_bps) {
+      continue;
+    }
+    reported = demand;
+    auto p = net::make_control_packet(net::PacketType::kArbReport, 0,
+                                      ts.tor->id(), ts.agg->id());
+    p->ecn_capable = false;
+    p->priority = 0;
+    p->arb.receiver_half = down;
+    p->arb.report_demand = demand;
+    ++stats_.delegation_msgs;
+    send_from_switch(*ts.tor, std::move(p));
+  }
+}
+
+double ArbitrationPlane::recompute_share(AggState& as, net::NodeId child,
+                                         bool down) const {
+  const auto& demands = down ? as.demand_down : as.demand_up;
+  const double floor_w = cfg_.delegation_min_share * pt_.fabric_rate_bps;
+  double total = 0.0;
+  for (const auto& [id, d] : demands) total += std::max(d, floor_w);
+  if (total <= 0.0) return pt_.fabric_rate_bps / demands.size();
+  return pt_.fabric_rate_bps * std::max(demands.at(child), floor_w) / total;
+}
+
+void ArbitrationPlane::handle_report_at_agg(AggState& as,
+                                            const net::Packet& p) {
+  const bool down = p.arb.receiver_half;
+  auto& demands = down ? as.demand_down : as.demand_up;
+  demands[p.src] = p.arb.report_demand;
+  auto grant = net::make_control_packet(net::PacketType::kArbDelegate, 0,
+                                        as.agg->id(), p.src);
+  grant->ecn_capable = false;
+  grant->priority = 0;
+  grant->arb.receiver_half = down;
+  grant->arb.granted_capacity =
+      recompute_share(as, p.src, down) * cfg_.delegation_overcommit;
+  ++stats_.delegation_msgs;
+  send_from_switch(*as.agg, std::move(grant));
+}
+
+void ArbitrationPlane::handle_grant_at_tor(TorState& ts,
+                                           const net::Packet& p) {
+  LinkArbitrator* virt =
+      p.arb.receiver_half ? ts.virt_down.get() : ts.virt_up.get();
+  if (virt != nullptr) virt->table().set_capacity(p.arb.granted_capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+LinkArbitrator* ArbitrationPlane::uplink_arbitrator(net::NodeId host) {
+  auto it = host_states_.find(host);
+  return it == host_states_.end() ? nullptr : it->second.up.get();
+}
+LinkArbitrator* ArbitrationPlane::downlink_arbitrator(net::NodeId host) {
+  auto it = host_states_.find(host);
+  return it == host_states_.end() ? nullptr : it->second.down.get();
+}
+LinkArbitrator* ArbitrationPlane::tor_up_arbitrator(net::NodeId tor) {
+  auto it = tor_states_.find(tor);
+  return it == tor_states_.end() ? nullptr : it->second.up.get();
+}
+LinkArbitrator* ArbitrationPlane::agg_up_arbitrator(net::NodeId agg) {
+  auto it = agg_states_.find(agg);
+  return it == agg_states_.end() ? nullptr : it->second.up.get();
+}
+
+}  // namespace pase::core

@@ -1,0 +1,177 @@
+// PASE's arbitration control plane (paper §3.1).
+//
+// One arbitrator per directed link, arranged bottom-up over the tree:
+//   - access links (host<->ToR) are arbitrated at the endpoints themselves,
+//     so intra-rack flows never leave the hosts for arbitration;
+//   - ToR<->Agg links are arbitrated at the ToR switch;
+//   - Agg<->Core links are arbitrated at the Agg switch, unless delegation
+//     hands shares ("virtual links") of them down to the ToR arbitrators.
+//
+// A flow's source arbitrates the sender half of the path (its uplink upward);
+// the receiver half is driven by arriving data at the destination, whose
+// responses travel straight back to the source (Fig. 5). The source combines
+// both halves: priority queue = worst of the two, reference rate = min.
+//
+// Early pruning (§3.1.2) stops a request from ascending as soon as the flow
+// drops out of the top-k queues on some link. Delegation (§3.1.2) lets ToR
+// arbitrators decide the Agg<->Core share locally, refreshed by periodic
+// report/grant exchanges with the Agg arbitrator.
+//
+// Every arbitration message is a real 40-byte control packet traversing the
+// simulated fabric at top priority, so control-plane latency, load and
+// message counts (Fig. 11) are emergent rather than modeled.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/link_arbitrator.h"
+#include "topo/single_rack.h"
+#include "topo/three_tier.h"
+#include "transport/receiver.h"
+
+namespace pase::core {
+
+// Implemented by PaseSender: receives (PrioQue, Rref) updates.
+class ArbitrationClient {
+ public:
+  virtual ~ArbitrationClient() = default;
+  virtual void arbitration_update(int prio_queue, double ref_rate,
+                                  bool receiver_half) = 0;
+};
+
+// What the plane needs to know about the tree.
+struct PlaneTopology {
+  topo::Topology* topo = nullptr;
+  struct HostInfo {
+    net::Host* host = nullptr;
+    net::Switch* tor = nullptr;
+    net::Switch* agg = nullptr;  // nullptr in single-rack topologies
+  };
+  std::unordered_map<net::NodeId, HostInfo> hosts;  // by host node id
+  double host_rate_bps = 1e9;
+  double fabric_rate_bps = 10e9;
+
+  static PlaneTopology from(topo::ThreeTier& tt);
+  static PlaneTopology from(topo::SingleRack& rack);
+};
+
+struct ControlPlaneStats {
+  std::uint64_t messages_sent = 0;  // control packets injected into the fabric
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t fins = 0;
+  std::uint64_t delegation_msgs = 0;   // reports + grants
+  std::uint64_t arbitrations = 0;      // Algorithm-1 executions
+  std::uint64_t pruned_requests = 0;   // ascents cut short by early pruning
+};
+
+class ArbitrationPlane {
+ public:
+  ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt, PaseConfig cfg);
+
+  const PaseConfig& config() const { return cfg_; }
+  const ControlPlaneStats& stats() const { return stats_; }
+
+  // --- sender side -----------------------------------------------------------
+  // Registers the flow and performs the first (host-local) arbitration pass.
+  // Returns the sender-half result known so far; a fabric response may refine
+  // it asynchronously via ArbitrationClient::arbitration_update.
+  FlowTable::Result register_sender(ArbitrationClient& client,
+                                    const transport::Flow& flow,
+                                    double remaining_bytes, double demand_bps);
+
+  // Periodic refresh from the source (same semantics as register_sender).
+  FlowTable::Result source_arbitrate(const transport::Flow& flow,
+                                     double remaining_bytes,
+                                     double demand_bps);
+
+  // The source finished (or aborted): tear down sender-half state.
+  void sender_finished(const transport::Flow& flow);
+
+  // --- receiver side ---------------------------------------------------------
+  // Hooks the receiver so arriving data drives receiver-half arbitration and
+  // completion tears it down. Call once per PASE flow.
+  void attach_receiver(transport::Receiver& receiver);
+
+  // --- introspection ---------------------------------------------------------
+  LinkArbitrator* uplink_arbitrator(net::NodeId host);
+  LinkArbitrator* downlink_arbitrator(net::NodeId host);
+  LinkArbitrator* tor_up_arbitrator(net::NodeId tor);
+  LinkArbitrator* agg_up_arbitrator(net::NodeId agg);
+
+ private:
+  struct TorState {
+    net::Switch* tor = nullptr;
+    net::Switch* agg = nullptr;  // parent (nullptr in single-rack)
+    std::unique_ptr<LinkArbitrator> up;    // ToR -> Agg
+    std::unique_ptr<LinkArbitrator> down;  // Agg -> ToR
+    // Delegated shares of the Agg<->Core links (§3.1.2 delegation).
+    std::unique_ptr<LinkArbitrator> virt_up;
+    std::unique_ptr<LinkArbitrator> virt_down;
+    // Last demands reported upward; unchanged demand sends no report.
+    double reported_up = -1.0;
+    double reported_down = -1.0;
+  };
+  struct AggState {
+    net::Switch* agg = nullptr;
+    std::unique_ptr<LinkArbitrator> up;    // Agg -> Core
+    std::unique_ptr<LinkArbitrator> down;  // Core -> Agg
+    // Last reported top-queue demand per child ToR, per direction.
+    std::unordered_map<net::NodeId, double> demand_up;
+    std::unordered_map<net::NodeId, double> demand_down;
+  };
+  struct HostState {
+    PlaneTopology::HostInfo info;
+    std::unique_ptr<LinkArbitrator> up;    // host -> ToR
+    std::unique_ptr<LinkArbitrator> down;  // ToR -> host
+  };
+  struct FlowCtx {
+    transport::Flow flow;
+    ArbitrationClient* client = nullptr;
+    sim::Time last_rx_arbitration = -1.0;
+  };
+
+  // Scheduling key per the configured criterion.
+  double key_of(const transport::Flow& flow, double remaining_bytes) const;
+  bool same_rack(const transport::Flow& f) const;
+  bool same_agg(const transport::Flow& f) const;
+
+  void send_from_host(net::NodeId host, net::PacketPtr p);
+  void send_from_switch(net::Switch& sw, net::PacketPtr p);
+  net::PacketPtr make_arb_packet(net::PacketType type,
+                                 const transport::Flow& flow,
+                                 net::NodeId from, net::NodeId to);
+
+  void on_host_control(net::NodeId host, net::PacketPtr p);
+  void on_switch_control(net::Switch* sw, net::PacketPtr p);
+
+  void handle_request_at_tor(TorState& ts, net::PacketPtr p);
+  void handle_request_at_agg(AggState& as, net::PacketPtr p);
+  void handle_fin_at_tor(TorState& ts, net::PacketPtr p);
+  void handle_fin_at_agg(AggState& as, net::PacketPtr p);
+  void respond(net::NodeId from_node, net::PacketPtr request);
+
+  void receiver_data_arrived(const transport::Flow& flow,
+                             double remaining_bytes);
+  void receiver_finished(const transport::Flow& flow);
+
+  // Delegation.
+  void schedule_delegation_reports(TorState& ts);
+  void send_delegation_report(TorState& ts);
+  void handle_report_at_agg(AggState& as, const net::Packet& p);
+  void handle_grant_at_tor(TorState& ts, const net::Packet& p);
+  double recompute_share(AggState& as, net::NodeId child, bool down) const;
+
+  sim::Simulator* sim_;
+  PlaneTopology pt_;
+  PaseConfig cfg_;
+  ControlPlaneStats stats_;
+  std::unordered_map<net::NodeId, HostState> host_states_;
+  std::unordered_map<net::NodeId, TorState> tor_states_;
+  std::unordered_map<net::NodeId, AggState> agg_states_;
+  std::unordered_map<net::FlowId, FlowCtx> flows_;
+};
+
+}  // namespace pase::core

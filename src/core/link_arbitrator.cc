@@ -1,0 +1,3 @@
+#include "core/link_arbitrator.h"
+
+// Header-only for now; this TU anchors the library target.

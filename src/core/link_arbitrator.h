@@ -1,0 +1,45 @@
+// A link arbitrator: one per (directed) link in the data center, owning that
+// link's Algorithm-1 flow table. It lives at a node ("owner") — the source
+// host for access uplinks, the destination host for access downlinks, the
+// ToR/Agg switch for fabric links — which determines how many network hops an
+// arbitration message pays to reach it.
+#pragma once
+
+#include <string>
+
+#include "core/arbitration_algorithm.h"
+
+namespace pase::core {
+
+class LinkArbitrator {
+ public:
+  LinkArbitrator(std::string name, net::NodeId owner, double capacity_bps,
+                 const PaseConfig& cfg)
+      : name_(std::move(name)),
+        owner_(owner),
+        table_(capacity_bps, cfg.num_data_queues(), cfg.base_rate_bps(),
+               cfg.entry_timeout) {}
+
+  // Processes one arbitration request for this link.
+  FlowTable::Result process(net::FlowId id, double key, double demand,
+                            sim::Time now) {
+    ++processed_;
+    return table_.update_and_arbitrate(id, key, demand, now);
+  }
+
+  void remove(net::FlowId id) { table_.remove(id); }
+
+  const std::string& name() const { return name_; }
+  net::NodeId owner() const { return owner_; }
+  FlowTable& table() { return table_; }
+  const FlowTable& table() const { return table_; }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  std::string name_;
+  net::NodeId owner_;
+  FlowTable table_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pase::core

@@ -1,0 +1,67 @@
+// All PASE knobs in one place. Defaults follow the paper's Table 3 and §3.3.
+#pragma once
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace pase::core {
+
+enum class Criterion {
+  kShortestFlowFirst,      // schedule by remaining flow size (FCT experiments)
+  kEarliestDeadlineFirst,  // schedule by absolute deadline (deadline experiments)
+  // Task-aware (FIFO-LM style, paper §3.1.1 / Baraat [17]): all flows of a
+  // task share the task's arrival rank, so tasks finish one at a time.
+  kTaskAware,
+};
+
+struct PaseConfig {
+  // --- in-network prioritization --------------------------------------------
+  int num_queues = 8;  // priority classes per port (Table 2 hardware range)
+  // §3.3: one strictly-lower-priority class is reserved for background flows,
+  // leaving num_queues - 1 classes for arbitrated traffic.
+  bool reserve_background_queue = true;
+
+  // --- arbitration -----------------------------------------------------------
+  Criterion criterion = Criterion::kShortestFlowFirst;
+  sim::Time arbitration_period = 300e-6;  // sources refresh once per RTT
+  // Flow-table entries not refreshed within this window are presumed dead
+  // (backstop for lost FIN messages).
+  sim::Time entry_timeout = 3e-3;
+  bool early_pruning = true;
+  // Requests keep ascending only while the flow sits in the top-k queues;
+  // k = 2 is the paper's sweet spot (§4.3.1).
+  int pruning_queues = 2;
+  bool delegation = true;
+  sim::Time delegation_update_period = 1e-3;
+  // Minimum share of a delegated link any child retains, so a rack with a
+  // sudden burst of critical flows is never starved of virtual capacity.
+  double delegation_min_share = 0.05;
+  // Virtual links are deliberately over-granted: delegated shares are
+  // approximate, and a strict partition would demote flows even while the
+  // parent link has headroom. ECN absorbs the (bounded) overshoot.
+  double delegation_overcommit = 1.5;
+  // Fig. 12a ablation: the source arbitrates only its own uplink; no
+  // arbitration messages cross the network at all.
+  bool local_only = false;
+
+  // --- end-host transport (Algorithm 2 / Table 3) ---------------------------
+  sim::Time rtt = 300e-6;          // fabric RTT estimate (reference window)
+  sim::Time min_rto_top = 10e-3;   // flows in the top queue
+  sim::Time min_rto_low = 200e-3;  // flows in lower queues
+  bool probing = true;             // probe-based loss recovery (§3.2)
+  // Fig. 13a ablation: ignore the reference rate and run plain DCTCP rate
+  // control inside the arbitrated priority queues.
+  bool use_reference_rate = true;
+
+  int num_data_queues() const {
+    return reserve_background_queue ? num_queues - 1 : num_queues;
+  }
+  int background_queue() const { return num_queues - 1; }
+  int lowest_data_queue() const { return num_data_queues() - 1; }
+  // Base rate for flows that lost arbitration: one packet per RTT.
+  double base_rate_bps() const {
+    return (net::kMss + net::kDataHeaderBytes) * 8.0 / rtt;
+  }
+};
+
+}  // namespace pase::core

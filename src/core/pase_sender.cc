@@ -1,0 +1,215 @@
+#include "core/pase_sender.h"
+
+#include <algorithm>
+
+namespace pase::core {
+
+PaseSender::PaseSender(sim::Simulator& sim, net::Host& host,
+                       transport::Flow flow, ArbitrationPlane& plane)
+    : DctcpSender(sim, host, flow, window_options(plane.config())),
+      plane_(&plane),
+      arb_timer_(sim, [this] { refresh_arbitration(); }) {}
+
+int PaseSender::priority_queue() const {
+  if (flow().background) return cfg().background_queue();
+  int q = sender_prio_;
+  if (have_rx_info_) q = std::max(q, rx_prio_);
+  return q;
+}
+
+double PaseSender::reference_rate() const {
+  double r = sender_rate_;
+  if (have_rx_info_) r = std::min(r, rx_rate_);
+  return r;
+}
+
+double PaseSender::rref_window() const {
+  // Rref x RTT uses the fabric's base RTT, not the measured srtt — a window
+  // sized from a queue-inflated srtt would feed the very queue that inflated
+  // it.
+  const double pkts =
+      reference_rate() * cfg().rtt / (8.0 * (net::kMss + net::kDataHeaderBytes));
+  return std::max(1.0, pkts);
+}
+
+double PaseSender::current_demand() const {
+  return std::min(host().nic_rate_bps(),
+                  remaining_bytes() * 8.0 / cfg().rtt);
+}
+
+void PaseSender::on_start() {
+  if (flow().background) {
+    applied_prio_ = cfg().background_queue();
+    set_cwnd(options().init_cwnd);
+    return;
+  }
+  const FlowTable::Result local =
+      plane_->register_sender(*this, flow(), remaining_bytes(),
+                              current_demand());
+  sender_prio_ = local.prio_queue;
+  sender_rate_ = local.ref_rate;
+  applied_prio_ = priority_queue();
+  if (cfg().use_reference_rate) {
+    // Guided start: the reference rate replaces slow start (§3.2).
+    if (is_top()) {
+      set_cwnd(rref_window());
+    } else {
+      set_cwnd(1.0);
+      was_intermediate_ = !is_bottom();
+    }
+  } else {
+    set_cwnd(options().init_cwnd);  // PASE-DCTCP ablation: stock slow start
+  }
+  arb_timer_.restart(cfg().arbitration_period);
+}
+
+void PaseSender::refresh_arbitration() {
+  if (finished()) return;
+  const int old_prio = priority_queue();
+  const FlowTable::Result local =
+      plane_->source_arbitrate(flow(), remaining_bytes(), current_demand());
+  sender_prio_ = local.prio_queue;
+  sender_rate_ = local.ref_rate;
+  apply_queue_transition(old_prio);
+  arb_timer_.restart(cfg().arbitration_period);
+  try_send();
+}
+
+void PaseSender::arbitration_update(int prio_queue, double ref_rate,
+                                    bool receiver_half) {
+  if (finished()) return;
+  const int old_prio = priority_queue();
+  if (receiver_half) {
+    rx_prio_ = prio_queue;
+    rx_rate_ = ref_rate;
+    have_rx_info_ = true;
+  } else {
+    sender_prio_ = prio_queue;
+    sender_rate_ = ref_rate;
+  }
+  apply_queue_transition(old_prio);
+  try_send();
+}
+
+void PaseSender::apply_queue_transition(int old_prio) {
+  const int new_prio = priority_queue();
+  if (new_prio > applied_prio_) {
+    // Demotion: lower-priority packets cannot overtake, apply at once.
+    applied_prio_ = new_prio;
+    barrier_active_ = false;
+  } else if (new_prio < applied_prio_) {
+    // Promotion: hold the new class until everything sent at the old one is
+    // acknowledged (§3.2 reordering guard).
+    if (in_flight() == 0) {
+      applied_prio_ = new_prio;
+      barrier_active_ = false;
+    } else {
+      barrier_active_ = true;
+      barrier_seq_ = snd_next();
+    }
+  }
+  if (!cfg().use_reference_rate || new_prio == old_prio) return;
+  // Algorithm 2 transitions.
+  if (new_prio == 0) {
+    set_cwnd(rref_window());
+    was_intermediate_ = false;
+  } else if (new_prio >= cfg().lowest_data_queue()) {
+    set_cwnd(1.0);
+    was_intermediate_ = false;
+  } else if (!was_intermediate_) {
+    set_cwnd(1.0);
+    was_intermediate_ = true;
+  }
+}
+
+void PaseSender::maybe_release_barrier() {
+  if (barrier_active_ && snd_una() >= barrier_seq_) {
+    barrier_active_ = false;
+    applied_prio_ = priority_queue();
+  }
+}
+
+void PaseSender::try_send() {
+  maybe_release_barrier();
+  // §3.2 reordering guard: after a promotion, hold new transmissions until
+  // everything sent at the old (lower) priority has been acknowledged —
+  // otherwise fresh high-class packets would overtake queued low-class ones.
+  if (barrier_active_) return;
+  WindowSender::try_send();
+}
+
+void PaseSender::increase_window() {
+  if (flow().background || !cfg().use_reference_rate) {
+    DctcpSender::increase_window();
+    return;
+  }
+  if (is_top()) {
+    set_cwnd(rref_window());
+  } else if (is_bottom()) {
+    set_cwnd(1.0);
+  } else {
+    set_cwnd(cwnd() + 1.0 / cwnd());  // DCTCP increase law, no slow start
+  }
+}
+
+void PaseSender::fill_data(net::Packet& p) { p.priority = applied_prio_; }
+
+sim::Time PaseSender::base_rto() const {
+  const sim::Time floor = (flow().background || priority_queue() > 0)
+                              ? cfg().min_rto_low
+                              : cfg().min_rto_top;
+  return std::max(floor, 2.0 * srtt());
+}
+
+void PaseSender::handle_timeout() {
+  if (flow().background || !cfg().probing || is_top()) {
+    timeout_retransmit();
+    return;
+  }
+  // A lower-queue flow that timed out is more often *queued* than *lost*;
+  // a tiny probe disambiguates without adding a full packet to the backlog.
+  send_probe();
+  record_timeout();
+  backoff_rto();
+  restart_rto();
+}
+
+void PaseSender::send_probe() {
+  auto p = net::make_control_packet(net::PacketType::kProbe, flow().id,
+                                    flow().src, flow().dst);
+  p->priority = applied_prio_;
+  p->seq = total_packets();  // outside data space: never yields RTT samples
+  p->ts = sim_->now();
+  p->remaining_size = remaining_bytes();
+  ++probes_sent_;
+  host().send(std::move(p));
+}
+
+void PaseSender::deliver(net::PacketPtr p) {
+  if (finished()) return;
+  if (p->type == net::PacketType::kProbeAck) {
+    if (p->ack_seq > snd_una()) {
+      // The data got through; convert into a plain ACK and let the normal
+      // path advance the window.
+      p->type = net::PacketType::kAck;
+      p->seq = total_packets();
+      p->ecn_echo = false;
+      WindowSender::deliver(std::move(p));
+    } else {
+      // Receiver answered the probe but still misses snd_una: genuine loss.
+      timeout_retransmit();
+    }
+    after_delivery();
+    return;
+  }
+  WindowSender::deliver(std::move(p));
+  after_delivery();
+}
+
+void PaseSender::after_delivery() {
+  if (!finished()) return;
+  arb_timer_.cancel();
+  if (!flow().background) plane_->sender_finished(flow());
+}
+
+}  // namespace pase::core

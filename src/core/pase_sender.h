@@ -1,0 +1,87 @@
+// PASE end-host transport (paper §3.2, Algorithm 2).
+//
+// Built on the DCTCP machinery but explicitly aware of the (PrioQue, Rref)
+// pair the arbitration plane assigns:
+//   - top queue:     cwnd pinned to Rref x RTT (guided start, no slow start);
+//   - intermediate:  cwnd starts at 1 and follows DCTCP increase (1/cwnd);
+//   - bottom queue:  cwnd pinned to 1;
+//   - any queue:     marked windows shrink by the DCTCP alpha/2 law.
+// Loss recovery is queue-aware: top-queue flows use a 10 ms minRTO; lower
+// queues use 200 ms and, instead of blindly retransmitting, send a header-only
+// probe — a probe-ACK that acknowledges nothing proves the packet was lost
+// (retransmit), while a probe-ACK that advances proves it was merely queued.
+// When arbitration moves a flow into a *better* queue, the new priority is
+// applied only after every packet sent at the old priority is acknowledged,
+// avoiding intra-flow reordering across queues (§3.2).
+//
+// Background flows (Flow::background) skip arbitration entirely and ride the
+// reserved lowest-priority class with stock DCTCP behaviour (§3.3).
+#pragma once
+
+#include "core/arbitration_plane.h"
+#include "transport/dctcp.h"
+
+namespace pase::core {
+
+class PaseSender : public transport::DctcpSender, public ArbitrationClient {
+ public:
+  PaseSender(sim::Simulator& sim, net::Host& host, transport::Flow flow,
+             ArbitrationPlane& plane);
+
+  void deliver(net::PacketPtr p) override;
+  void arbitration_update(int prio_queue, double ref_rate,
+                          bool receiver_half) override;
+
+  // Effective values after combining both path halves.
+  int priority_queue() const;
+  double reference_rate() const;
+  int wire_priority() const { return applied_prio_; }
+  std::uint64_t probes_sent() const override { return probes_sent_; }
+
+  static transport::WindowSenderOptions window_options(const PaseConfig& cfg) {
+    transport::WindowSenderOptions o;
+    o.init_cwnd = 1.0;  // replaced by Rref x RTT on start
+    o.min_rto = cfg.min_rto_top;
+    o.initial_rtt = cfg.rtt;
+    return o;
+  }
+
+ protected:
+  void on_start() override;
+  void increase_window() override;
+  void fill_data(net::Packet& p) override;
+  void handle_timeout() override;
+  sim::Time base_rto() const override;
+  void try_send() override;
+
+ private:
+  bool is_top() const { return priority_queue() == 0; }
+  bool is_bottom() const {
+    return priority_queue() >= cfg().lowest_data_queue();
+  }
+  const PaseConfig& cfg() const { return plane_->config(); }
+  double rref_window() const;
+  double current_demand() const;
+  void apply_queue_transition(int old_prio);
+  // Releases the reordering barrier once all old-priority packets are acked.
+  void maybe_release_barrier();
+  void refresh_arbitration();
+  void send_probe();
+  void after_delivery();
+
+  ArbitrationPlane* plane_;
+  int sender_prio_ = 0;
+  double sender_rate_ = 0.0;
+  int rx_prio_ = 0;
+  double rx_rate_ = 0.0;
+  bool have_rx_info_ = false;
+  // Reordering guard: priority actually stamped on outgoing packets.
+  int applied_prio_ = 0;
+  bool barrier_active_ = false;
+  std::uint32_t barrier_seq_ = 0;
+  bool was_intermediate_ = false;
+  std::uint64_t probes_sent_ = 0;
+  sim::Timer arb_timer_;
+};
+
+}  // namespace pase::core

@@ -1,0 +1,25 @@
+#include "net/droptail_queue.h"
+
+#include <utility>
+
+namespace pase::net {
+
+bool DropTailQueue::do_enqueue(PacketPtr p) {
+  if (q_.size() >= capacity_) {
+    count_drop();
+    return false;
+  }
+  bytes_ += p->size_bytes;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr DropTailQueue::do_dequeue() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+}  // namespace pase::net

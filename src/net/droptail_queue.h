@@ -1,0 +1,29 @@
+// FIFO tail-drop queue with a packet-count capacity.
+#pragma once
+
+#include <deque>
+
+#include "net/queue.h"
+
+namespace pase::net {
+
+class DropTailQueue : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_pkts)
+      : capacity_(capacity_pkts) {}
+
+  std::size_t len_packets() const override { return q_.size(); }
+  std::size_t len_bytes() const override { return bytes_; }
+  std::size_t capacity() const { return capacity_; }
+
+ protected:
+  bool do_enqueue(PacketPtr p) override;
+  PacketPtr do_dequeue() override;
+
+ private:
+  std::deque<PacketPtr> q_;
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace pase::net

@@ -1,0 +1,40 @@
+#include "net/host.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pase::net {
+
+void Host::attach_uplink(std::unique_ptr<Queue> queue,
+                         std::unique_ptr<Link> link, Node* tor) {
+  assert(queue && link && tor);
+  link->connect(queue.get(), tor);
+  uplink_queue_ = std::move(queue);
+  uplink_ = std::move(link);
+}
+
+void Host::send(PacketPtr p) {
+  assert(uplink_queue_ && "host has no uplink");
+  for (auto& hook : send_hooks_) hook(*p);
+  uplink_queue_->enqueue(std::move(p));
+}
+
+void Host::receive(PacketPtr p) {
+  switch (p->type) {
+    case PacketType::kArbRequest:
+    case PacketType::kArbResponse:
+    case PacketType::kArbFin:
+    case PacketType::kArbDelegate:
+    case PacketType::kArbReport:
+      if (control_) control_(std::move(p));
+      return;
+    default:
+      break;
+  }
+  auto it = flows_.find(p->flow);
+  if (it != flows_.end()) it->second->deliver(std::move(p));
+  // Packets for unknown flows (e.g. duplicates arriving after flow teardown)
+  // are dropped silently, as a real host would RST/ignore them.
+}
+
+}  // namespace pase::net

@@ -1,0 +1,40 @@
+#include "net/link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pase::net {
+
+void Queue::enqueue(PacketPtr p) {
+  ++enqueues_;
+  if (do_enqueue(std::move(p))) try_send();
+}
+
+void Queue::on_link_idle() { try_send(); }
+
+void Queue::try_send() {
+  if (link_ == nullptr || !link_->idle() || empty()) return;
+  PacketPtr next = do_dequeue();
+  assert(next && "discipline reported non-empty but returned no packet");
+  link_->transmit(std::move(next));
+}
+
+void Link::transmit(PacketPtr p) {
+  assert(!busy_ && "transmit on busy link");
+  assert(dst_ != nullptr && "link not connected");
+  busy_ = true;
+  const sim::Time tx = serialization_delay(p->size_bytes);
+  bytes_sent_ += p->size_bytes;
+  ++packets_sent_;
+  busy_time_ += tx;
+  // Shared ownership of the in-flight packet between the two events below is
+  // avoided by handing it to the delivery event up front.
+  auto* raw = p.release();
+  sim_->schedule(tx, [this, raw] {
+    sim_->schedule(delay_, [this, raw] { dst_->receive(PacketPtr(raw)); });
+    busy_ = false;
+    if (source_ != nullptr) source_->on_link_idle();
+  });
+}
+
+}  // namespace pase::net

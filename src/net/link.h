@@ -1,0 +1,62 @@
+// Point-to-point unidirectional link: serialization at `rate_bps` followed by
+// fixed propagation delay, delivering into the destination node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace pase::net {
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, double rate_bps, sim::Time prop_delay,
+       std::string name = {})
+      : sim_(&sim), rate_bps_(rate_bps), delay_(prop_delay),
+        name_(std::move(name)) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void connect(Queue* source, Node* dst) {
+    source_ = source;
+    dst_ = dst;
+    source->set_link(this);
+  }
+
+  bool idle() const { return !busy_; }
+  double rate_bps() const { return rate_bps_; }
+  sim::Time prop_delay() const { return delay_; }
+  Node* destination() const { return dst_; }
+  const std::string& name() const { return name_; }
+
+  sim::Time serialization_delay(std::uint32_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / rate_bps_;
+  }
+
+  // Begins serializing `p`; must only be called when idle.
+  void transmit(PacketPtr p);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  // Utilization helper: busy time accumulated so far.
+  sim::Time busy_time() const { return busy_time_; }
+
+ private:
+  sim::Simulator* sim_;
+  double rate_bps_;
+  sim::Time delay_;
+  std::string name_;
+  Queue* source_ = nullptr;
+  Node* dst_ = nullptr;
+  bool busy_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  sim::Time busy_time_ = 0.0;
+};
+
+}  // namespace pase::net

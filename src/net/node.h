@@ -1,0 +1,28 @@
+// Base class for anything that can terminate a link: hosts and switches.
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+
+namespace pase::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Delivers a packet that finished traversing a link into this node.
+  virtual void receive(PacketPtr p) = 0;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace pase::net

@@ -1,0 +1,123 @@
+// Packet model.
+//
+// Like ns-2, a simulated packet carries the union of all protocol headers the
+// framework knows about; only `size_bytes` counts on the wire. Packets are
+// heap-allocated and owned by exactly one component at a time via
+// std::unique_ptr.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace pase::net {
+
+using FlowId = std::uint64_t;
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+// Wire sizes (bytes).
+inline constexpr std::uint32_t kMss = 1460;          // data payload per packet
+inline constexpr std::uint32_t kDataHeaderBytes = 40;
+inline constexpr std::uint32_t kControlPacketBytes = 40;  // ACK / probe / arbitration
+
+enum class PacketType : std::uint8_t {
+  kData,
+  kAck,
+  kProbe,        // PASE header-only loss-recovery probe (also used by PDQ paused flows)
+  kProbeAck,
+  kArbRequest,   // PASE control plane
+  kArbResponse,
+  kArbFin,       // flow-termination notice to arbitrators
+  kArbDelegate,  // parent->child virtual-link capacity update
+  kArbReport,    // child->parent aggregate demand report (delegation)
+};
+
+// Fields read/written by PDQ switches along the path, echoed back in ACKs.
+struct PdqHeader {
+  double rate = std::numeric_limits<double>::infinity();  // bps granted (min along path)
+  bool paused = false;            // true if some switch paused the flow
+  double deadline = 0.0;          // absolute, 0 = none (SJF mode)
+  double expected_remaining = 0;  // bytes the sender still has to send
+  double demand = 0.0;            // max rate (bps) the sender can use
+  NodeId pauser = kInvalidNode;   // switch that paused the flow (this round,
+                                  // or echoed from the previous round by the
+                                  // sender so switches can skip foreign-paused
+                                  // flows in their allocation)
+  bool terminated = false;        // early termination (deadline infeasible)
+};
+
+// PASE arbitration payload. A request accumulates the bottleneck decision as
+// it ascends the arbitration hierarchy; the response carries it back.
+struct ArbHeader {
+  double flow_size = 0.0;    // remaining bytes (scheduling criterion, SJF)
+  double deadline = 0.0;     // absolute deadline; used instead of size in EDF mode
+  double demand = 0.0;       // max rate (bps) the source can use
+  int prio_queue = 0;        // worst (largest index) queue along the path so far
+  double ref_rate = 0.0;     // min reference rate along the path so far (bps)
+  int hops = 0;              // arbitrators visited (control-overhead accounting)
+  bool receiver_half = false;  // which half of the path this message arbitrates
+  // Delegation report: aggregate top-queue demand a child observed for the
+  // parent's link, and the share granted back.
+  double report_demand = 0.0;
+  double granted_capacity = 0.0;
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;   // originating host/node
+  NodeId dst = kInvalidNode;   // destination host/node
+  std::uint32_t size_bytes = kMss + kDataHeaderBytes;
+
+  // Transport fields (packet-granularity sequence space).
+  std::uint32_t seq = 0;       // index of this data packet within the flow
+  std::uint32_t ack_seq = 0;   // cumulative: next expected packet index
+  bool fin = false;            // last data packet of the flow
+  bool ecn_capable = true;
+  bool ecn_ce = false;         // congestion experienced (set by queues)
+  bool ecn_echo = false;       // receiver -> sender echo of CE
+  double ts = 0.0;             // sender timestamp (RTT measurement)
+  double echo_ts = 0.0;        // receiver's echo of `ts`
+
+  // Scheduling metadata.
+  int priority = 0;                 // strict-priority class, 0 = highest
+  double remaining_size = 0.0;      // bytes; pFabric priority (lower = better)
+  double deadline = 0.0;            // absolute deadline or 0
+
+  PdqHeader pdq;
+  ArbHeader arb;
+
+  bool is_control() const { return type != PacketType::kData; }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+inline PacketPtr make_data_packet(FlowId flow, NodeId src, NodeId dst,
+                                  std::uint32_t seq,
+                                  std::uint32_t payload = kMss) {
+  auto p = std::make_unique<Packet>();
+  p->type = PacketType::kData;
+  p->flow = flow;
+  p->src = src;
+  p->dst = dst;
+  p->seq = seq;
+  p->size_bytes = payload + kDataHeaderBytes;
+  return p;
+}
+
+inline PacketPtr make_control_packet(PacketType type, FlowId flow, NodeId src,
+                                     NodeId dst) {
+  auto p = std::make_unique<Packet>();
+  p->type = type;
+  p->flow = flow;
+  p->src = src;
+  p->dst = dst;
+  p->size_bytes = kControlPacketBytes;
+  return p;
+}
+
+}  // namespace pase::net

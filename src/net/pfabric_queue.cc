@@ -1,0 +1,71 @@
+#include "net/pfabric_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pase::net {
+
+namespace {
+
+// Returns true if a is lower priority (worse) than b.
+bool worse(double rem_a, std::uint64_t arr_a, double rem_b,
+           std::uint64_t arr_b) {
+  if (rem_a != rem_b) return rem_a > rem_b;
+  return arr_a > arr_b;  // later arrival loses ties
+}
+
+}  // namespace
+
+bool PfabricQueue::do_enqueue(PacketPtr p) {
+  const std::uint64_t arrival = next_arrival_++;
+  if (buf_.size() >= capacity_) {
+    // Find the worst buffered packet.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < buf_.size(); ++i) {
+      if (worse(buf_[i].pkt->remaining_size, buf_[i].arrival,
+                buf_[worst].pkt->remaining_size, buf_[worst].arrival)) {
+        worst = i;
+      }
+    }
+    if (worse(p->remaining_size, arrival, buf_[worst].pkt->remaining_size,
+              buf_[worst].arrival)) {
+      count_drop();
+      return false;  // arriving packet is the worst: drop it
+    }
+    // Push out the buffered worst to admit the arrival.
+    bytes_ -= buf_[worst].pkt->size_bytes;
+    buf_.erase(buf_.begin() + static_cast<std::ptrdiff_t>(worst));
+    count_drop();
+  }
+  bytes_ += p->size_bytes;
+  buf_.push_back(Entry{std::move(p), arrival});
+  return true;
+}
+
+PacketPtr PfabricQueue::do_dequeue() {
+  if (buf_.empty()) return nullptr;
+  // Highest-priority packet decides which flow to serve...
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < buf_.size(); ++i) {
+    if (worse(buf_[best].pkt->remaining_size, buf_[best].arrival,
+              buf_[i].pkt->remaining_size, buf_[i].arrival)) {
+      best = i;
+    }
+  }
+  // ...but the earliest arrived packet of that flow is the one transmitted
+  // (avoids intra-flow reordering).
+  const FlowId flow = buf_[best].pkt->flow;
+  std::size_t send = best;
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    if (buf_[i].pkt->flow == flow && buf_[i].arrival < buf_[send].arrival) {
+      send = i;
+    }
+  }
+  PacketPtr p = std::move(buf_[send].pkt);
+  buf_.erase(buf_.begin() + static_cast<std::ptrdiff_t>(send));
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+}  // namespace pase::net

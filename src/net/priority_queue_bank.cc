@@ -1,0 +1,50 @@
+#include "net/priority_queue_bank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pase::net {
+
+PriorityQueueBank::PriorityQueueBank(int num_classes,
+                                     std::size_t capacity_pkts,
+                                     std::size_t mark_threshold_pkts)
+    : classes_(static_cast<std::size_t>(num_classes)),
+      dequeues_(static_cast<std::size_t>(num_classes), 0),
+      capacity_(capacity_pkts),
+      threshold_(mark_threshold_pkts) {
+  assert(num_classes >= 1);
+}
+
+bool PriorityQueueBank::do_enqueue(PacketPtr p) {
+  if (total_pkts_ >= capacity_) {
+    count_drop();
+    return false;
+  }
+  const int cls = std::clamp(p->priority, 0, num_classes() - 1);
+  auto& q = classes_[static_cast<std::size_t>(cls)];
+  if (q.size() >= threshold_ && p->ecn_capable) {
+    p->ecn_ce = true;
+    count_mark();
+  }
+  total_bytes_ += p->size_bytes;
+  ++total_pkts_;
+  q.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr PriorityQueueBank::do_dequeue() {
+  for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+    auto& q = classes_[cls];
+    if (q.empty()) continue;
+    PacketPtr p = std::move(q.front());
+    q.pop_front();
+    --total_pkts_;
+    total_bytes_ -= p->size_bytes;
+    ++dequeues_[cls];
+    return p;
+  }
+  return nullptr;
+}
+
+}  // namespace pase::net

@@ -1,0 +1,58 @@
+// Queue discipline interface.
+//
+// A Queue feeds exactly one Link. The link pulls the next packet when it goes
+// idle; the queue pushes when a packet arrives while the link is idle.
+// Concrete disciplines implement do_enqueue (may drop/mark) and do_dequeue
+// (chooses what to send next).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace pase::net {
+
+class Link;
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  // Wired once during topology construction.
+  void set_link(Link* link) { link_ = link; }
+  Link* link() const { return link_; }
+
+  // Entry point from the upstream node. May drop the packet (discipline
+  // decision); kicks the link if it is idle.
+  void enqueue(PacketPtr p);
+
+  // Called by the link when it finishes serializing a packet.
+  void on_link_idle();
+
+  virtual std::size_t len_packets() const = 0;
+  virtual std::size_t len_bytes() const = 0;
+  bool empty() const { return len_packets() == 0; }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t marks() const { return marks_; }
+  std::uint64_t enqueues() const { return enqueues_; }
+
+ protected:
+  // Returns false if the packet was dropped (implementation disposes of it).
+  virtual bool do_enqueue(PacketPtr p) = 0;
+  // Must return non-null iff len_packets() > 0.
+  virtual PacketPtr do_dequeue() = 0;
+
+  void count_drop() { ++drops_; }
+  void count_mark() { ++marks_; }
+
+ private:
+  void try_send();
+
+  Link* link_ = nullptr;
+  std::uint64_t drops_ = 0;
+  std::uint64_t marks_ = 0;
+  std::uint64_t enqueues_ = 0;
+};
+
+}  // namespace pase::net

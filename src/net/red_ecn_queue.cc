@@ -1,0 +1,29 @@
+#include "net/red_ecn_queue.h"
+
+#include <utility>
+
+namespace pase::net {
+
+bool RedEcnQueue::do_enqueue(PacketPtr p) {
+  if (q_.size() >= capacity_) {
+    count_drop();
+    return false;
+  }
+  if (q_.size() >= threshold_ && p->ecn_capable) {
+    p->ecn_ce = true;
+    count_mark();
+  }
+  bytes_ += p->size_bytes;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr RedEcnQueue::do_dequeue() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+}  // namespace pase::net

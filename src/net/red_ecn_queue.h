@@ -1,0 +1,36 @@
+// DCTCP-style ECN marking queue.
+//
+// Tail-drop FIFO that sets the CE codepoint on arriving packets whenever the
+// instantaneous queue length is at or above the marking threshold K — the
+// degenerate RED configuration DCTCP prescribes (min_th = max_th = K, mark on
+// instantaneous length).
+#pragma once
+
+#include <deque>
+
+#include "net/queue.h"
+
+namespace pase::net {
+
+class RedEcnQueue : public Queue {
+ public:
+  RedEcnQueue(std::size_t capacity_pkts, std::size_t mark_threshold_pkts)
+      : capacity_(capacity_pkts), threshold_(mark_threshold_pkts) {}
+
+  std::size_t len_packets() const override { return q_.size(); }
+  std::size_t len_bytes() const override { return bytes_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t mark_threshold() const { return threshold_; }
+
+ protected:
+  bool do_enqueue(PacketPtr p) override;
+  PacketPtr do_dequeue() override;
+
+ private:
+  std::deque<PacketPtr> q_;
+  std::size_t capacity_;
+  std::size_t threshold_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace pase::net

@@ -1,0 +1,64 @@
+// Output-queued switch with static routing.
+//
+// Each output port is a (queue, link) pair owned by the switch. Forwarding
+// hooks let in-fabric protocols (PDQ) inspect and rewrite headers as packets
+// are forwarded; packets addressed to the switch itself (PASE arbitration
+// control traffic) are handed to the control handler.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/queue.h"
+
+namespace pase::net {
+
+class Switch : public Node {
+ public:
+  Switch(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  // Adds an output port; returns its index.
+  int add_port(std::unique_ptr<Queue> queue, std::unique_ptr<Link> link,
+               Node* neighbor);
+
+  // Routes traffic destined to node `dst` out of `port`.
+  void set_route(NodeId dst, int port);
+  int route_for(NodeId dst) const;
+
+  // Invoked for every packet about to be enqueued on an output port. May
+  // rewrite protocol headers (e.g. PDQ rate fields).
+  using ForwardHook = std::function<void(Packet&, int out_port)>;
+  void add_forward_hook(ForwardHook hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  // Receives packets whose destination is this switch (control plane).
+  using ControlHandler = std::function<void(PacketPtr)>;
+  void set_control_handler(ControlHandler h) { control_ = std::move(h); }
+
+  void receive(PacketPtr p) override;
+
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  Queue& port_queue(int port) { return *ports_[static_cast<std::size_t>(port)].queue; }
+  Link& port_link(int port) { return *ports_[static_cast<std::size_t>(port)].link; }
+  Node* port_neighbor(int port) const {
+    return ports_[static_cast<std::size_t>(port)].neighbor;
+  }
+
+ private:
+  struct Port {
+    std::unique_ptr<Queue> queue;
+    std::unique_ptr<Link> link;
+    Node* neighbor;
+  };
+
+  std::vector<Port> ports_;
+  std::vector<int> routes_;  // dst node id -> port, -1 = no route
+  std::vector<ForwardHook> hooks_;
+  ControlHandler control_;
+};
+
+}  // namespace pase::net

@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pase::sim {
+
+EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0.0 && "cannot schedule in the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{t, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  // Lazy cancellation: remember the id and skip it when popped.
+  return cancelled_ids_.insert(id.seq_).second;
+}
+
+bool Simulator::step(Time until) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (!cancelled_ids_.empty() && cancelled_ids_.erase(top.seq) > 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.t > until) return false;
+    // Move the callback out before popping so it may schedule new events.
+    Event ev{top.t, top.seq, std::move(const_cast<Event&>(top).fn)};
+    heap_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(Time until) {
+  stopped_ = false;
+  while (!stopped_ && step(until)) {
+  }
+  if (until != kTimeInfinity && now_ < until && !stopped_) now_ = until;
+}
+
+}  // namespace pase::sim

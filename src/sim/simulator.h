@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// The engine is a monotonic clock plus a min-heap of (time, sequence) ordered
+// events. Events scheduled for the same instant fire in scheduling order
+// (FIFO), which keeps packet pipelines deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace pase::sim {
+
+using Time = double;  // seconds
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+// Handle for a scheduled event; used to cancel it. Default-constructed
+// handles are inert.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run `delay` seconds from now. `delay` must be >= 0.
+  EventId schedule(Time delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `t` (>= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  // Runs events until the queue drains or the clock passes `until`.
+  void run(Time until = kTimeInfinity);
+
+  // Runs exactly one event if available; returns false when the queue is
+  // empty or the next event is past `until`.
+  bool step(Time until = kTimeInfinity);
+
+  // Makes run() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_ids_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> cancelled_ids_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pase::sim

@@ -1,0 +1,54 @@
+// Cancellable, restartable one-shot timer built on Simulator events.
+//
+// Typical use: retransmission timeouts. The owner restarts the timer on every
+// ACK; the callback fires only if no restart/cancel intervened.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace pase::sim {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(&sim), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  // (Re)arms the timer `delay` seconds from now, replacing any pending one.
+  void restart(Time delay) {
+    cancel();
+    pending_ = true;
+    expiry_ = sim_->now() + delay;
+    id_ = sim_->schedule(delay, [this] {
+      pending_ = false;
+      on_fire_();
+    });
+  }
+
+  void cancel() {
+    if (pending_) {
+      sim_->cancel(id_);
+      pending_ = false;
+    }
+  }
+
+  bool pending() const { return pending_; }
+
+  // Absolute expiry time of the pending timer (meaningless if !pending()).
+  Time expiry() const { return expiry_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> on_fire_;
+  EventId id_;
+  Time expiry_ = 0.0;
+  bool pending_ = false;
+};
+
+}  // namespace pase::sim

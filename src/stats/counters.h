@@ -1,0 +1,120 @@
+// Fabric telemetry: periodic sampling of queue occupancy and link
+// utilization over a topology. Useful for diagnosing experiments (where does
+// the backlog live? is the bottleneck saturated?) and for the examples.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace pase::stats {
+
+struct QueueSampleSeries {
+  std::string name;
+  std::vector<std::size_t> occupancy_pkts;  // one entry per sample tick
+
+  std::size_t max_occupancy() const {
+    return occupancy_pkts.empty()
+               ? 0
+               : *std::max_element(occupancy_pkts.begin(),
+                                   occupancy_pkts.end());
+  }
+  double mean_occupancy() const {
+    if (occupancy_pkts.empty()) return 0.0;
+    double sum = 0;
+    for (auto v : occupancy_pkts) sum += static_cast<double>(v);
+    return sum / static_cast<double>(occupancy_pkts.size());
+  }
+};
+
+// Samples every queue in a topology at a fixed period while the simulation
+// runs. Construct before sim.run(); read the series afterwards.
+class FabricTelemetry {
+ public:
+  FabricTelemetry(sim::Simulator& sim, topo::Topology& topo,
+                  sim::Time period = 100e-6)
+      : sim_(&sim), topo_(&topo), period_(period) {
+    // One series per host uplink and switch port, in visit order.
+    std::size_t count = 0;
+    topo_->for_each_queue([&count](net::Queue&) { ++count; });
+    series_.resize(count);
+    std::size_t i = 0;
+    for (const auto& h : topo_->hosts()) {
+      series_[i++].name = h->name() + ".up";
+    }
+    for (const auto& sw : topo_->switches()) {
+      for (int p = 0; p < sw->num_ports(); ++p) {
+        series_[i++].name = sw->port_link(p).name();
+      }
+    }
+    schedule_next();
+  }
+
+  void stop() { stopped_ = true; }
+
+  std::size_t num_samples() const { return samples_; }
+  const std::vector<QueueSampleSeries>& series() const { return series_; }
+
+  // Largest backlog observed anywhere in the fabric.
+  std::size_t peak_occupancy() const {
+    std::size_t peak = 0;
+    for (const auto& s : series_) peak = std::max(peak, s.max_occupancy());
+    return peak;
+  }
+
+  // The queue with the highest mean backlog — usually the bottleneck.
+  const QueueSampleSeries* busiest() const {
+    const QueueSampleSeries* best = nullptr;
+    for (const auto& s : series_) {
+      if (best == nullptr || s.mean_occupancy() > best->mean_occupancy()) {
+        best = &s;
+      }
+    }
+    return best;
+  }
+
+ private:
+  void schedule_next() {
+    sim_->schedule(period_, [this] {
+      if (stopped_) return;
+      take_sample();
+      schedule_next();
+    });
+  }
+
+  void take_sample() {
+    std::size_t i = 0;
+    topo_->for_each_queue([this, &i](net::Queue& q) {
+      series_[i++].occupancy_pkts.push_back(q.len_packets());
+    });
+    ++samples_;
+  }
+
+  sim::Simulator* sim_;
+  topo::Topology* topo_;
+  sim::Time period_;
+  std::vector<QueueSampleSeries> series_;
+  std::size_t samples_ = 0;
+  bool stopped_ = false;
+};
+
+// Link utilization over a window: busy time divided by elapsed time.
+struct UtilizationProbe {
+  const net::Link* link;
+  sim::Time t0;
+  sim::Time busy0;
+
+  UtilizationProbe(const net::Link& l, sim::Time now)
+      : link(&l), t0(now), busy0(l.busy_time()) {}
+
+  double utilization(sim::Time now) const {
+    const sim::Time elapsed = now - t0;
+    if (elapsed <= 0) return 0.0;
+    return (link->busy_time() - busy0) / elapsed;
+  }
+};
+
+}  // namespace pase::stats

@@ -1,0 +1,27 @@
+// Per-flow outcome record, the raw material of every experiment metric.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace pase::stats {
+
+struct FlowRecord {
+  net::FlowId id = 0;
+  std::uint64_t size_bytes = 0;
+  sim::Time start = 0.0;
+  sim::Time finish = -1.0;   // receiver-side completion; -1 = never finished
+  sim::Time deadline = 0.0;  // absolute; 0 = none
+  bool background = false;
+  bool terminated = false;   // killed early (PDQ early termination)
+
+  bool completed() const { return finish >= 0.0; }
+  sim::Time fct() const { return finish - start; }
+  bool met_deadline() const {
+    return deadline <= 0.0 || (completed() && finish <= deadline);
+  }
+};
+
+}  // namespace pase::stats

@@ -1,0 +1,79 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pase::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<double> fcts(const std::vector<FlowRecord>& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    if (!r.background && r.completed()) out.push_back(r.fct());
+  }
+  return out;
+}
+
+double afct(const std::vector<FlowRecord>& records) {
+  return mean(fcts(records));
+}
+
+double fct_percentile(const std::vector<FlowRecord>& records, double p) {
+  return percentile(fcts(records), p);
+}
+
+double application_throughput(const std::vector<FlowRecord>& records) {
+  std::size_t with_deadline = 0;
+  std::size_t met = 0;
+  for (const auto& r : records) {
+    if (r.background || r.deadline <= 0.0) continue;
+    ++with_deadline;
+    if (r.completed() && r.finish <= r.deadline) ++met;
+  }
+  if (with_deadline == 0) return 1.0;
+  return static_cast<double>(met) / static_cast<double>(with_deadline);
+}
+
+std::size_t unfinished(const std::vector<FlowRecord>& records) {
+  std::size_t n = 0;
+  for (const auto& r : records) {
+    // Early-terminated flows were deliberately killed, not left behind.
+    if (!r.background && !r.completed() && !r.terminated) ++n;
+  }
+  return n;
+}
+
+std::vector<CdfPoint> fct_cdf(const std::vector<FlowRecord>& records,
+                              int num_points) {
+  std::vector<double> xs = fcts(records);
+  std::vector<CdfPoint> out;
+  if (xs.empty() || num_points <= 0) return out;
+  std::sort(xs.begin(), xs.end());
+  out.reserve(static_cast<std::size_t>(num_points));
+  for (int i = 1; i <= num_points; ++i) {
+    const double frac = static_cast<double>(i) / num_points;
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(frac * static_cast<double>(xs.size())) - 1);
+    out.push_back(CdfPoint{xs[idx], frac});
+  }
+  return out;
+}
+
+}  // namespace pase::stats

@@ -1,0 +1,40 @@
+// Metric computation over flow records: AFCT, tail percentiles, CDFs,
+// deadline-based application throughput — the paper's evaluation metrics.
+#pragma once
+
+#include <vector>
+
+#include "stats/flow_stats.h"
+
+namespace pase::stats {
+
+// Generic order statistics.
+double mean(const std::vector<double>& xs);
+// p in [0, 100]; nearest-rank percentile.
+double percentile(std::vector<double> xs, double p);
+
+// Completed, non-background flow completion times (seconds).
+std::vector<double> fcts(const std::vector<FlowRecord>& records);
+
+// Average FCT over completed non-background flows; flows that never finished
+// are excluded (callers should report them separately).
+double afct(const std::vector<FlowRecord>& records);
+double fct_percentile(const std::vector<FlowRecord>& records, double p);
+
+// Fraction of deadline-carrying flows that finished by their deadline.
+// Unfinished or terminated flows count as missed.
+double application_throughput(const std::vector<FlowRecord>& records);
+
+// Number of non-background flows that never completed.
+std::size_t unfinished(const std::vector<FlowRecord>& records);
+
+// Empirical CDF evaluated at the given FCT values (seconds): fraction of
+// completed short flows with fct <= x.
+struct CdfPoint {
+  double x;
+  double fraction;
+};
+std::vector<CdfPoint> fct_cdf(const std::vector<FlowRecord>& records,
+                              int num_points = 50);
+
+}  // namespace pase::stats

@@ -1,0 +1,21 @@
+#include "topo/single_rack.h"
+
+#include <string>
+
+namespace pase::topo {
+
+SingleRack build_single_rack(sim::Simulator& sim, const SingleRackConfig& cfg,
+                             const QueueFactory& make_queue) {
+  SingleRack r;
+  r.config = cfg;
+  r.topo = std::make_unique<Topology>(sim);
+  r.tor = r.topo->add_switch("tor");
+  for (int h = 0; h < cfg.num_hosts; ++h) {
+    r.topo->add_host("h" + std::to_string(h), r.tor, cfg.host_rate_bps,
+                     cfg.per_link_delay, make_queue);
+  }
+  r.topo->build_routes();
+  return r;
+}
+
+}  // namespace pase::topo

@@ -1,0 +1,29 @@
+// Single-rack topology: n hosts under one ToR switch. Used for the paper's
+// intra-rack scenarios (Figs. 1, 2, 4, 9c, 10c, 13a) and the testbed
+// reproduction (Fig. 13b).
+#pragma once
+
+#include <memory>
+
+#include "topo/topology.h"
+
+namespace pase::topo {
+
+struct SingleRackConfig {
+  int num_hosts = 40;
+  double host_rate_bps = 1e9;
+  // 25 us per hop x 4 hops = 100 us intra-rack propagation RTT. The testbed
+  // scenario overrides this to hit its 250 us RTT.
+  sim::Time per_link_delay = 25e-6;
+};
+
+struct SingleRack {
+  std::unique_ptr<Topology> topo;
+  net::Switch* tor = nullptr;
+  SingleRackConfig config;
+};
+
+SingleRack build_single_rack(sim::Simulator& sim, const SingleRackConfig& cfg,
+                             const QueueFactory& make_queue);
+
+}  // namespace pase::topo

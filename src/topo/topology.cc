@@ -1,0 +1,157 @@
+#include "topo/topology.h"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace pase::topo {
+
+net::Switch* Topology::add_switch(const std::string& name) {
+  auto sw = std::make_unique<net::Switch>(next_id(), name);
+  net::Switch* raw = sw.get();
+  switches_.push_back(std::move(sw));
+  nodes_.push_back(raw);
+  return raw;
+}
+
+net::Host* Topology::add_host(const std::string& name, net::Switch* tor,
+                              double rate_bps, sim::Time prop_delay,
+                              const QueueFactory& make_queue) {
+  auto host = std::make_unique<net::Host>(next_id(), name);
+  net::Host* raw = host.get();
+  hosts_.push_back(std::move(host));
+  nodes_.push_back(raw);
+
+  // Uplink host -> tor.
+  raw->attach_uplink(
+      make_queue(rate_bps),
+      std::make_unique<net::Link>(*sim_, rate_bps, prop_delay,
+                                  name + "->" + tor->name()),
+      tor);
+  // Downlink tor -> host.
+  const int port = tor->add_port(
+      make_queue(rate_bps),
+      std::make_unique<net::Link>(*sim_, rate_bps, prop_delay,
+                                  tor->name() + "->" + name),
+      raw);
+  tor->set_route(raw->id(), port);
+
+  edges_.push_back(Edge{raw->id(), tor->id(), prop_delay});
+  edges_.push_back(Edge{tor->id(), raw->id(), prop_delay});
+  return raw;
+}
+
+void Topology::connect_switches(net::Switch* a, net::Switch* b,
+                                double rate_bps, sim::Time prop_delay,
+                                const QueueFactory& make_queue) {
+  a->add_port(make_queue(rate_bps),
+              std::make_unique<net::Link>(*sim_, rate_bps, prop_delay,
+                                          a->name() + "->" + b->name()),
+              b);
+  b->add_port(make_queue(rate_bps),
+              std::make_unique<net::Link>(*sim_, rate_bps, prop_delay,
+                                          b->name() + "->" + a->name()),
+              a);
+  edges_.push_back(Edge{a->id(), b->id(), prop_delay});
+  edges_.push_back(Edge{b->id(), a->id(), prop_delay});
+}
+
+net::Node* Topology::node(net::NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) return nullptr;
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+net::NodeId Topology::next_hop(net::NodeId from, net::NodeId to) const {
+  if (from == to) return to;
+  // BFS from `to` backwards over the (symmetric) edge set; first neighbor of
+  // `from` discovered on a shortest path is the next hop.
+  std::vector<net::NodeId> parent(nodes_.size(), net::kInvalidNode);
+  std::deque<net::NodeId> frontier{to};
+  parent[static_cast<std::size_t>(to)] = to;
+  while (!frontier.empty()) {
+    const net::NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const Edge& e : edges_) {
+      if (e.from != cur) continue;
+      auto& p = parent[static_cast<std::size_t>(e.to)];
+      if (p != net::kInvalidNode) continue;
+      p = cur;
+      if (e.to == from) return cur;
+      frontier.push_back(e.to);
+    }
+  }
+  return net::kInvalidNode;
+}
+
+void Topology::build_routes() {
+  // For every switch and every destination node, point the route at the port
+  // whose neighbor is the next hop on the shortest path.
+  for (auto& sw : switches_) {
+    for (net::Node* dst : nodes_) {
+      if (dst->id() == sw->id()) continue;
+      const net::NodeId hop = next_hop(sw->id(), dst->id());
+      if (hop == net::kInvalidNode) {
+        throw std::runtime_error("topology is disconnected: no path " +
+                                 sw->name() + " -> " + dst->name());
+      }
+      for (int port = 0; port < sw->num_ports(); ++port) {
+        if (sw->port_neighbor(port)->id() == hop) {
+          sw->set_route(dst->id(), port);
+          break;
+        }
+      }
+    }
+  }
+}
+
+sim::Time Topology::propagation_delay(net::NodeId from, net::NodeId to) const {
+  sim::Time total = 0.0;
+  net::NodeId cur = from;
+  std::size_t hops = 0;
+  while (cur != to) {
+    const net::NodeId hop = next_hop(cur, to);
+    if (hop == net::kInvalidNode) {
+      throw std::runtime_error("no path between nodes");
+    }
+    for (const Edge& e : edges_) {
+      if (e.from == cur && e.to == hop) {
+        total += e.delay;
+        break;
+      }
+    }
+    cur = hop;
+    if (++hops > nodes_.size()) {
+      throw std::runtime_error("routing loop detected");
+    }
+  }
+  return total;
+}
+
+void Topology::for_each_queue(
+    const std::function<void(net::Queue&)>& fn) const {
+  for (const auto& h : hosts_) fn(h->uplink_queue());
+  for (const auto& sw : switches_) {
+    for (int p = 0; p < sw->num_ports(); ++p) fn(sw->port_queue(p));
+  }
+}
+
+std::uint64_t Topology::total_drops() const {
+  std::uint64_t n = 0;
+  for_each_queue([&n](net::Queue& q) { n += q.drops(); });
+  return n;
+}
+
+std::uint64_t Topology::total_marks() const {
+  std::uint64_t n = 0;
+  for_each_queue([&n](net::Queue& q) { n += q.marks(); });
+  return n;
+}
+
+std::uint64_t Topology::total_enqueues() const {
+  std::uint64_t n = 0;
+  for_each_queue([&n](net::Queue& q) { n += q.enqueues(); });
+  return n;
+}
+
+}  // namespace pase::topo

@@ -1,0 +1,92 @@
+// Topology container: owns all hosts, switches, queues and links, wires them
+// together, and computes static shortest-path routing (the evaluation
+// topologies are trees, so paths are unique).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace pase::topo {
+
+// Builds the queue for a link of the given capacity. Experiments choose the
+// fabric (RED/ECN for DCTCP-family, priority bank for PASE, pFabric queue...)
+// by supplying a factory.
+using QueueFactory =
+    std::function<std::unique_ptr<net::Queue>(double link_rate_bps)>;
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim) : sim_(&sim) {}
+
+  net::Switch* add_switch(const std::string& name);
+
+  // Creates a host attached to `tor` by a symmetric pair of links
+  // (host->tor uplink and tor->host downlink) of the given rate/delay.
+  net::Host* add_host(const std::string& name, net::Switch* tor,
+                      double rate_bps, sim::Time prop_delay,
+                      const QueueFactory& make_queue);
+
+  // Adds a symmetric pair of links between two switches.
+  void connect_switches(net::Switch* a, net::Switch* b, double rate_bps,
+                        sim::Time prop_delay, const QueueFactory& make_queue);
+
+  // Computes routing tables. Must be called after all nodes/links exist.
+  void build_routes();
+
+  sim::Simulator& simulator() { return *sim_; }
+
+  const std::vector<std::unique_ptr<net::Host>>& hosts() const {
+    return hosts_;
+  }
+  const std::vector<std::unique_ptr<net::Switch>>& switches() const {
+    return switches_;
+  }
+  net::Host* host(std::size_t i) { return hosts_[i].get(); }
+  std::size_t num_hosts() const { return hosts_.size(); }
+
+  net::Node* node(net::NodeId id) const;
+
+  // One-way propagation delay along the (unique) path between two nodes.
+  sim::Time propagation_delay(net::NodeId from, net::NodeId to) const;
+  // Round-trip propagation delay (no queueing/serialization).
+  sim::Time propagation_rtt(net::NodeId a, net::NodeId b) const {
+    return propagation_delay(a, b) + propagation_delay(b, a);
+  }
+
+  // Aggregate fabric statistics (all switch port queues + host uplinks).
+  std::uint64_t total_drops() const;
+  std::uint64_t total_marks() const;
+  std::uint64_t total_enqueues() const;
+
+  // Visits every queue in the topology.
+  void for_each_queue(const std::function<void(net::Queue&)>& fn) const;
+
+ private:
+  struct Edge {
+    net::NodeId from;
+    net::NodeId to;
+    sim::Time delay;
+  };
+
+  net::NodeId next_id() {
+    return static_cast<net::NodeId>(hosts_.size() + switches_.size());
+  }
+
+  // Next hop from `from` toward `to` on the unique path; kInvalidNode if
+  // unreachable.
+  net::NodeId next_hop(net::NodeId from, net::NodeId to) const;
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> switches_;
+  std::vector<net::Node*> nodes_;  // indexed by node id
+  std::vector<Edge> edges_;        // directed
+};
+
+}  // namespace pase::topo

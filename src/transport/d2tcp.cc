@@ -1,0 +1,29 @@
+#include "transport/d2tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pase::transport {
+
+D2tcpSender::D2tcpSender(sim::Simulator& sim, net::Host& host, Flow flow,
+                         WindowSenderOptions wopts, DctcpOptions dopts,
+                         D2tcpOptions d2opts)
+    : DctcpSender(sim, host, flow, wopts, dopts), d2opts_(d2opts) {}
+
+double D2tcpSender::urgency() const {
+  if (!flow().has_deadline()) return 1.0;
+  const double time_left = flow().deadline - sim_->now();
+  if (time_left <= 0.0) return 1.0;  // deadline already missed: plain DCTCP
+  const double rate_bps = cwnd() * net::kMss * 8.0 / srtt();
+  if (rate_bps <= 0.0) return d2opts_.d_max;
+  const double time_to_complete = remaining_bytes() * 8.0 / rate_bps;
+  return std::clamp(time_to_complete / time_left, d2opts_.d_min,
+                    d2opts_.d_max);
+}
+
+double D2tcpSender::ecn_decrease_factor() {
+  const double p = std::pow(alpha(), urgency());
+  return p / 2.0;
+}
+
+}  // namespace pase::transport

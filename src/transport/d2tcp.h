@@ -1,0 +1,35 @@
+// D2TCP (Vamanan et al., SIGCOMM'12): deadline-aware DCTCP.
+//
+// The ECN penalty is gamma-corrected by deadline urgency:
+//   d = clamp(Tc / D, d_min, d_max)   (Tc = time to finish at current rate,
+//                                      D = time left until the deadline)
+//   p = alpha^d,  cwnd <- cwnd * (1 - p/2)
+// Far-deadline flows (d < 1) back off harder, near-deadline flows (d > 1)
+// back off less. Flows without deadlines behave exactly like DCTCP (d = 1).
+#pragma once
+
+#include "transport/dctcp.h"
+
+namespace pase::transport {
+
+struct D2tcpOptions {
+  double d_min = 0.5;
+  double d_max = 2.0;
+};
+
+class D2tcpSender : public DctcpSender {
+ public:
+  D2tcpSender(sim::Simulator& sim, net::Host& host, Flow flow,
+              WindowSenderOptions wopts = {}, DctcpOptions dopts = {},
+              D2tcpOptions d2opts = {});
+
+  double urgency() const;  // current d
+
+ protected:
+  double ecn_decrease_factor() override;
+
+ private:
+  D2tcpOptions d2opts_;
+};
+
+}  // namespace pase::transport

@@ -1,0 +1,44 @@
+#include "transport/dctcp.h"
+
+namespace pase::transport {
+
+DctcpSender::DctcpSender(sim::Simulator& sim, net::Host& host, Flow flow,
+                         WindowSenderOptions wopts, DctcpOptions dopts)
+    : WindowSender(sim, host, flow, wopts),
+      dopts_(dopts),
+      alpha_(dopts.initial_alpha),
+      ssthresh_(wopts.max_cwnd) {}
+
+void DctcpSender::on_ack(const net::Packet& ack) {
+  ++acks_in_window_;
+  if (ack.ecn_echo) ++marked_in_window_;
+
+  if (ack.ack_seq >= window_end_) end_of_window_update();
+
+  if (!ack.ecn_echo) increase_window();
+}
+
+void DctcpSender::increase_window() {
+  if (in_slow_start()) {
+    set_cwnd(cwnd() + 1.0);
+  } else {
+    set_cwnd(cwnd() + increase_gain() / cwnd());
+  }
+}
+
+void DctcpSender::end_of_window_update() {
+  const double frac =
+      acks_in_window_ > 0
+          ? static_cast<double>(marked_in_window_) / acks_in_window_
+          : 0.0;
+  alpha_ = (1.0 - dopts_.g) * alpha_ + dopts_.g * frac;
+  if (marked_in_window_ > 0) {
+    set_cwnd(cwnd() * (1.0 - ecn_decrease_factor()));
+    ssthresh_ = cwnd();  // marks end slow start
+  }
+  acks_in_window_ = 0;
+  marked_in_window_ = 0;
+  window_end_ = snd_next();
+}
+
+}  // namespace pase::transport

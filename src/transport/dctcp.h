@@ -1,0 +1,52 @@
+// DCTCP (Alizadeh et al., SIGCOMM'10).
+//
+// The fabric marks CE when the instantaneous queue exceeds K; the receiver
+// echoes marks per packet; the sender keeps an EWMA `alpha` of the marked
+// fraction per window and, once per window containing marks, shrinks
+// cwnd <- cwnd * (1 - alpha/2). D2TCP and L2DCT reuse all of this and only
+// change the penalty/increase laws, so those knobs are virtual.
+#pragma once
+
+#include "transport/window_sender.h"
+
+namespace pase::transport {
+
+struct DctcpOptions {
+  double g = 1.0 / 16.0;     // alpha EWMA gain
+  double initial_alpha = 1.0;
+};
+
+class DctcpSender : public WindowSender {
+ public:
+  DctcpSender(sim::Simulator& sim, net::Host& host, Flow flow,
+              WindowSenderOptions wopts = {}, DctcpOptions dopts = {});
+
+  double alpha() const { return alpha_; }
+
+ protected:
+  void on_ack(const net::Packet& ack) override;
+
+  // Multiplicative penalty applied at the end of a window that saw marks.
+  // DCTCP: alpha/2. D2TCP: p/2 with p = alpha^d. L2DCT: (alpha * b_c)/2.
+  virtual double ecn_decrease_factor() { return alpha_ / 2.0; }
+  // Additive increase per ACK in congestion avoidance (divided by cwnd).
+  virtual double increase_gain() { return 1.0; }
+  // Window growth step applied on every unmarked ACK. Default: slow start
+  // until the first mark, then additive increase. PASE replaces this with
+  // queue-position-dependent behaviour (Algorithm 2).
+  virtual void increase_window();
+
+  bool in_slow_start() const { return cwnd() < ssthresh_; }
+
+ private:
+  void end_of_window_update();
+
+  DctcpOptions dopts_;
+  double alpha_;
+  double ssthresh_;
+  std::uint32_t window_end_ = 0;  // alpha observation window boundary
+  std::uint32_t acks_in_window_ = 0;
+  std::uint32_t marked_in_window_ = 0;
+};
+
+}  // namespace pase::transport

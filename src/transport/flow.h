@@ -1,0 +1,34 @@
+// Flow descriptor shared by all transports and the workload generator.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace pase::transport {
+
+struct Flow {
+  net::FlowId id = 0;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  std::uint64_t size_bytes = 0;
+  sim::Time start_time = 0.0;
+  sim::Time deadline = 0.0;  // absolute; 0 = no deadline
+  // Task (coflow) this flow belongs to; 0 = none. Under task-aware
+  // scheduling all flows of a task share its priority (paper §3.1.1 / [17]).
+  std::uint64_t task_id = 0;
+  bool background = false;   // long-running background flow (lowest priority)
+
+  std::uint32_t num_packets() const {
+    return static_cast<std::uint32_t>((size_bytes + net::kMss - 1) / net::kMss);
+  }
+  std::uint32_t payload_of(std::uint32_t seq) const {
+    const std::uint64_t sent = static_cast<std::uint64_t>(seq) * net::kMss;
+    const std::uint64_t left = size_bytes - sent;
+    return static_cast<std::uint32_t>(left < net::kMss ? left : net::kMss);
+  }
+  bool has_deadline() const { return deadline > 0.0; }
+};
+
+}  // namespace pase::transport

@@ -1,0 +1,28 @@
+#include "transport/l2dct.h"
+
+#include <algorithm>
+
+namespace pase::transport {
+
+L2dctSender::L2dctSender(sim::Simulator& sim, net::Host& host, Flow flow,
+                         WindowSenderOptions wopts, DctcpOptions dopts,
+                         L2dctOptions lopts)
+    : DctcpSender(sim, host, flow, wopts, dopts), lopts_(lopts) {}
+
+double L2dctSender::weight_fraction() const {
+  return std::min(1.0, static_cast<double>(bytes_acked()) /
+                           lopts_.size_ref_bytes);
+}
+
+double L2dctSender::increase_gain() {
+  const double frac = weight_fraction();
+  return lopts_.k_max - (lopts_.k_max - lopts_.k_min) * frac;
+}
+
+double L2dctSender::ecn_decrease_factor() {
+  const double frac = weight_fraction();
+  const double b = lopts_.b_min + (lopts_.b_max - lopts_.b_min) * frac;
+  return std::min(0.5, alpha() * b / 2.0);
+}
+
+}  // namespace pase::transport

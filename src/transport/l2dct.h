@@ -1,0 +1,42 @@
+// L2DCT (Munir et al., INFOCOM'13): size-aware DCTCP that approximates
+// least-attained-service scheduling from the endpoints.
+//
+// A flow's weight decays as it sends more data:
+//   frac = min(1, bytes_sent / size_ref)
+//   increase gain  k_c = k_max - (k_max - k_min) * frac   (short flows grow fast)
+//   backoff weight b_c = b_min + (b_max - b_min) * frac   (long flows back off hard)
+//   on a marked window: cwnd <- cwnd * (1 - alpha * b_c / 2)
+// There is still no strict priority scheduling — every flow keeps sending at
+// least one packet per RTT — which is exactly the limitation the paper's §2
+// measures against PASE.
+#pragma once
+
+#include "transport/dctcp.h"
+
+namespace pase::transport {
+
+struct L2dctOptions {
+  double k_min = 0.125;
+  double k_max = 2.5;
+  double b_min = 0.5;
+  double b_max = 1.0;
+  double size_ref_bytes = 500e3;  // weight saturates past this many bytes
+};
+
+class L2dctSender : public DctcpSender {
+ public:
+  L2dctSender(sim::Simulator& sim, net::Host& host, Flow flow,
+              WindowSenderOptions wopts = {}, DctcpOptions dopts = {},
+              L2dctOptions lopts = {});
+
+  double weight_fraction() const;  // frac above
+
+ protected:
+  double ecn_decrease_factor() override;
+  double increase_gain() override;
+
+ private:
+  L2dctOptions lopts_;
+};
+
+}  // namespace pase::transport

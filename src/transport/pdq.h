@@ -1,0 +1,123 @@
+// PDQ (Hong et al., SIGCOMM'12): preemptive distributed quick flow scheduling.
+//
+// Arbitration lives in the data plane: every link has a PdqController that
+// keeps per-flow state (remaining size, deadline) and, packet by packet,
+// grants the link's capacity to the most critical flows — earliest deadline
+// first, then smallest remaining size. Less critical flows are paused
+// (rate 0) and keep probing. The sender paces packets at the minimum rate
+// granted along the path, which the receiver echoes back in ACKs. Includes
+// the paper's flow-switching optimizations: Early Start (grant the next flow
+// when the blocking flow is within K RTTs of finishing) and Early Termination
+// (kill flows whose deadline has become infeasible).
+//
+// The 1-RTT lag between a flow finishing and the next one learning its new
+// rate is PDQ's "flow switching overhead" — the cost PASE's §2.1 experiment
+// (our Fig. 2 bench) measures at high load.
+#pragma once
+
+#include <vector>
+
+#include "net/switch.h"
+#include "sim/timer.h"
+#include "transport/agent.h"
+
+namespace pase::transport {
+
+struct PdqOptions {
+  double utilization = 0.98;    // fraction of capacity handed out
+  sim::Time rtt = 300e-6;       // RTT estimate for Early Start
+  double early_start_rtts = 1;  // K: grant next flow if blocker ends within K RTTs
+  sim::Time entry_timeout = 10e-3;  // GC for flows that vanished silently
+  bool early_start = true;
+  bool early_termination = true;
+};
+
+class PdqController {
+ public:
+  PdqController(sim::Simulator& sim, net::NodeId node, double capacity_bps,
+                PdqOptions opts = {});
+
+  // Inspects/updates the PDQ header of a forward-direction packet.
+  void process(net::Packet& p);
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  // Convenience: builds a controller per output port of `sw` (each sized to
+  // that port's link rate) and registers the forwarding hook. Returned
+  // controllers are owned by the caller.
+  static std::vector<std::unique_ptr<PdqController>> attach(
+      sim::Simulator& sim, net::Switch& sw, PdqOptions opts = {});
+
+ private:
+  struct Entry {
+    net::FlowId id;
+    double remaining;     // bytes
+    double deadline;      // absolute, 0 = none
+    double demand;        // sender's max rate (bps)
+    net::NodeId pauser;   // controller currently pausing this flow, if any
+    sim::Time last_seen;
+  };
+
+  // True if a is more critical than b (EDF, then SJF, then flow id).
+  static bool more_critical(const Entry& a, const Entry& b);
+
+  Entry& find_or_insert(const net::Packet& p);
+  void reposition(std::size_t idx);
+  void erase_flow(net::FlowId id);
+  void prune_stale();
+  // Capacity available to `flow` after more-critical flows take their share.
+  double allocate(net::FlowId flow, double demand);
+
+  sim::Simulator* sim_;
+  net::NodeId node_;
+  double capacity_;
+  PdqOptions opts_;
+  std::vector<Entry> flows_;  // sorted, most critical first
+  sim::Time last_prune_ = 0.0;
+};
+
+struct PdqSenderOptions {
+  sim::Time min_rto = 10e-3;
+  sim::Time initial_rtt = 300e-6;
+  sim::Time probe_interval = 1.5e-3;  // paused flows probe every ~5 RTTs
+};
+
+class PdqSender : public Sender {
+ public:
+  PdqSender(sim::Simulator& sim, net::Host& host, Flow flow,
+            PdqSenderOptions opts = {});
+
+  void start() override;
+  void deliver(net::PacketPtr p) override;
+
+  double rate_bps() const { return rate_; }
+  bool paused() const { return rate_ <= 0.0; }
+  std::uint32_t snd_una() const { return snd_una_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t data_packets_sent() const override { return packets_sent_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  void fill_pdq(net::Packet& p);
+  void send_probe();
+  void apply_feedback(const net::PdqHeader& h);
+  void process_cumulative_ack(const net::Packet& ack);
+  void pace_next();
+  void on_rto();
+
+  sim::Simulator* sim_;
+  PdqSenderOptions opts_;
+  std::uint32_t total_;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t next_to_send_ = 0;
+  double rate_ = 0.0;
+  net::NodeId known_pauser_ = net::kInvalidNode;
+  bool pacing_scheduled_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  sim::Timer pace_timer_;
+  sim::Timer probe_timer_;
+  sim::Timer rto_timer_;
+};
+
+}  // namespace pase::transport

@@ -1,0 +1,42 @@
+#include "transport/pfabric.h"
+
+namespace pase::transport {
+
+PfabricSender::PfabricSender(sim::Simulator& sim, net::Host& host, Flow flow,
+                             WindowSenderOptions wopts, PfabricOptions popts)
+    : WindowSender(sim, host, flow, wopts),
+      popts_(popts),
+      full_cwnd_(wopts.init_cwnd) {}
+
+void PfabricSender::on_ack(const net::Packet& ack) {
+  (void)ack;
+  consecutive_timeouts_ = 0;
+  if (probe_mode_) {
+    probe_mode_ = false;
+    set_cwnd(full_cwnd_);
+  }
+}
+
+void PfabricSender::handle_timeout() {
+  ++consecutive_timeouts_;
+  if (consecutive_timeouts_ >= popts_.probe_mode_timeouts) {
+    probe_mode_ = true;
+    set_cwnd(1.0);
+  }
+  // pFabric keeps its RTO small and fixed — no exponential backoff; recovery
+  // is driven by the fabric's priority scheduling, not the endpoint.
+  timeout_retransmit_fixed_window();
+}
+
+void PfabricSender::timeout_retransmit_fixed_window() {
+  // pFabric's endpoints keep the window pinned: a timeout re-blasts the
+  // entire unacknowledged window at line rate (the fabric's priority
+  // dropping, not the endpoint, decides what survives). No cwnd collapse,
+  // no timer backoff.
+  record_timeout();
+  rewind_to_una();
+  try_send();
+  restart_rto();
+}
+
+}  // namespace pase::transport

@@ -1,0 +1,50 @@
+// pFabric endpoint (Alizadeh et al., SIGCOMM'13).
+//
+// "Minimal" rate control: flows blast at a fixed window (~BDP) and rely on
+// the fabric's priority dropping + a very small RTO. Every data packet
+// carries its flow's remaining size as the in-fabric priority. After
+// `probe_mode_timeouts` consecutive RTOs the sender falls back to a
+// one-packet probe window until an ACK arrives (pFabric's escape hatch from
+// persistent congestion collapse).
+#pragma once
+
+#include "transport/window_sender.h"
+
+namespace pase::transport {
+
+struct PfabricOptions {
+  int probe_mode_timeouts = 5;
+};
+
+class PfabricSender : public WindowSender {
+ public:
+  // Table 3: initCwnd = 38 pkts (BDP), minRTO = 1 ms (~3.3 RTT).
+  static WindowSenderOptions default_window_options() {
+    WindowSenderOptions o;
+    o.init_cwnd = 38.0;
+    o.min_rto = 1e-3;
+    return o;
+  }
+
+  PfabricSender(sim::Simulator& sim, net::Host& host, Flow flow,
+                WindowSenderOptions wopts = default_window_options(),
+                PfabricOptions popts = {});
+
+  bool in_probe_mode() const { return probe_mode_; }
+
+ protected:
+  void on_ack(const net::Packet& ack) override;
+  double loss_decrease_factor() const override { return 0.0; }
+  void handle_timeout() override;
+
+ private:
+  // Timeout retransmission without collapsing cwnd or backing off the timer.
+  void timeout_retransmit_fixed_window();
+
+  PfabricOptions popts_;
+  double full_cwnd_;
+  int consecutive_timeouts_ = 0;
+  bool probe_mode_ = false;
+};
+
+}  // namespace pase::transport

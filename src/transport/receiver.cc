@@ -1,0 +1,58 @@
+#include "transport/receiver.h"
+
+#include <cassert>
+
+namespace pase::transport {
+
+Receiver::Receiver(sim::Simulator& sim, net::Host& host, Flow flow)
+    : sim_(&sim),
+      host_(&host),
+      flow_(flow),
+      total_(flow.num_packets()),
+      received_(flow.num_packets(), false) {
+  assert(host.id() == flow.dst && "receiver must live on the flow destination");
+}
+
+void Receiver::deliver(net::PacketPtr p) {
+  switch (p->type) {
+    case net::PacketType::kData:
+      if (on_data) on_data(*p);
+      break;
+    case net::PacketType::kProbe:
+      if (on_data) on_data(*p);
+      send_ack(*p, net::PacketType::kProbeAck);
+      return;
+    default:
+      return;  // stray packet (e.g. ACK misrouted); ignore
+  }
+
+  if (p->seq < total_ && !received_[p->seq]) {
+    received_[p->seq] = true;
+    ++received_count_;
+    while (next_expected_ < total_ && received_[next_expected_]) {
+      ++next_expected_;
+    }
+    if (received_count_ == total_) {
+      completion_time_ = sim_->now();
+      if (on_complete) on_complete(*this);
+    }
+  } else {
+    ++duplicates_;
+  }
+  send_ack(*p, net::PacketType::kAck);
+}
+
+void Receiver::send_ack(const net::Packet& data, net::PacketType type) {
+  auto ack = net::make_control_packet(type, flow_.id, flow_.dst, flow_.src);
+  ack->ack_seq = next_expected_;
+  ack->seq = data.seq;  // which packet this ACK answers (dupack detection)
+  ack->ecn_echo = data.ecn_ce;
+  ack->ecn_capable = false;   // ACKs are not marked
+  ack->echo_ts = data.ts;
+  ack->pdq = data.pdq;        // PDQ decisions travel back to the sender
+  ack->priority = 0;          // small control packets ride the top class
+  ack->remaining_size = 0.0;  // ...and win in pFabric queues
+  host_->send(std::move(ack));
+}
+
+}  // namespace pase::transport

@@ -1,0 +1,55 @@
+// Protocol-agnostic receiver.
+//
+// Acks every data packet with a cumulative acknowledgement (next expected
+// packet index), echoing the fields each protocol needs on the reverse path:
+// ECN CE -> ECN-Echo (DCTCP family), the PDQ header (rate/pause decisions
+// accumulated along the forward path) and the sender timestamp. Probe packets
+// (PASE loss recovery, PDQ paused-flow probes) are answered with probe-acks
+// that carry the same cumulative state. Completion time is recorded when the
+// last data packet arrives — that instant defines the flow completion time
+// used by every experiment.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/host.h"
+#include "sim/simulator.h"
+#include "transport/flow.h"
+
+namespace pase::transport {
+
+class Receiver : public net::PacketSink {
+ public:
+  Receiver(sim::Simulator& sim, net::Host& host, Flow flow);
+
+  void deliver(net::PacketPtr p) override;
+
+  const Flow& flow() const { return flow_; }
+  bool complete() const { return received_count_ == total_; }
+  sim::Time completion_time() const { return completion_time_; }
+  std::uint32_t next_expected() const { return next_expected_; }
+  std::uint64_t duplicate_packets() const { return duplicates_; }
+
+  // Invoked once when the final data packet arrives.
+  std::function<void(Receiver&)> on_complete;
+
+  // Invoked for every arriving data/probe packet, before the ACK goes out.
+  // PASE's control plane uses this to drive receiver-side arbitration.
+  std::function<void(const net::Packet&)> on_data;
+
+ private:
+  void send_ack(const net::Packet& data, net::PacketType type);
+
+  sim::Simulator* sim_;
+  net::Host* host_;
+  Flow flow_;
+  std::uint32_t total_;
+  std::vector<bool> received_;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t next_expected_ = 0;
+  std::uint64_t duplicates_ = 0;
+  sim::Time completion_time_ = -1.0;
+};
+
+}  // namespace pase::transport

@@ -1,0 +1,120 @@
+// Reliable, self-clocked, window-based sender.
+//
+// Provides the mechanics every endpoint protocol shares: a packet-granularity
+// sequence space, cumulative ACK processing, RTT estimation, retransmission
+// timeouts with exponential backoff, and NewReno-style fast retransmit
+// (one hole per dupack episode, immediate retransmit on partial ACKs).
+// Congestion control is delegated to subclasses via virtual hooks.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/timer.h"
+#include "transport/agent.h"
+
+namespace pase::transport {
+
+struct WindowSenderOptions {
+  // ns-2-era TCP default; DCTCP/D2TCP/L2DCT ramp from here via slow start.
+  double init_cwnd = 3.0;      // packets
+  double max_cwnd = 1e6;       // packets
+  sim::Time min_rto = 10e-3;   // paper Table 3 default for DCTCP family
+  double max_rto_backoff = 64.0;
+  int dupack_threshold = 3;
+  sim::Time initial_rtt = 300e-6;  // seeds srtt before the first sample
+};
+
+class WindowSender : public Sender {
+ public:
+  WindowSender(sim::Simulator& sim, net::Host& host, Flow flow,
+               WindowSenderOptions opts);
+
+  void start() override;
+  void deliver(net::PacketPtr p) override;
+
+  // Introspection (tests, stats).
+  double cwnd() const { return cwnd_; }
+  std::uint32_t snd_una() const { return snd_una_; }
+  std::uint32_t snd_next() const { return snd_next_; }
+  std::uint32_t total_packets() const { return total_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t data_packets_sent() const override { return packets_sent_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  sim::Time srtt() const { return srtt_; }
+  std::uint64_t bytes_acked() const {
+    return static_cast<std::uint64_t>(snd_una_) * net::kMss;
+  }
+  double remaining_bytes() const {
+    return static_cast<double>(flow().size_bytes) -
+           static_cast<double>(bytes_acked());
+  }
+
+ protected:
+  // --- hooks for congestion-control subclasses -----------------------------
+  // Called once when the flow starts, before the first packet goes out.
+  virtual void on_start() {}
+  // Called for every ACK that acknowledges new data; adjust cwnd here.
+  virtual void on_ack(const net::Packet& ack) { (void)ack; }
+  // Multiplicative decrease applied on entering fast recovery (0.5 = halve).
+  virtual double loss_decrease_factor() const { return 0.5; }
+  // Called after the base handles a retransmission timeout.
+  virtual void on_timeout() {}
+  // Lets protocols stamp priority / remaining size / deadline / PDQ fields.
+  virtual void fill_data(net::Packet& p) { (void)p; }
+  // Full override point for RTO behaviour (PASE probes instead of data).
+  virtual void handle_timeout();
+  // RTO interval before backoff.
+  virtual sim::Time base_rto() const;
+
+  // --- services for subclasses ---------------------------------------------
+  void set_cwnd(double w);
+  // Sends as much as the window allows. Virtual so protocols can gate
+  // transmission (PASE holds new packets while a priority barrier drains).
+  virtual void try_send();
+  // (Re)transmits one specific packet.
+  void send_packet(std::uint32_t seq, bool is_retransmission);
+  void restart_rto();
+  sim::Simulator& simulator() { return *sim_; }
+  const WindowSenderOptions& options() const { return opts_; }
+  std::uint32_t in_flight() const { return snd_next_ - snd_una_; }
+  double rto_backoff() const { return rto_backoff_; }
+  bool in_recovery() const { return in_recovery_; }
+  // Retransmits the data packet at snd_una and applies timeout bookkeeping;
+  // used by PASE when a probe confirms an actual loss.
+  void timeout_retransmit();
+  void record_timeout() { ++timeouts_; }
+  // Rewinds the send pointer to the first unacknowledged packet so the next
+  // try_send() re-emits the whole window (pFabric's SACK-free re-blast).
+  void rewind_to_una() { snd_next_ = snd_una_; }
+  void backoff_rto() {
+    rto_backoff_ = std::min(rto_backoff_ * 2.0, opts_.max_rto_backoff);
+  }
+
+  sim::Simulator* sim_;
+
+ private:
+  void process_ack(const net::Packet& ack);
+  void enter_recovery();
+
+  WindowSenderOptions opts_;
+  std::uint32_t total_;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_next_ = 0;
+  double cwnd_;
+  int dupacks_ = 0;
+  std::uint32_t dup_inflation_ = 0;  // NewReno inflation during recovery
+  bool in_recovery_ = false;
+  std::uint32_t recovery_point_ = 0;
+  double rto_backoff_ = 1.0;
+  sim::Time srtt_;
+  sim::Time rttvar_;
+  std::vector<bool> retransmitted_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
+  sim::Timer rto_timer_;
+};
+
+}  // namespace pase::transport

@@ -1,0 +1,37 @@
+// Default protocol/fabric parameters, following the paper's Table 3 and §4.1.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/simulator.h"
+
+namespace pase::workload {
+
+struct Table3 {
+  // DCTCP / D2TCP / L2DCT
+  static constexpr std::size_t kDctcpQueuePkts = 225;
+  static constexpr std::size_t kMarkThreshold1G = 20;   // DCTCP guidance, 1 Gbps
+  static constexpr std::size_t kMarkThreshold10G = 65;  // Table 3, 10 Gbps
+  static constexpr sim::Time kDctcpMinRto = 10e-3;
+
+  // pFabric
+  static constexpr std::size_t kPfabricQueuePkts = 76;  // 2 x BDP
+  static constexpr double kPfabricInitCwnd = 38.0;      // BDP
+  static constexpr sim::Time kPfabricMinRto = 1e-3;     // ~3.3 x RTT
+
+  // PASE
+  static constexpr std::size_t kPaseQueuePkts = 500;
+  static constexpr sim::Time kPaseMinRtoTop = 10e-3;
+  static constexpr sim::Time kPaseMinRtoLow = 200e-3;
+  static constexpr int kPaseNumQueues = 8;
+
+  // PDQ (droptail fabric; rates keep queues short)
+  static constexpr std::size_t kPdqQueuePkts = 225;
+};
+
+// Mark threshold appropriate for a link speed (K scales with BDP).
+inline std::size_t mark_threshold_for(double rate_bps) {
+  return rate_bps > 5e9 ? Table3::kMarkThreshold10G : Table3::kMarkThreshold1G;
+}
+
+}  // namespace pase::workload

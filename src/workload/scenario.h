@@ -1,0 +1,84 @@
+// Experiment harness: builds a topology + fabric for the chosen protocol,
+// instantiates per-flow senders/receivers as the workload arrives, runs the
+// simulation to completion and returns the flow records plus fabric and
+// control-plane counters. Every bench and example drives this one entry
+// point, so an experiment is ~20 lines of configuration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/arbitration_plane.h"
+#include "core/pase_sender.h"
+#include "stats/flow_stats.h"
+#include "stats/summary.h"
+#include "topo/single_rack.h"
+#include "topo/three_tier.h"
+#include "transport/pdq.h"
+#include "workload/defaults.h"
+#include "workload/flow_generator.h"
+
+namespace pase::workload {
+
+enum class Protocol { kDctcp, kD2tcp, kL2dct, kPdq, kPfabric, kPase };
+
+const char* protocol_name(Protocol p);
+
+struct ScenarioConfig {
+  Protocol protocol = Protocol::kDctcp;
+
+  enum class TopologyKind { kSingleRack, kThreeTier };
+  TopologyKind topology = TopologyKind::kSingleRack;
+  topo::SingleRackConfig rack;   // used when topology == kSingleRack
+  topo::ThreeTierConfig tree;    // used when topology == kThreeTier
+
+  WorkloadConfig traffic;  // host counts/rates are filled in from the topology
+
+  core::PaseConfig pase;            // PASE knobs (criterion picked from deadlines)
+  transport::PdqOptions pdq;        // PDQ knobs
+  double pdq_probe_rtts = 8.0;      // paused-sender probe period, in RTTs
+  double arbitration_period_rtts = 1.0;  // PASE source refresh period, in RTTs
+
+  // Fabric overrides; 0 = per-protocol Table 3 default.
+  std::size_t queue_capacity_pkts = 0;
+  std::size_t mark_threshold_pkts = 0;
+
+  sim::Time max_duration = 30.0;  // hard stop for the simulation clock
+};
+
+struct ScenarioResult {
+  std::vector<stats::FlowRecord> records;
+  std::uint64_t fabric_drops = 0;
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t probes_sent = 0;
+  sim::Time end_time = 0.0;
+  core::ControlPlaneStats control;
+
+  double afct() const { return stats::afct(records); }
+  double fct_p99() const { return stats::fct_percentile(records, 99.0); }
+  double app_throughput() const {
+    return stats::application_throughput(records);
+  }
+  std::size_t unfinished() const { return stats::unfinished(records); }
+  // Fraction of transmitted data packets dropped inside the fabric.
+  double loss_rate() const {
+    return data_packets_sent == 0
+               ? 0.0
+               : static_cast<double>(fabric_drops) /
+                     static_cast<double>(data_packets_sent);
+  }
+  double control_msgs_per_sec() const {
+    return end_time > 0.0
+               ? static_cast<double>(control.messages_sent) / end_time
+               : 0.0;
+  }
+};
+
+// Generates the workload from cfg.traffic and runs it.
+ScenarioResult run_scenario(ScenarioConfig cfg);
+
+// Runs an explicit flow list (src/dst are HOST INDICES, not node ids).
+ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
+                                       std::vector<transport::Flow> flows);
+
+}  // namespace pase::workload

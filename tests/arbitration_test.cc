@@ -1,0 +1,166 @@
+// Algorithm 1 (FlowTable) and LinkArbitrator unit tests.
+#include <gtest/gtest.h>
+
+#include "core/link_arbitrator.h"
+
+namespace pase::core {
+namespace {
+
+constexpr double kGbps = 1e9;
+
+FlowTable make_table(double capacity = kGbps, int queues = 7) {
+  return FlowTable(capacity, queues, /*base_rate=*/40e6, /*timeout=*/1.0);
+}
+
+TEST(FlowTable, SoleFlowGetsTopQueueAndItsDemand) {
+  auto t = make_table();
+  auto r = t.update_and_arbitrate(1, 100e3, 600e6, 0.0);
+  EXPECT_EQ(r.prio_queue, 0);
+  EXPECT_DOUBLE_EQ(r.ref_rate, 600e6);
+}
+
+TEST(FlowTable, DemandCappedBySpareCapacity) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 10e3, 700e6, 0.0);
+  auto r = t.update_and_arbitrate(2, 20e3, 1e9, 0.0);  // only 300M spare
+  EXPECT_EQ(r.prio_queue, 0);
+  EXPECT_DOUBLE_EQ(r.ref_rate, 300e6);
+}
+
+TEST(FlowTable, FullLinkDemotesToSecondQueueAtBaseRate) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 10e3, 1e9, 0.0);
+  auto r = t.update_and_arbitrate(2, 20e3, 1e9, 0.0);
+  EXPECT_EQ(r.prio_queue, 1);
+  EXPECT_DOUBLE_EQ(r.ref_rate, 40e6);  // base rate
+}
+
+TEST(FlowTable, EachIntermediateQueueAbsorbsOneCapacityOfDemand) {
+  auto t = make_table();
+  // Flows of 1G demand each, increasingly less critical.
+  for (int i = 1; i <= 5; ++i) {
+    auto r = t.update_and_arbitrate(static_cast<net::FlowId>(i),
+                                    1e3 * i, 1e9, 0.0);
+    EXPECT_EQ(r.prio_queue, i - 1) << "flow " << i;
+  }
+}
+
+TEST(FlowTable, OverflowFlowsClampToLowestQueue) {
+  auto t = make_table(kGbps, /*queues=*/3);
+  for (int i = 1; i <= 6; ++i) {
+    t.update_and_arbitrate(static_cast<net::FlowId>(i), 1e3 * i, 1e9, 0.0);
+  }
+  auto r = t.arbitrate(6);
+  EXPECT_EQ(r.prio_queue, 2);  // clamped to lowest of 3 data queues
+}
+
+TEST(FlowTable, SmallerKeyIsMoreCritical) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 500e3, 1e9, 0.0);
+  auto r2 = t.update_and_arbitrate(2, 10e3, 1e9, 0.0);
+  EXPECT_EQ(r2.prio_queue, 0);
+  auto r1 = t.arbitrate(1);
+  EXPECT_EQ(r1.prio_queue, 1);  // big flow displaced
+}
+
+TEST(FlowTable, UpdateReordersExistingFlow) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 100e3, 1e9, 0.0);
+  t.update_and_arbitrate(2, 50e3, 1e9, 0.0);
+  EXPECT_EQ(t.arbitrate(1).prio_queue, 1);
+  // Flow 1 has drained down to 10 KB remaining: it should outrank flow 2.
+  t.update_and_arbitrate(1, 10e3, 1e9, 0.0);
+  EXPECT_EQ(t.arbitrate(1).prio_queue, 0);
+  EXPECT_EQ(t.arbitrate(2).prio_queue, 1);
+}
+
+TEST(FlowTable, RemoveFreesCapacity) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 10e3, 1e9, 0.0);
+  t.update_and_arbitrate(2, 20e3, 1e9, 0.0);
+  t.remove(1);
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.arbitrate(2).prio_queue, 0);
+}
+
+TEST(FlowTable, StaleEntriesExpire) {
+  FlowTable t(kGbps, 7, 40e6, /*timeout=*/1e-3);
+  t.update_and_arbitrate(1, 10e3, 1e9, 0.0);
+  // At t=5ms flow 1 hasn't refreshed: it is pruned on the next update.
+  auto r = t.update_and_arbitrate(2, 20e3, 1e9, 5e-3);
+  EXPECT_EQ(r.prio_queue, 0);
+  EXPECT_FALSE(t.contains(1));
+}
+
+TEST(FlowTable, UnknownFlowArbitratesToLowestQueue) {
+  auto t = make_table(kGbps, 5);
+  auto r = t.arbitrate(42);
+  EXPECT_EQ(r.prio_queue, 4);
+  EXPECT_DOUBLE_EQ(r.ref_rate, 40e6);
+}
+
+TEST(FlowTable, TieBreaksByFlowId) {
+  auto t = make_table();
+  t.update_and_arbitrate(7, 10e3, 1e9, 0.0);
+  t.update_and_arbitrate(3, 10e3, 1e9, 0.0);
+  EXPECT_EQ(t.arbitrate(3).prio_queue, 0);
+  EXPECT_EQ(t.arbitrate(7).prio_queue, 1);
+}
+
+TEST(FlowTable, TopQueueDemandIsCappedByCapacity) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 10e3, 800e6, 0.0);
+  EXPECT_DOUBLE_EQ(t.top_queue_demand(), 800e6);
+  t.update_and_arbitrate(2, 20e3, 800e6, 0.0);
+  EXPECT_DOUBLE_EQ(t.top_queue_demand(), kGbps);
+}
+
+TEST(FlowTable, TotalDemandIsUncapped) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 10e3, 800e6, 0.0);
+  t.update_and_arbitrate(2, 20e3, 800e6, 0.0);
+  EXPECT_DOUBLE_EQ(t.total_demand(), 1.6e9);
+}
+
+TEST(FlowTable, CapacityChangeAffectsArbitration) {
+  auto t = make_table();
+  t.update_and_arbitrate(1, 10e3, 600e6, 0.0);
+  t.update_and_arbitrate(2, 20e3, 600e6, 0.0);
+  EXPECT_EQ(t.arbitrate(2).prio_queue, 0);  // 1.2G demand, 1G link: still fits partially
+  t.set_capacity(500e6);  // delegation shrank the virtual link
+  EXPECT_EQ(t.arbitrate(2).prio_queue, 1);
+}
+
+TEST(LinkArbitrator, CountsProcessedRequests) {
+  PaseConfig cfg;
+  LinkArbitrator arb("l", 3, kGbps, cfg);
+  arb.process(1, 10e3, 1e9, 0.0);
+  arb.process(1, 8e3, 1e9, 0.0);
+  EXPECT_EQ(arb.processed(), 2u);
+  EXPECT_EQ(arb.owner(), 3);
+  EXPECT_EQ(arb.table().size(), 1u);
+  arb.remove(1);
+  EXPECT_EQ(arb.table().size(), 0u);
+}
+
+TEST(PaseConfig, QueueAccounting) {
+  PaseConfig cfg;
+  EXPECT_EQ(cfg.num_queues, 8);
+  EXPECT_EQ(cfg.num_data_queues(), 7);
+  EXPECT_EQ(cfg.background_queue(), 7);
+  EXPECT_EQ(cfg.lowest_data_queue(), 6);
+  cfg.reserve_background_queue = false;
+  EXPECT_EQ(cfg.num_data_queues(), 8);
+  cfg.num_queues = 3;
+  cfg.reserve_background_queue = true;
+  EXPECT_EQ(cfg.num_data_queues(), 2);
+}
+
+TEST(PaseConfig, BaseRateIsOnePacketPerRtt) {
+  PaseConfig cfg;
+  cfg.rtt = 300e-6;
+  EXPECT_NEAR(cfg.base_rate_bps(), 1500.0 * 8 / 300e-6, 1.0);
+}
+
+}  // namespace
+}  // namespace pase::core

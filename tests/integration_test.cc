@@ -1,0 +1,185 @@
+// End-to-end scenario tests: every protocol completes its workload, the
+// paper's qualitative orderings hold at small scale, and basic conservation
+// invariants are maintained.
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace pase::workload {
+namespace {
+
+ScenarioConfig small_rack(Protocol p, double load, int hosts = 10,
+                          int flows = 120, std::uint64_t seed = 7) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = hosts;
+  cfg.traffic.pattern = Pattern::kIntraRackRandom;
+  cfg.traffic.load = load;
+  cfg.traffic.num_flows = flows;
+  cfg.traffic.seed = seed;
+  cfg.traffic.num_background_flows = 1;
+  return cfg;
+}
+
+class AllProtocols : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AllProtocols, EveryFlowCompletesAtModerateLoad) {
+  auto res = run_scenario(small_rack(GetParam(), 0.5));
+  EXPECT_EQ(res.unfinished(), 0u) << protocol_name(GetParam());
+  EXPECT_GT(res.afct(), 0.0);
+  EXPECT_GT(res.data_packets_sent, 0u);
+}
+
+TEST_P(AllProtocols, EveryFlowCompletesAtHighLoad) {
+  auto res = run_scenario(small_rack(GetParam(), 0.9));
+  EXPECT_EQ(res.unfinished(), 0u) << protocol_name(GetParam());
+}
+
+TEST_P(AllProtocols, FctNeverBeatsTheSpeedOfLight) {
+  auto res = run_scenario(small_rack(GetParam(), 0.3));
+  for (const auto& r : res.records) {
+    if (r.background || !r.completed()) continue;
+    // A flow cannot finish faster than its size at line rate plus one-way
+    // propagation.
+    const double floor_fct =
+        static_cast<double>(r.size_bytes) * 8 / 1e9 + 50e-6;
+    EXPECT_GE(r.fct(), floor_fct * 0.95) << protocol_name(GetParam());
+  }
+}
+
+TEST_P(AllProtocols, HigherLoadDoesNotImproveAfct) {
+  auto lo = run_scenario(small_rack(GetParam(), 0.2));
+  auto hi = run_scenario(small_rack(GetParam(), 0.9));
+  EXPECT_GT(hi.afct(), lo.afct() * 0.8) << protocol_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols,
+                         ::testing::Values(Protocol::kDctcp, Protocol::kD2tcp,
+                                           Protocol::kL2dct, Protocol::kPdq,
+                                           Protocol::kPfabric,
+                                           Protocol::kPase),
+                         [](const auto& info) {
+                           return protocol_name(info.param);
+                         });
+
+TEST(Integration, PaseBeatsDctcpAtHighLoad) {
+  auto pase = run_scenario(small_rack(Protocol::kPase, 0.8, 16, 300));
+  auto dctcp = run_scenario(small_rack(Protocol::kDctcp, 0.8, 16, 300));
+  EXPECT_LT(pase.afct(), dctcp.afct());
+}
+
+TEST(Integration, PaseNeverDropsWhileArbitrated) {
+  auto res = run_scenario(small_rack(Protocol::kPase, 0.8, 16, 300));
+  EXPECT_EQ(res.fabric_drops, 0u);
+}
+
+TEST(Integration, PfabricDropsGrowWithLoad) {
+  auto lo = run_scenario(small_rack(Protocol::kPfabric, 0.2, 16, 300));
+  auto hi = run_scenario(small_rack(Protocol::kPfabric, 0.9, 16, 300));
+  EXPECT_GT(hi.loss_rate(), lo.loss_rate());
+}
+
+TEST(Integration, DeadlineWorkloadAppThroughputDegradesWithLoad) {
+  auto cfg = small_rack(Protocol::kD2tcp, 0.3, 16, 200);
+  cfg.traffic.size_min_bytes = 100e3;
+  cfg.traffic.size_max_bytes = 500e3;
+  cfg.traffic.deadline_min = 5e-3;
+  cfg.traffic.deadline_max = 25e-3;
+  auto lo = run_scenario(cfg);
+  cfg.traffic.load = 0.9;
+  auto hi = run_scenario(cfg);
+  EXPECT_GE(lo.app_throughput(), hi.app_throughput());
+  EXPECT_GT(lo.app_throughput(), 0.7);
+}
+
+TEST(Integration, PaseMeetsMoreDeadlinesThanDctcp) {
+  auto cfg = small_rack(Protocol::kPase, 0.7, 16, 200);
+  cfg.traffic.size_min_bytes = 100e3;
+  cfg.traffic.size_max_bytes = 500e3;
+  cfg.traffic.deadline_min = 5e-3;
+  cfg.traffic.deadline_max = 25e-3;
+  auto pase = run_scenario(cfg);
+  cfg.protocol = Protocol::kDctcp;
+  auto dctcp = run_scenario(cfg);
+  EXPECT_GE(pase.app_throughput(), dctcp.app_throughput());
+}
+
+TEST(Integration, PaseControlPlaneIsActive) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kPase;
+  cfg.topology = ScenarioConfig::TopologyKind::kThreeTier;
+  cfg.tree.hosts_per_tor = 4;  // 16 hosts
+  cfg.traffic.pattern = Pattern::kLeftRight;
+  cfg.traffic.load = 0.5;
+  cfg.traffic.num_flows = 100;
+  cfg.traffic.seed = 3;
+  auto res = run_scenario(cfg);
+  EXPECT_EQ(res.unfinished(), 0u);
+  EXPECT_GT(res.control.messages_sent, 0u);
+  EXPECT_GT(res.control.arbitrations, 0u);
+  EXPECT_GT(res.control.responses, 0u);
+  EXPECT_GT(res.control.fins, 0u);
+}
+
+TEST(Integration, ThreeTierLeftRightAllProtocolsComplete) {
+  for (auto p : {Protocol::kDctcp, Protocol::kPfabric, Protocol::kPase}) {
+    ScenarioConfig cfg;
+    cfg.protocol = p;
+    cfg.topology = ScenarioConfig::TopologyKind::kThreeTier;
+    cfg.tree.hosts_per_tor = 4;
+    cfg.traffic.pattern = Pattern::kLeftRight;
+    cfg.traffic.load = 0.6;
+    cfg.traffic.num_flows = 150;
+    cfg.traffic.seed = 5;
+    auto res = run_scenario(cfg);
+    EXPECT_EQ(res.unfinished(), 0u) << protocol_name(p);
+  }
+}
+
+TEST(Integration, TerminatedPdqFlowsAreAccounted) {
+  // Deadlines so tight some flows are infeasible: PDQ early-terminates them.
+  auto cfg = small_rack(Protocol::kPdq, 0.7, 10, 150);
+  cfg.traffic.size_min_bytes = 200e3;
+  cfg.traffic.size_max_bytes = 500e3;
+  cfg.traffic.deadline_min = 1e-3;  // 200-500 KB needs 1.6-4 ms: some infeasible
+  cfg.traffic.deadline_max = 12e-3;
+  auto res = run_scenario(cfg);
+  std::size_t terminated = 0;
+  for (const auto& r : res.records) terminated += r.terminated ? 1 : 0;
+  EXPECT_GT(terminated, 0u);
+  EXPECT_LT(res.app_throughput(), 1.0);
+  EXPECT_EQ(res.unfinished(), 0u);  // terminated flows count as finished
+}
+
+TEST(Integration, SameSeedGivesIdenticalResults) {
+  auto a = run_scenario(small_rack(Protocol::kPase, 0.6));
+  auto b = run_scenario(small_rack(Protocol::kPase, 0.6));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].finish, b.records[i].finish);
+  }
+  EXPECT_EQ(a.control.messages_sent, b.control.messages_sent);
+}
+
+TEST(Integration, TestbedLikeConfigurationRuns) {
+  // Fig. 13b parameters: 10 nodes, 1 Gbps, ~250 us RTT, 100-pkt queues, K=20.
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kPase;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 10;
+  cfg.rack.per_link_delay = 62.5e-6;  // 4 hops -> 250 us
+  cfg.queue_capacity_pkts = 100;
+  cfg.mark_threshold_pkts = 20;
+  cfg.traffic.pattern = Pattern::kWorkerAggregator;
+  cfg.traffic.load = 0.5;
+  cfg.traffic.num_flows = 150;
+  cfg.traffic.size_min_bytes = 100e3;
+  cfg.traffic.size_max_bytes = 500e3;
+  cfg.traffic.seed = 21;
+  auto res = run_scenario(cfg);
+  EXPECT_EQ(res.unfinished(), 0u);
+}
+
+}  // namespace
+}  // namespace pase::workload

@@ -1,0 +1,344 @@
+// PDQ controller allocation logic and sender pacing/pause behaviour.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "transport/pdq.h"
+
+namespace pase::transport {
+namespace {
+
+using test::make_flow;
+using test::make_mini_net;
+using test::wire_flow;
+
+net::PacketPtr pdq_packet(net::FlowId flow, double remaining, double demand,
+                          double deadline = 0.0, bool fin = false) {
+  auto p = net::make_data_packet(flow, 0, 1, 0);
+  p->fin = fin;
+  p->pdq.rate = std::numeric_limits<double>::infinity();
+  p->pdq.expected_remaining = remaining;
+  p->pdq.demand = demand;
+  p->pdq.deadline = deadline;
+  return p;
+}
+
+PdqOptions no_es_opts() {
+  PdqOptions o;
+  o.early_start = false;
+  o.utilization = 1.0;
+  return o;
+}
+
+TEST(PdqController, SoleFlowGetsItsDemand) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p = pdq_packet(1, 100e3, 1e9);
+  c.process(*p);
+  EXPECT_FALSE(p->pdq.paused);
+  EXPECT_DOUBLE_EQ(p->pdq.rate, 1e9);
+}
+
+TEST(PdqController, DemandBelowCapacityIsGrantedExactly) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p = pdq_packet(1, 100e3, 300e6);
+  c.process(*p);
+  EXPECT_DOUBLE_EQ(p->pdq.rate, 300e6);
+}
+
+TEST(PdqController, SecondLessCriticalFlowIsPaused) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p1 = pdq_packet(1, 50e3, 1e9);
+  c.process(*p1);
+  auto p2 = pdq_packet(2, 100e3, 1e9);  // larger remaining: less critical
+  c.process(*p2);
+  EXPECT_TRUE(p2->pdq.paused);
+  EXPECT_EQ(p2->pdq.pauser, 10);
+  EXPECT_DOUBLE_EQ(p2->pdq.rate, 0.0);
+}
+
+TEST(PdqController, SmallerFlowPreemptsLarger) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p1 = pdq_packet(1, 100e3, 1e9);
+  c.process(*p1);
+  EXPECT_FALSE(p1->pdq.paused);
+  auto p2 = pdq_packet(2, 50e3, 1e9);  // more critical
+  c.process(*p2);
+  EXPECT_FALSE(p2->pdq.paused);
+  // Next packet of flow 1 is now paused.
+  auto p3 = pdq_packet(1, 100e3, 1e9);
+  c.process(*p3);
+  EXPECT_TRUE(p3->pdq.paused);
+}
+
+TEST(PdqController, EarlierDeadlineOutranksSmallerSize) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p1 = pdq_packet(1, 10e3, 1e9, /*deadline=*/5.0);
+  c.process(*p1);
+  auto p2 = pdq_packet(2, 500e3, 1e9, /*deadline=*/1.0);  // big but urgent
+  c.process(*p2);
+  EXPECT_FALSE(p2->pdq.paused);
+  auto p3 = pdq_packet(1, 10e3, 1e9, 5.0);
+  c.process(*p3);
+  EXPECT_TRUE(p3->pdq.paused);
+}
+
+TEST(PdqController, CapacitySharedWhenFlowsAreNicLimited) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 10e9, no_es_opts());  // fabric link
+  for (net::FlowId f = 1; f <= 10; ++f) {
+    auto p = pdq_packet(f, 100e3 + 1e3 * static_cast<double>(f), 1e9);
+    c.process(*p);
+    EXPECT_FALSE(p->pdq.paused) << "flow " << f;
+    EXPECT_DOUBLE_EQ(p->pdq.rate, 1e9);
+  }
+  auto p = pdq_packet(11, 500e3, 1e9);
+  c.process(*p);
+  EXPECT_TRUE(p->pdq.paused);  // the 11th 1G flow does not fit in 10G
+}
+
+TEST(PdqController, RateFieldTakesMinimumAlongPath) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p = pdq_packet(1, 100e3, 1e9);
+  p->pdq.rate = 200e6;  // upstream already clamped
+  c.process(*p);
+  EXPECT_DOUBLE_EQ(p->pdq.rate, 200e6);
+}
+
+TEST(PdqController, FlowsPausedElsewhereDoNotConsumeCapacity) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  // Flow 1 (critical) is paused by another switch (node 99).
+  auto p1 = pdq_packet(1, 10e3, 1e9);
+  p1->pdq.pauser = 99;
+  c.process(*p1);
+  // Flow 2 should still get the full link here.
+  auto p2 = pdq_packet(2, 100e3, 1e9);
+  c.process(*p2);
+  EXPECT_FALSE(p2->pdq.paused);
+  EXPECT_DOUBLE_EQ(p2->pdq.rate, 1e9);
+}
+
+TEST(PdqController, UpstreamPausedPacketIsLeftAlone) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p = pdq_packet(1, 10e3, 1e9);
+  p->pdq.paused = true;
+  p->pdq.pauser = 99;
+  p->pdq.rate = 0.0;
+  c.process(*p);
+  EXPECT_TRUE(p->pdq.paused);
+  EXPECT_EQ(p->pdq.pauser, 99);
+}
+
+TEST(PdqController, EarlyStartAdmitsNextInLineOnly) {
+  sim::Simulator sim;
+  PdqOptions o;
+  o.early_start = true;
+  o.rtt = 300e-6;
+  o.early_start_rtts = 2;
+  PdqController c(sim, 10, 1e9, o);
+  // Blocker with ~1 RTT of data left at full rate.
+  auto p1 = pdq_packet(1, 30e3, 1e9);  // 30 KB at 1G = 240 us < 2 RTT
+  c.process(*p1);
+  auto p2 = pdq_packet(2, 100e3, 1e9);
+  c.process(*p2);
+  EXPECT_FALSE(p2->pdq.paused) << "next in line early-starts";
+  auto p3 = pdq_packet(3, 200e3, 1e9);
+  c.process(*p3);
+  EXPECT_TRUE(p3->pdq.paused) << "third flow must wait";
+}
+
+TEST(PdqController, NoEarlyStartWhenBlockerFarFromDone) {
+  sim::Simulator sim;
+  PdqOptions o;
+  o.early_start = true;
+  o.rtt = 300e-6;
+  o.early_start_rtts = 2;
+  PdqController c(sim, 10, 1e9, o);
+  auto p1 = pdq_packet(1, 5e6, 1e9);  // 40 ms of data left
+  c.process(*p1);
+  auto p2 = pdq_packet(2, 6e6, 1e9);  // less critical than the blocker
+  c.process(*p2);
+  EXPECT_TRUE(p2->pdq.paused);
+}
+
+TEST(PdqController, EarlyTerminationForInfeasibleDeadline) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9);
+  // 5 MB in 1 ms at 1 Gbps is impossible (needs 40 ms).
+  auto p = pdq_packet(1, 5e6, 1e9, /*deadline=*/1e-3);
+  c.process(*p);
+  EXPECT_TRUE(p->pdq.terminated);
+}
+
+TEST(PdqController, FeasibleDeadlineNotTerminated) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9);
+  auto p = pdq_packet(1, 50e3, 1e9, /*deadline=*/10e-3);
+  c.process(*p);
+  EXPECT_FALSE(p->pdq.terminated);
+}
+
+TEST(PdqController, FinRemovesFlowState) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9, no_es_opts());
+  auto p1 = pdq_packet(1, 10e3, 1e9);
+  c.process(*p1);
+  EXPECT_EQ(c.active_flows(), 1u);
+  auto fin = pdq_packet(1, 1e3, 1e9, 0.0, /*fin=*/true);
+  c.process(*fin);
+  EXPECT_EQ(c.active_flows(), 0u);
+  // Flow 2 immediately gets the link.
+  auto p2 = pdq_packet(2, 100e3, 1e9);
+  c.process(*p2);
+  EXPECT_FALSE(p2->pdq.paused);
+}
+
+TEST(PdqController, StaleEntriesAgeOut) {
+  sim::Simulator sim;
+  PdqOptions o = no_es_opts();
+  o.entry_timeout = 1e-3;
+  PdqController c(sim, 10, 1e9, o);
+  auto p1 = pdq_packet(1, 10e3, 1e9);
+  c.process(*p1);
+  // Advance time past the timeout; the next process() prunes.
+  sim.schedule(5e-3, [] {});
+  sim.run();
+  auto p2 = pdq_packet(2, 100e3, 1e9);
+  c.process(*p2);
+  EXPECT_FALSE(p2->pdq.paused);
+  EXPECT_EQ(c.active_flows(), 1u);  // flow 1 pruned
+}
+
+TEST(PdqController, IgnoresAcks) {
+  sim::Simulator sim;
+  PdqController c(sim, 10, 1e9);
+  auto ack = net::make_control_packet(net::PacketType::kAck, 1, 0, 1);
+  c.process(*ack);
+  EXPECT_EQ(c.active_flows(), 0u);
+}
+
+// --- PdqSender end-to-end -------------------------------------------------------
+
+struct PdqNet {
+  std::unique_ptr<test::MiniNet> n;
+  std::vector<std::unique_ptr<PdqController>> controllers;
+
+  explicit PdqNet(int hosts, PdqOptions opts = {}) {
+    n = make_mini_net(hosts);
+    auto cs = PdqController::attach(n->sim, *n->rack.tor, opts);
+    for (auto& c : cs) controllers.push_back(std::move(c));
+    for (const auto& h : n->topo().hosts()) {
+      auto c = std::make_unique<PdqController>(n->sim, h->id(),
+                                               h->nic_rate_bps(), opts);
+      PdqController* raw = c.get();
+      h->add_send_hook([raw](net::Packet& p) { raw->process(p); });
+      controllers.push_back(std::move(c));
+    }
+  }
+};
+
+TEST(PdqSender, CompletesAndPacesAtLineRate) {
+  PdqNet net(2);
+  auto flow = make_flow(*net.n, 0, 1, 100 * net::kMss);
+  PdqSender s(net.n->sim, net.n->host(0), flow);
+  auto recv = wire_flow(*net.n, s, flow);
+  s.start();
+  net.n->sim.run(1.0);
+  ASSERT_TRUE(recv->complete());
+  // Service at ~1G plus the 1-RTT SYN setup.
+  const double service = 100 * 1500.0 * 8 / 1e9;
+  EXPECT_GT(recv->completion_time(), service);
+  EXPECT_LT(recv->completion_time(), service + 2e-3);
+}
+
+TEST(PdqSender, ShortFlowPreemptsLongFlow) {
+  PdqNet net(3);
+  auto big = make_flow(*net.n, 0, 2, 2000 * net::kMss);
+  big.id = 1;
+  auto small = make_flow(*net.n, 1, 2, 50 * net::kMss);
+  small.id = 2;
+  PdqSender s1(net.n->sim, net.n->host(0), big);
+  PdqSender s2(net.n->sim, net.n->host(1), small);
+  auto r1 = wire_flow(*net.n, s1, big);
+  auto r2 = wire_flow(*net.n, s2, small);
+  s1.start();
+  net.n->sim.schedule_at(3e-3, [&] { s2.start(); });
+  net.n->sim.run(1.0);
+  ASSERT_TRUE(r1->complete());
+  ASSERT_TRUE(r2->complete());
+  // The small flow runs at ~line rate despite starting mid-way through big.
+  const double small_fct = r2->completion_time() - 3e-3;
+  EXPECT_LT(small_fct, 50 * 1500.0 * 8 / 1e9 + 3e-3);
+  // And the big flow was paused meanwhile: it ends after the small one.
+  EXPECT_GT(r1->completion_time(), r2->completion_time());
+}
+
+TEST(PdqSender, PausedFlowKeepsProbing) {
+  PdqNet net(3);
+  auto big = make_flow(*net.n, 0, 2, 3000 * net::kMss);
+  big.id = 1;
+  auto small = make_flow(*net.n, 1, 2, 600 * net::kMss);
+  small.id = 2;
+  PdqSender s1(net.n->sim, net.n->host(0), big);
+  PdqSender s2(net.n->sim, net.n->host(1), small);
+  auto r1 = wire_flow(*net.n, s1, big);
+  auto r2 = wire_flow(*net.n, s2, small);
+  s1.start();
+  net.n->sim.schedule_at(1e-3, [&] { s2.start(); });
+  // While the small flow runs, the big one must be paused.
+  net.n->sim.run(4e-3);
+  EXPECT_TRUE(s1.paused());
+  net.n->sim.run(1.0);
+  EXPECT_TRUE(r1->complete());
+  EXPECT_TRUE(r2->complete());
+}
+
+TEST(PdqSender, TerminatesInfeasibleDeadlineFlow) {
+  PdqNet net(2);
+  auto flow = make_flow(*net.n, 0, 1, 5'000'000, /*deadline=*/1e-3);
+  PdqSender s(net.n->sim, net.n->host(0), flow);
+  auto recv = wire_flow(*net.n, s, flow);
+  bool completed_cb = false;
+  s.on_complete = [&](Sender&) { completed_cb = true; };
+  s.start();
+  net.n->sim.run(1.0);
+  EXPECT_TRUE(s.terminated());
+  EXPECT_TRUE(completed_cb);
+  EXPECT_FALSE(recv->complete());
+}
+
+TEST(PdqSender, RecoversFromLossViaTimeout) {
+  // Drop one mid-flow data packet once.
+  int dropped = 0;
+  auto factory = test::FaultQueue::wrap_factory(
+      [](double) { return std::make_unique<net::DropTailQueue>(100); },
+      [&dropped](const net::Packet& p) {
+        if (p.type == net::PacketType::kData && p.seq == 20 && dropped == 0) {
+          ++dropped;
+          return true;
+        }
+        return false;
+      });
+  auto n = make_mini_net(2, factory);
+  auto flow = make_flow(*n, 0, 1, 60 * net::kMss);
+  PdqSender s(n->sim, n->host(0), flow);  // no controllers: rate unset...
+  // Without controllers the rate field stays infinite; the host send hook is
+  // absent, so grant the flow a rate by processing through one controller.
+  PdqController c(n->sim, n->host(0).id(), 1e9);
+  n->host(0).add_send_hook([&c](net::Packet& p) { c.process(p); });
+  auto recv = wire_flow(*n, s, flow);
+  s.start();
+  n->sim.run(1.0);
+  EXPECT_TRUE(recv->complete());
+  EXPECT_EQ(dropped, 1);
+  EXPECT_GE(s.retransmissions(), 1u);
+}
+
+}  // namespace
+}  // namespace pase::transport

@@ -1,0 +1,181 @@
+// pFabric endpoint + fabric behaviour: SRPT service, priority dropping,
+// fixed-window rate control, probe mode.
+#include <gtest/gtest.h>
+
+#include "net/pfabric_queue.h"
+#include "test_util.h"
+#include "transport/pfabric.h"
+
+namespace pase::transport {
+namespace {
+
+using test::make_flow;
+using test::make_mini_net;
+using test::wire_flow;
+
+topo::QueueFactory pfabric_factory(std::size_t cap = 76) {
+  return [cap](double) { return std::make_unique<net::PfabricQueue>(cap); };
+}
+
+TEST(Pfabric, SingleFlowCompletesAtLineRate) {
+  auto n = make_mini_net(2, pfabric_factory());
+  auto flow = make_flow(*n, 0, 1, 100 * net::kMss);
+  PfabricSender s(n->sim, n->host(0), flow);
+  auto recv = wire_flow(*n, s, flow);
+  s.start();
+  n->sim.run(1.0);
+  ASSERT_TRUE(recv->complete());
+  const double service = 100 * 1500.0 * 8 / 1e9;
+  EXPECT_LT(recv->completion_time(), service + 1e-3);
+  EXPECT_EQ(s.timeouts(), 0u);
+}
+
+TEST(Pfabric, DataPacketsCarryRemainingSizePriority) {
+  auto n = make_mini_net(2, pfabric_factory());
+  // Larger than the 38-packet window so later packets see a smaller
+  // remaining size.
+  auto flow = make_flow(*n, 0, 1, 150 * net::kMss);
+  PfabricSender s(n->sim, n->host(0), flow);
+  // Intercept at the destination.
+  struct Probe : net::PacketSink {
+    std::vector<double> remaining;
+    net::Host* dst;
+    transport::Flow f;
+    std::unique_ptr<Receiver> inner;
+    void deliver(net::PacketPtr p) override {
+      if (p->type == net::PacketType::kData) remaining.push_back(p->remaining_size);
+      inner->deliver(std::move(p));
+    }
+  } probe;
+  auto* dst = static_cast<net::Host*>(n->topo().node(flow.dst));
+  probe.inner = std::make_unique<Receiver>(n->sim, *dst, flow);
+  static_cast<net::Host*>(n->topo().node(flow.src))
+      ->register_flow(flow.id, &s);
+  dst->register_flow(flow.id, &probe);
+  s.start();
+  n->sim.run(1.0);
+  ASSERT_FALSE(probe.remaining.empty());
+  // Remaining size decreases as the flow is acknowledged.
+  EXPECT_GT(probe.remaining.front(), probe.remaining.back());
+  EXPECT_LE(probe.remaining.back(), 150.0 * net::kMss);
+}
+
+TEST(Pfabric, ShortFlowFinishesNearSoloTimeDespiteLongFlow) {
+  auto n = make_mini_net(3, pfabric_factory());
+  auto big = make_flow(*n, 0, 2, 3000 * net::kMss);
+  big.id = 1;
+  auto small = make_flow(*n, 1, 2, 50 * net::kMss);
+  small.id = 2;
+  PfabricSender s1(n->sim, n->host(0), big);
+  PfabricSender s2(n->sim, n->host(1), small);
+  auto r1 = wire_flow(*n, s1, big);
+  auto r2 = wire_flow(*n, s2, small);
+  s1.start();
+  n->sim.schedule_at(5e-3, [&] { s2.start(); });
+  n->sim.run(1.0);
+  ASSERT_TRUE(r2->complete());
+  const double solo = 50 * 1500.0 * 8 / 1e9;  // 0.6 ms
+  EXPECT_LT(r2->completion_time() - 5e-3, solo * 3 + 2e-3);
+  n->sim.run(5.0);
+  EXPECT_TRUE(r1->complete());
+}
+
+TEST(Pfabric, LongFlowPacketsAreDroppedUnderContention) {
+  auto n = make_mini_net(3, pfabric_factory(20));
+  auto big = make_flow(*n, 0, 2, 2000 * net::kMss);
+  big.id = 1;
+  auto small = make_flow(*n, 1, 2, 500 * net::kMss);
+  small.id = 2;
+  PfabricSender s1(n->sim, n->host(0), big);
+  PfabricSender s2(n->sim, n->host(1), small);
+  auto r1 = wire_flow(*n, s1, big);
+  auto r2 = wire_flow(*n, s2, small);
+  s1.start();
+  s2.start();
+  n->sim.run(3e-3);
+  // Both blast at line rate into the shared downlink: the fabric sheds the
+  // lower-priority (larger-remaining) flow's packets.
+  EXPECT_GT(n->topo().total_drops(), 0u);
+  n->sim.run(10.0);
+  EXPECT_TRUE(r1->complete());
+  EXPECT_TRUE(r2->complete());
+  EXPECT_LT(r2->completion_time(), r1->completion_time());
+}
+
+TEST(Pfabric, EntersProbeModeAfterConsecutiveTimeouts) {
+  // Black-hole every data packet of the flow: the sender should collapse to
+  // a one-packet probe window after 5 consecutive RTOs.
+  auto factory = test::FaultQueue::wrap_factory(
+      pfabric_factory(),
+      [](const net::Packet& p) { return p.type == net::PacketType::kData; });
+  auto n = make_mini_net(2, factory);
+  auto flow = make_flow(*n, 0, 1, 50 * net::kMss);
+  PfabricSender s(n->sim, n->host(0), flow);
+  auto recv = wire_flow(*n, s, flow);
+  s.start();
+  n->sim.run(20e-3);
+  EXPECT_TRUE(s.in_probe_mode());
+  EXPECT_DOUBLE_EQ(s.cwnd(), 1.0);
+  EXPECT_GE(s.timeouts(), 5u);
+}
+
+TEST(Pfabric, ExitsProbeModeOnAck) {
+  int blackout = 1;
+  auto factory = test::FaultQueue::wrap_factory(
+      pfabric_factory(), [&blackout](const net::Packet& p) {
+        return blackout && p.type == net::PacketType::kData;
+      });
+  auto n = make_mini_net(2, factory);
+  auto flow = make_flow(*n, 0, 1, 50 * net::kMss);
+  PfabricSender s(n->sim, n->host(0), flow);
+  auto recv = wire_flow(*n, s, flow);
+  s.start();
+  n->sim.run(20e-3);
+  ASSERT_TRUE(s.in_probe_mode());
+  blackout = 0;  // heal the path
+  n->sim.run(1.0);
+  EXPECT_TRUE(recv->complete());
+  EXPECT_FALSE(s.in_probe_mode());
+}
+
+TEST(Pfabric, FixedWindowNeverCollapsesOnDupacks) {
+  int dropped = 0;
+  auto factory = test::FaultQueue::wrap_factory(
+      pfabric_factory(), [&dropped](const net::Packet& p) {
+        if (p.type == net::PacketType::kData && p.seq == 10 && dropped == 0) {
+          ++dropped;
+          return true;
+        }
+        return false;
+      });
+  auto n = make_mini_net(2, factory);
+  auto flow = make_flow(*n, 0, 1, 100 * net::kMss);
+  PfabricSender s(n->sim, n->host(0), flow);
+  auto recv = wire_flow(*n, s, flow);
+  s.start();
+  n->sim.run(1.0);
+  EXPECT_TRUE(recv->complete());
+  EXPECT_DOUBLE_EQ(s.cwnd(), 38.0);  // loss_decrease_factor() == 0
+}
+
+TEST(Pfabric, AcksSurviveCongestionViaZeroRemaining) {
+  // Heavy forward congestion shouldn't starve reverse ACKs: they carry
+  // remaining_size 0 and win every pFabric dequeue/drop decision.
+  auto n = make_mini_net(3, pfabric_factory(10));
+  auto f1 = make_flow(*n, 0, 2, 500 * net::kMss);
+  f1.id = 1;
+  auto f2 = make_flow(*n, 1, 2, 400 * net::kMss);
+  f2.id = 2;
+  PfabricSender s1(n->sim, n->host(0), f1);
+  PfabricSender s2(n->sim, n->host(1), f2);
+  auto r1 = wire_flow(*n, s1, f1);
+  auto r2 = wire_flow(*n, s2, f2);
+  s1.start();
+  s2.start();
+  n->sim.run(10.0);
+  EXPECT_TRUE(r1->complete());
+  EXPECT_TRUE(r2->complete());
+}
+
+}  // namespace
+}  // namespace pase::transport

@@ -1,0 +1,220 @@
+// Parameterized property sweeps: invariants that must hold across protocols,
+// loads, queue counts, flow sizes and seeds.
+#include <gtest/gtest.h>
+
+#include "net/pfabric_queue.h"
+#include "net/priority_queue_bank.h"
+#include "workload/scenario.h"
+
+namespace pase::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scenario-level properties over (protocol x load).
+
+struct SweepParam {
+  Protocol protocol;
+  double load;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::string(protocol_name(info.param.protocol)) + "_load" +
+         std::to_string(static_cast<int>(info.param.load * 100));
+}
+
+class ScenarioSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  ScenarioResult run() {
+    ScenarioConfig cfg;
+    cfg.protocol = GetParam().protocol;
+    cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+    cfg.rack.num_hosts = 12;
+    cfg.traffic.pattern = Pattern::kIntraRackRandom;
+    cfg.traffic.load = GetParam().load;
+    cfg.traffic.num_flows = 150;
+    cfg.traffic.seed = 1234;
+    return run_scenario(cfg);
+  }
+};
+
+TEST_P(ScenarioSweep, AllShortFlowsComplete) {
+  EXPECT_EQ(run().unfinished(), 0u);
+}
+
+TEST_P(ScenarioSweep, CompletionTimesArePositiveAndOrdered) {
+  auto res = run();
+  for (const auto& r : res.records) {
+    if (r.background || !r.completed()) continue;
+    EXPECT_GT(r.fct(), 0.0);
+    EXPECT_GE(r.finish, r.start);
+  }
+}
+
+TEST_P(ScenarioSweep, FctFloorRespected) {
+  auto res = run();
+  for (const auto& r : res.records) {
+    if (r.background || !r.completed()) continue;
+    EXPECT_GE(r.fct(), static_cast<double>(r.size_bytes) * 8 / 1e9);
+  }
+}
+
+TEST_P(ScenarioSweep, TailAtLeastAverage) {
+  auto res = run();
+  EXPECT_GE(res.fct_p99(), res.afct() * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolLoadGrid, ScenarioSweep,
+    ::testing::ValuesIn([] {
+      std::vector<SweepParam> ps;
+      for (auto proto : {Protocol::kDctcp, Protocol::kL2dct, Protocol::kPdq,
+                         Protocol::kPfabric, Protocol::kPase}) {
+        for (double load : {0.3, 0.6, 0.9}) ps.push_back({proto, load});
+      }
+      return ps;
+    }()),
+    sweep_name);
+
+// ---------------------------------------------------------------------------
+// PASE invariants across queue counts.
+
+class QueueCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueCountSweep, PaseWorksWithAnyQueueCount) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kPase;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 10;
+  cfg.pase.num_queues = GetParam();
+  cfg.traffic.load = 0.7;
+  cfg.traffic.num_flows = 120;
+  cfg.traffic.seed = 5;
+  auto res = run_scenario(cfg);
+  EXPECT_EQ(res.unfinished(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, QueueCountSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 10));
+
+// ---------------------------------------------------------------------------
+// Seed robustness: behaviour holds across random workloads.
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, PaseAtMostMarginallyWorseThanDctcpNeverCatastrophic) {
+  ScenarioConfig cfg;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 12;
+  cfg.traffic.load = 0.8;
+  cfg.traffic.num_flows = 150;
+  cfg.traffic.seed = GetParam();
+  cfg.protocol = Protocol::kPase;
+  auto pase = run_scenario(cfg);
+  cfg.protocol = Protocol::kDctcp;
+  auto dctcp = run_scenario(cfg);
+  EXPECT_EQ(pase.unfinished(), 0u);
+  // PASE should essentially never lose to DCTCP at high load; allow a thin
+  // margin for workload noise at this small scale.
+  EXPECT_LT(pase.afct(), dctcp.afct() * 1.1) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, PaseFabricStaysLossFree) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kPase;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 12;
+  cfg.traffic.load = 0.9;
+  cfg.traffic.num_flows = 150;
+  cfg.traffic.seed = GetParam();
+  auto res = run_scenario(cfg);
+  EXPECT_LE(res.loss_rate(), 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 9001u));
+
+// ---------------------------------------------------------------------------
+// Queue-discipline properties under randomized packet streams.
+
+class PfabricQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PfabricQueueProperty, NeverExceedsCapacityAndConservesPackets) {
+  struct Shim : net::Queue {
+    using net::Queue::do_dequeue;
+    using net::Queue::do_enqueue;
+  };
+  net::PfabricQueue q(24);
+  sim::Rng rng(GetParam());
+  std::uint64_t enq = 0, drop0 = q.drops(), deq = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng() < 0.6) {
+      auto p = net::make_data_packet(
+          static_cast<net::FlowId>(rng.uniform_int(1, 9)), 0, 1,
+          static_cast<std::uint32_t>(i));
+      p->remaining_size = rng.uniform(1e3, 1e6);
+      ++enq;
+      (q.*(&Shim::do_enqueue))(std::move(p));
+    } else if (!q.empty()) {
+      auto p = (q.*(&Shim::do_dequeue))();
+      ASSERT_TRUE(p);
+      ++deq;
+    }
+    ASSERT_LE(q.len_packets(), 24u);
+  }
+  EXPECT_EQ(enq, deq + q.len_packets() + (q.drops() - drop0));
+}
+
+TEST_P(PfabricQueueProperty, DequeueOrderRespectsPriorityAcrossFlows) {
+  struct Shim : net::Queue {
+    using net::Queue::do_dequeue;
+    using net::Queue::do_enqueue;
+  };
+  net::PfabricQueue q(64);
+  sim::Rng rng(GetParam());
+  // One packet per flow: dequeue order must be ascending remaining size.
+  for (int i = 0; i < 40; ++i) {
+    auto p = net::make_data_packet(static_cast<net::FlowId>(i), 0, 1, 0);
+    p->remaining_size = rng.uniform(1e3, 1e6);
+    (q.*(&Shim::do_enqueue))(std::move(p));
+  }
+  double prev = -1;
+  while (!q.empty()) {
+    auto p = (q.*(&Shim::do_dequeue))();
+    EXPECT_GE(p->remaining_size, prev);
+    prev = p->remaining_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rand, PfabricQueueProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+class BankProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BankProperty, StrictPriorityHoldsUnderRandomTraffic) {
+  struct Shim : net::Queue {
+    using net::Queue::do_dequeue;
+    using net::Queue::do_enqueue;
+  };
+  net::PriorityQueueBank q(8, 200, 1000);
+  sim::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      auto p = net::make_data_packet(1, 0, 1, 0);
+      p->priority = static_cast<int>(rng.uniform_int(0, 7));
+      (q.*(&Shim::do_enqueue))(std::move(p));
+    }
+    int prev_class = -1;
+    for (int i = 0; i < 30; ++i) {
+      auto p = (q.*(&Shim::do_dequeue))();
+      ASSERT_TRUE(p);
+      // Classes may only increase within a drain (no arrivals in between).
+      EXPECT_GE(p->priority, prev_class);
+      prev_class = p->priority;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rand, BankProperty, ::testing::Values(3u, 5u, 8u));
+
+}  // namespace
+}  // namespace pase::workload

@@ -1,0 +1,213 @@
+// Tests for the discrete-event engine: ordering, cancellation, timers, RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace pase::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(3e-3, [&] { order.push_back(3); });
+  s.schedule(1e-3, [&] { order.push_back(1); });
+  s.schedule(2e-3, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3e-3);
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(1e-3, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  double seen = -1.0;
+  s.schedule(5e-3, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 5e-3);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.schedule(1e-3, chain);
+  };
+  s.schedule(1e-3, chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5e-3);
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1e-3, [&] { ++fired; });
+  s.schedule(10e-3, [&] { ++fired; });
+  s.run(5e-3);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5e-3);  // clock parked at the bound
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  EventId id = s.schedule(1e-3, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(EventId{}));
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator s;
+  EventId id = s.schedule(1e-3, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1e-3, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(2e-3, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1e-3, [&] { ++fired; });
+  s.schedule(2e-3, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ExecutedEventCounterCounts) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(1e-3 * i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(Timer, FiresAfterDelay) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.restart(2e-3);
+  EXPECT_TRUE(t.pending());
+  EXPECT_DOUBLE_EQ(t.expiry(), 2e-3);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RestartReplacesPendingTimer) {
+  Simulator s;
+  std::vector<double> fire_times;
+  Timer t(s, [&] { fire_times.push_back(s.now()); });
+  t.restart(1e-3);
+  t.restart(5e-3);  // replaces the 1 ms timer
+  s.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 5e-3);
+}
+
+TEST(Timer, CancelStopsFiring) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.restart(1e-3);
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CanRestartFromWithinCallback) {
+  Simulator s;
+  int fired = 0;
+  Timer* tp = nullptr;
+  Timer t(s, [&] {
+    if (++fired < 3) tp->restart(1e-3);
+  });
+  tp = &t;
+  t.restart(1e-3);
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(s.now(), 3e-3);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+}  // namespace
+}  // namespace pase::sim

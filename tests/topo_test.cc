@@ -1,0 +1,150 @@
+// Topology construction and routing tests.
+#include <gtest/gtest.h>
+
+#include "net/droptail_queue.h"
+#include "topo/single_rack.h"
+#include "topo/three_tier.h"
+
+namespace pase::topo {
+namespace {
+
+QueueFactory droptail() {
+  return [](double) { return std::make_unique<net::DropTailQueue>(100); };
+}
+
+TEST(SingleRack, BuildsRequestedHosts) {
+  sim::Simulator sim;
+  SingleRackConfig cfg;
+  cfg.num_hosts = 7;
+  auto rack = build_single_rack(sim, cfg, droptail());
+  EXPECT_EQ(rack.topo->num_hosts(), 7u);
+  EXPECT_EQ(rack.topo->switches().size(), 1u);
+  EXPECT_EQ(rack.tor->num_ports(), 7);  // one downlink per host
+}
+
+TEST(SingleRack, PacketsFlowBetweenAnyHostPair) {
+  sim::Simulator sim;
+  SingleRackConfig cfg;
+  cfg.num_hosts = 4;
+  auto rack = build_single_rack(sim, cfg, droptail());
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      auto* src = rack.topo->host(static_cast<std::size_t>(s));
+      auto* dst = rack.topo->host(static_cast<std::size_t>(d));
+      struct S : net::PacketSink {
+        int n = 0;
+        void deliver(net::PacketPtr) override { ++n; }
+      } sink;
+      dst->register_flow(99, &sink);
+      src->send(net::make_data_packet(99, src->id(), dst->id(), 0));
+      sim.run();
+      EXPECT_EQ(sink.n, 1) << s << "->" << d;
+      dst->unregister_flow(99);
+    }
+  }
+}
+
+TEST(SingleRack, IntraRackPropagationRtt) {
+  sim::Simulator sim;
+  SingleRackConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.per_link_delay = 25e-6;
+  auto rack = build_single_rack(sim, cfg, droptail());
+  // host -> tor -> host each way: 4 x 25 us.
+  EXPECT_NEAR(rack.topo->propagation_rtt(rack.topo->host(0)->id(),
+                                         rack.topo->host(1)->id()),
+              100e-6, 1e-12);
+}
+
+TEST(ThreeTier, StructureMatchesPaperBaseline) {
+  sim::Simulator sim;
+  ThreeTierConfig cfg;  // defaults: 4 ToR x 40 hosts, 2 agg, 1 core
+  auto tt = build_three_tier(sim, cfg, droptail());
+  EXPECT_EQ(tt.topo->num_hosts(), 160u);
+  EXPECT_EQ(tt.tors.size(), 4u);
+  EXPECT_EQ(tt.aggs.size(), 2u);
+  ASSERT_NE(tt.core, nullptr);
+  // Core has one port per agg.
+  EXPECT_EQ(tt.core->num_ports(), 2);
+  // Each ToR: 40 host downlinks + 1 agg uplink.
+  for (auto* tor : tt.tors) EXPECT_EQ(tor->num_ports(), 41);
+  // Each agg: 2 ToR links + 1 core link.
+  for (auto* agg : tt.aggs) EXPECT_EQ(agg->num_ports(), 3);
+}
+
+TEST(ThreeTier, CoreRttIs300us) {
+  sim::Simulator sim;
+  ThreeTierConfig cfg;
+  auto tt = build_three_tier(sim, cfg, droptail());
+  // Host under ToR0 to host under ToR3 crosses the core: 6 hops each way.
+  const auto a = tt.topo->host(0)->id();
+  const auto b = tt.topo->host(159)->id();
+  EXPECT_NEAR(tt.topo->propagation_rtt(a, b), 300e-6, 1e-12);
+}
+
+TEST(ThreeTier, IntraRackPathAvoidsCore) {
+  sim::Simulator sim;
+  ThreeTierConfig cfg;
+  auto tt = build_three_tier(sim, cfg, droptail());
+  // Same-rack pair: 2 hops each way only.
+  const auto a = tt.topo->host(0)->id();
+  const auto b = tt.topo->host(1)->id();
+  EXPECT_NEAR(tt.topo->propagation_rtt(a, b), 100e-6, 1e-12);
+}
+
+TEST(ThreeTier, SubtreeHelpers) {
+  sim::Simulator sim;
+  ThreeTierConfig cfg;
+  auto tt = build_three_tier(sim, cfg, droptail());
+  EXPECT_TRUE(tt.in_left_subtree(0));
+  EXPECT_TRUE(tt.in_left_subtree(79));
+  EXPECT_FALSE(tt.in_left_subtree(80));
+  EXPECT_FALSE(tt.in_left_subtree(159));
+  EXPECT_EQ(tt.tor_of_host(0), 0);
+  EXPECT_EQ(tt.tor_of_host(40), 1);
+  EXPECT_EQ(tt.agg_of_tor(0), tt.aggs[0]);
+  EXPECT_EQ(tt.agg_of_tor(3), tt.aggs[1]);
+}
+
+TEST(ThreeTier, CrossSubtreePacketDelivery) {
+  sim::Simulator sim;
+  ThreeTierConfig cfg;
+  cfg.hosts_per_tor = 2;  // keep it small
+  auto tt = build_three_tier(sim, cfg, droptail());
+  auto* src = tt.topo->host(0);
+  auto* dst = tt.topo->host(7);  // other agg subtree
+  struct S : net::PacketSink {
+    int n = 0;
+    void deliver(net::PacketPtr) override { ++n; }
+  } sink;
+  dst->register_flow(5, &sink);
+  src->send(net::make_data_packet(5, src->id(), dst->id(), 0));
+  sim.run();
+  EXPECT_EQ(sink.n, 1);
+  // The packet crossed the core: its agg->core link transmitted something.
+  EXPECT_GT(tt.core->port_link(0).packets_sent() +
+                tt.core->port_link(1).packets_sent(),
+            0u);
+}
+
+TEST(Topology, QueueAggregationCountsAllPorts) {
+  sim::Simulator sim;
+  SingleRackConfig cfg;
+  cfg.num_hosts = 3;
+  auto rack = build_single_rack(sim, cfg, droptail());
+  int queues = 0;
+  rack.topo->for_each_queue([&](net::Queue&) { ++queues; });
+  // 3 host uplinks + 3 ToR downlinks.
+  EXPECT_EQ(queues, 6);
+  EXPECT_EQ(rack.topo->total_drops(), 0u);
+}
+
+TEST(Topology, OversubscriptionRatioIsFourToOne) {
+  ThreeTierConfig cfg;
+  const double host_up = cfg.hosts_per_tor * cfg.host_rate_bps;
+  EXPECT_DOUBLE_EQ(host_up / cfg.fabric_rate_bps, 4.0);
+}
+
+}  // namespace
+}  // namespace pase::topo
