@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arbitration_knobs.dir/ablation_arbitration_knobs.cpp.o"
+  "CMakeFiles/ablation_arbitration_knobs.dir/ablation_arbitration_knobs.cpp.o.d"
+  "ablation_arbitration_knobs"
+  "ablation_arbitration_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arbitration_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_task_aware.dir/ablation_task_aware.cpp.o"
+  "CMakeFiles/ablation_task_aware.dir/ablation_task_aware.cpp.o.d"
+  "ablation_task_aware"
+  "ablation_task_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_task_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_selfadjusting_limits.dir/fig01_selfadjusting_limits.cpp.o"
+  "CMakeFiles/fig01_selfadjusting_limits.dir/fig01_selfadjusting_limits.cpp.o.d"
+  "fig01_selfadjusting_limits"
+  "fig01_selfadjusting_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_selfadjusting_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

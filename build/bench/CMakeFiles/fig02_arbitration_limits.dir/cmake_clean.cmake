@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_arbitration_limits.dir/fig02_arbitration_limits.cpp.o"
+  "CMakeFiles/fig02_arbitration_limits.dir/fig02_arbitration_limits.cpp.o.d"
+  "fig02_arbitration_limits"
+  "fig02_arbitration_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_arbitration_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

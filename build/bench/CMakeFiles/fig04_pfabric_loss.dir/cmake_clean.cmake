@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pfabric_loss.dir/fig04_pfabric_loss.cpp.o"
+  "CMakeFiles/fig04_pfabric_loss.dir/fig04_pfabric_loss.cpp.o.d"
+  "fig04_pfabric_loss"
+  "fig04_pfabric_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pfabric_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_afct_deployment_friendly.dir/fig09a_afct_deployment_friendly.cpp.o"
+  "CMakeFiles/fig09a_afct_deployment_friendly.dir/fig09a_afct_deployment_friendly.cpp.o.d"
+  "fig09a_afct_deployment_friendly"
+  "fig09a_afct_deployment_friendly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_afct_deployment_friendly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09a_afct_deployment_friendly.
+# This may be replaced when dependencies are built.

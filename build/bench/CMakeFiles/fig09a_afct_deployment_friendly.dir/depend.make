@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_afct_deployment_friendly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_fct_cdf.dir/fig09b_fct_cdf.cpp.o"
+  "CMakeFiles/fig09b_fct_cdf.dir/fig09b_fct_cdf.cpp.o.d"
+  "fig09b_fct_cdf"
+  "fig09b_fct_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_fct_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

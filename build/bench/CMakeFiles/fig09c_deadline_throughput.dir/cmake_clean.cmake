@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_deadline_throughput.dir/fig09c_deadline_throughput.cpp.o"
+  "CMakeFiles/fig09c_deadline_throughput.dir/fig09c_deadline_throughput.cpp.o.d"
+  "fig09c_deadline_throughput"
+  "fig09c_deadline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_deadline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

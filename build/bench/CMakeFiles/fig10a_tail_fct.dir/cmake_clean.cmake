@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_tail_fct.dir/fig10a_tail_fct.cpp.o"
+  "CMakeFiles/fig10a_tail_fct.dir/fig10a_tail_fct.cpp.o.d"
+  "fig10a_tail_fct"
+  "fig10a_tail_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_tail_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_fct_cdf_pfabric.dir/fig10b_fct_cdf_pfabric.cpp.o"
+  "CMakeFiles/fig10b_fct_cdf_pfabric.dir/fig10b_fct_cdf_pfabric.cpp.o.d"
+  "fig10b_fct_cdf_pfabric"
+  "fig10b_fct_cdf_pfabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_fct_cdf_pfabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

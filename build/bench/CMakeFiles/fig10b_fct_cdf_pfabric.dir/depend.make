@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10b_fct_cdf_pfabric.
+# This may be replaced when dependencies are built.

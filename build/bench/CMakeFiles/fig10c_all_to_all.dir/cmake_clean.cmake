@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_all_to_all.dir/fig10c_all_to_all.cpp.o"
+  "CMakeFiles/fig10c_all_to_all.dir/fig10c_all_to_all.cpp.o.d"
+  "fig10c_all_to_all"
+  "fig10c_all_to_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_all_to_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

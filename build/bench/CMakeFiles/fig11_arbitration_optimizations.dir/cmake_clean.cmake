@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_arbitration_optimizations.dir/fig11_arbitration_optimizations.cpp.o"
+  "CMakeFiles/fig11_arbitration_optimizations.dir/fig11_arbitration_optimizations.cpp.o.d"
+  "fig11_arbitration_optimizations"
+  "fig11_arbitration_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_arbitration_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_local_vs_e2e.dir/fig12a_local_vs_e2e.cpp.o"
+  "CMakeFiles/fig12a_local_vs_e2e.dir/fig12a_local_vs_e2e.cpp.o.d"
+  "fig12a_local_vs_e2e"
+  "fig12a_local_vs_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_local_vs_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_num_queues.dir/fig12b_num_queues.cpp.o"
+  "CMakeFiles/fig12b_num_queues.dir/fig12b_num_queues.cpp.o.d"
+  "fig12b_num_queues"
+  "fig12b_num_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_num_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

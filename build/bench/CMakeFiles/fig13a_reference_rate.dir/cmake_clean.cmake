@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_reference_rate.dir/fig13a_reference_rate.cpp.o"
+  "CMakeFiles/fig13a_reference_rate.dir/fig13a_reference_rate.cpp.o.d"
+  "fig13a_reference_rate"
+  "fig13a_reference_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_reference_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

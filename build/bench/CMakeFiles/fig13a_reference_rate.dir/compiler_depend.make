@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13a_reference_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_testbed.dir/fig13b_testbed.cpp.o"
+  "CMakeFiles/fig13b_testbed.dir/fig13b_testbed.cpp.o.d"
+  "fig13b_testbed"
+  "fig13b_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_probing.dir/micro_probing.cpp.o"
+  "CMakeFiles/micro_probing.dir/micro_probing.cpp.o.d"
+  "micro_probing"
+  "micro_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

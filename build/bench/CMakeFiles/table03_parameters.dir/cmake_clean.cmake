@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_parameters.dir/table03_parameters.cpp.o"
+  "CMakeFiles/table03_parameters.dir/table03_parameters.cpp.o.d"
+  "table03_parameters"
+  "table03_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_distributions.dir/workload_distributions.cpp.o"
+  "CMakeFiles/workload_distributions.dir/workload_distributions.cpp.o.d"
+  "workload_distributions"
+  "workload_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_rpc.dir/deadline_rpc.cpp.o"
+  "CMakeFiles/deadline_rpc.dir/deadline_rpc.cpp.o.d"
+  "deadline_rpc"
+  "deadline_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_aggregation.dir/search_aggregation.cpp.o"
+  "CMakeFiles/search_aggregation.dir/search_aggregation.cpp.o.d"
+  "search_aggregation"
+  "search_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_core.dir/core/arbitration_algorithm.cc.o"
+  "CMakeFiles/pase_core.dir/core/arbitration_algorithm.cc.o.d"
+  "CMakeFiles/pase_core.dir/core/arbitration_plane.cc.o"
+  "CMakeFiles/pase_core.dir/core/arbitration_plane.cc.o.d"
+  "CMakeFiles/pase_core.dir/core/link_arbitrator.cc.o"
+  "CMakeFiles/pase_core.dir/core/link_arbitrator.cc.o.d"
+  "CMakeFiles/pase_core.dir/core/pase_sender.cc.o"
+  "CMakeFiles/pase_core.dir/core/pase_sender.cc.o.d"
+  "libpase_core.a"
+  "libpase_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/droptail_queue.cc" "src/CMakeFiles/pase_net.dir/net/droptail_queue.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/droptail_queue.cc.o.d"
+  "/root/repo/src/net/host.cc" "src/CMakeFiles/pase_net.dir/net/host.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/host.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/pase_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/pfabric_queue.cc" "src/CMakeFiles/pase_net.dir/net/pfabric_queue.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/pfabric_queue.cc.o.d"
+  "/root/repo/src/net/priority_queue_bank.cc" "src/CMakeFiles/pase_net.dir/net/priority_queue_bank.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/priority_queue_bank.cc.o.d"
+  "/root/repo/src/net/red_ecn_queue.cc" "src/CMakeFiles/pase_net.dir/net/red_ecn_queue.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/red_ecn_queue.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/CMakeFiles/pase_net.dir/net/switch.cc.o" "gcc" "src/CMakeFiles/pase_net.dir/net/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pase_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_net.dir/net/droptail_queue.cc.o"
+  "CMakeFiles/pase_net.dir/net/droptail_queue.cc.o.d"
+  "CMakeFiles/pase_net.dir/net/host.cc.o"
+  "CMakeFiles/pase_net.dir/net/host.cc.o.d"
+  "CMakeFiles/pase_net.dir/net/link.cc.o"
+  "CMakeFiles/pase_net.dir/net/link.cc.o.d"
+  "CMakeFiles/pase_net.dir/net/pfabric_queue.cc.o"
+  "CMakeFiles/pase_net.dir/net/pfabric_queue.cc.o.d"
+  "CMakeFiles/pase_net.dir/net/priority_queue_bank.cc.o"
+  "CMakeFiles/pase_net.dir/net/priority_queue_bank.cc.o.d"
+  "CMakeFiles/pase_net.dir/net/red_ecn_queue.cc.o"
+  "CMakeFiles/pase_net.dir/net/red_ecn_queue.cc.o.d"
+  "CMakeFiles/pase_net.dir/net/switch.cc.o"
+  "CMakeFiles/pase_net.dir/net/switch.cc.o.d"
+  "libpase_net.a"
+  "libpase_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

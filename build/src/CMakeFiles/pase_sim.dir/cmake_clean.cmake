@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/pase_sim.dir/sim/simulator.cc.o.d"
+  "libpase_sim.a"
+  "libpase_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/pase_stats.dir/stats/summary.cc.o.d"
+  "libpase_stats.a"
+  "libpase_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

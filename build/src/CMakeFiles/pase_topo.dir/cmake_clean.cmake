@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_topo.dir/topo/single_rack.cc.o"
+  "CMakeFiles/pase_topo.dir/topo/single_rack.cc.o.d"
+  "CMakeFiles/pase_topo.dir/topo/three_tier.cc.o"
+  "CMakeFiles/pase_topo.dir/topo/three_tier.cc.o.d"
+  "CMakeFiles/pase_topo.dir/topo/topology.cc.o"
+  "CMakeFiles/pase_topo.dir/topo/topology.cc.o.d"
+  "libpase_topo.a"
+  "libpase_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

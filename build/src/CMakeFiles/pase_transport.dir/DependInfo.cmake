@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/d2tcp.cc" "src/CMakeFiles/pase_transport.dir/transport/d2tcp.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/d2tcp.cc.o.d"
+  "/root/repo/src/transport/dctcp.cc" "src/CMakeFiles/pase_transport.dir/transport/dctcp.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/dctcp.cc.o.d"
+  "/root/repo/src/transport/l2dct.cc" "src/CMakeFiles/pase_transport.dir/transport/l2dct.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/l2dct.cc.o.d"
+  "/root/repo/src/transport/pdq.cc" "src/CMakeFiles/pase_transport.dir/transport/pdq.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/pdq.cc.o.d"
+  "/root/repo/src/transport/pfabric.cc" "src/CMakeFiles/pase_transport.dir/transport/pfabric.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/pfabric.cc.o.d"
+  "/root/repo/src/transport/receiver.cc" "src/CMakeFiles/pase_transport.dir/transport/receiver.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/receiver.cc.o.d"
+  "/root/repo/src/transport/window_sender.cc" "src/CMakeFiles/pase_transport.dir/transport/window_sender.cc.o" "gcc" "src/CMakeFiles/pase_transport.dir/transport/window_sender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pase_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

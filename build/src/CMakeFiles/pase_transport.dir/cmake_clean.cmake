@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_transport.dir/transport/d2tcp.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/d2tcp.cc.o.d"
+  "CMakeFiles/pase_transport.dir/transport/dctcp.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/dctcp.cc.o.d"
+  "CMakeFiles/pase_transport.dir/transport/l2dct.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/l2dct.cc.o.d"
+  "CMakeFiles/pase_transport.dir/transport/pdq.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/pdq.cc.o.d"
+  "CMakeFiles/pase_transport.dir/transport/pfabric.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/pfabric.cc.o.d"
+  "CMakeFiles/pase_transport.dir/transport/receiver.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/receiver.cc.o.d"
+  "CMakeFiles/pase_transport.dir/transport/window_sender.cc.o"
+  "CMakeFiles/pase_transport.dir/transport/window_sender.cc.o.d"
+  "libpase_transport.a"
+  "libpase_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_workload.dir/workload/flow_generator.cc.o"
+  "CMakeFiles/pase_workload.dir/workload/flow_generator.cc.o.d"
+  "CMakeFiles/pase_workload.dir/workload/scenario.cc.o"
+  "CMakeFiles/pase_workload.dir/workload/scenario.cc.o.d"
+  "libpase_workload.a"
+  "libpase_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arbitration_test.cc" "tests/CMakeFiles/pase_tests.dir/arbitration_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/arbitration_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/pase_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/pase_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/pase_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/link_switch_test.cc" "tests/CMakeFiles/pase_tests.dir/link_switch_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/link_switch_test.cc.o.d"
+  "/root/repo/tests/net_queue_test.cc" "tests/CMakeFiles/pase_tests.dir/net_queue_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/net_queue_test.cc.o.d"
+  "/root/repo/tests/pase_plane_test.cc" "tests/CMakeFiles/pase_tests.dir/pase_plane_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/pase_plane_test.cc.o.d"
+  "/root/repo/tests/pdq_test.cc" "tests/CMakeFiles/pase_tests.dir/pdq_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/pdq_test.cc.o.d"
+  "/root/repo/tests/pfabric_test.cc" "tests/CMakeFiles/pase_tests.dir/pfabric_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/pfabric_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/pase_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/pase_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/telemetry_test.cc" "tests/CMakeFiles/pase_tests.dir/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/telemetry_test.cc.o.d"
+  "/root/repo/tests/topo_test.cc" "tests/CMakeFiles/pase_tests.dir/topo_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/topo_test.cc.o.d"
+  "/root/repo/tests/transport_test.cc" "tests/CMakeFiles/pase_tests.dir/transport_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/transport_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/pase_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pase_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pase_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
