@@ -1,11 +1,15 @@
 // Shared helpers for the figure-reproduction benches: the paper's standard
-// scenarios (§4.1) and table printing.
+// scenarios (§4.1), the parallel sweep-grid driver, and table printing.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exp/sweep.h"
 #include "workload/scenario.h"
 
 namespace pase::bench {
@@ -14,6 +18,61 @@ using workload::Pattern;
 using workload::Protocol;
 using workload::ScenarioConfig;
 using workload::ScenarioResult;
+
+// Parses `--threads=N` (or `--threads N`) from the bench's argv. Returns 0
+// when absent, which lets SweepRunner fall back to PASE_THREADS / core count.
+inline unsigned parse_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long n = std::strtol(argv[i] + 10, nullptr, 10);
+      if (n > 0) return static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const long n = std::strtol(argv[i + 1], nullptr, 10);
+      if (n > 0) return static_cast<unsigned>(n);
+    }
+  }
+  return 0;
+}
+
+inline std::string case_label(Protocol p, double load) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s load=%.2f", workload::protocol_name(p),
+                load);
+  return buf;
+}
+
+// A figure's sweep grid: add() every cell in print order, run() once (fanning
+// the cells out across worker threads and writing BENCH_<name>.json), then
+// read the results back positionally.
+class Sweep {
+ public:
+  explicit Sweep(std::string name) : name_(std::move(name)) {}
+
+  // Returns the cell's index, in submission order.
+  std::size_t add(std::string label, ScenarioConfig cfg) {
+    cases_.push_back({std::move(label), std::move(cfg)});
+    return cases_.size() - 1;
+  }
+
+  const std::vector<ScenarioResult>& run(unsigned threads = 0) {
+    std::vector<ScenarioConfig> configs;
+    configs.reserve(cases_.size());
+    for (const auto& c : cases_) configs.push_back(c.config);
+    results_ = exp::SweepRunner(threads).run(configs);
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (!exp::write_sweep_json(path, name_, cases_, results_)) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+    return results_;
+  }
+
+  const ScenarioResult& operator[](std::size_t i) const { return results_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<exp::SweepCase> cases_;
+  std::vector<ScenarioResult> results_;
+};
 
 inline const std::vector<double>& standard_loads() {
   static const std::vector<double> loads{0.1, 0.2, 0.3, 0.4, 0.5,

@@ -7,16 +7,26 @@
 // to DCTCP at high load; both fall far behind pFabric.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  const auto protocols = {Protocol::kPfabric, Protocol::kD2tcp,
+                          Protocol::kDctcp};
+  Sweep sweep("fig01");
+  for (double load : standard_loads()) {
+    for (auto p : protocols) {
+      sweep.add(case_label(p, load),
+                intra_rack_20(p, load, /*deadlines=*/true));
+    }
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 1: application throughput (fraction of deadlines met)",
                {"pFabric", "D2TCP", "DCTCP"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;
-    for (auto p : {Protocol::kPfabric, Protocol::kD2tcp, Protocol::kDctcp}) {
-      row.push_back(
-          run_scenario(intra_rack_20(p, load, /*deadlines=*/true))
-              .app_throughput());
+    for (std::size_t c = 0; c < protocols.size(); ++c) {
+      row.push_back(sweep[i++].app_throughput());
     }
     print_row(load, row);
   }

@@ -6,13 +6,23 @@
 // (flow-switching overhead).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  const auto protocols = {Protocol::kPdq, Protocol::kDctcp};
+  Sweep sweep("fig02");
+  for (double load : standard_loads()) {
+    for (auto p : protocols) {
+      sweep.add(case_label(p, load), intra_rack_20(p, load, false));
+    }
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 2: AFCT (ms), PDQ vs DCTCP", {"PDQ", "DCTCP"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;
-    for (auto p : {Protocol::kPdq, Protocol::kDctcp}) {
-      row.push_back(run_scenario(intra_rack_20(p, load, false)).afct() * 1e3);
+    for (std::size_t c = 0; c < protocols.size(); ++c) {
+      row.push_back(sweep[i++].afct() * 1e3);
     }
     print_row(load, row);
   }

@@ -5,17 +5,25 @@
 // shoots up with load (the paper reports >40% beyond 80% load).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
-  print_header("Figure 4: pFabric loss rate (%), worker->aggregator",
-               {"loss", "AFCT(ms)"});
   std::vector<double> loads = standard_loads();
   loads.push_back(0.95);
+
+  Sweep sweep("fig04");
   for (double load : loads) {
     ScenarioConfig cfg = all_to_all_40(Protocol::kPfabric, load, 1200, 17);
     cfg.traffic.pattern = Pattern::kWorkerAggregator;
     cfg.traffic.num_background_flows = 0;
-    auto res = run_scenario(cfg);
+    sweep.add(case_label(Protocol::kPfabric, load), cfg);
+  }
+  sweep.run(parse_threads(argc, argv));
+
+  print_header("Figure 4: pFabric loss rate (%), worker->aggregator",
+               {"loss", "AFCT(ms)"});
+  std::size_t i = 0;
+  for (double load : loads) {
+    const auto& res = sweep[i++];
     print_row(load, {res.loss_rate() * 100, res.afct() * 1e3});
   }
   return 0;

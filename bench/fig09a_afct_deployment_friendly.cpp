@@ -5,14 +5,24 @@
 // AFCT by ~40-60% over L2DCT and ~70% over DCTCP across loads.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  const auto protocols = {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp};
+  Sweep sweep("fig09a");
+  for (double load : standard_loads()) {
+    for (auto p : protocols) {
+      sweep.add(case_label(p, load), left_right(p, load));
+    }
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 9(a): AFCT (ms), left-right inter-rack",
                {"PASE", "L2DCT", "DCTCP"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;
-    for (auto p : {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp}) {
-      row.push_back(run_scenario(left_right(p, load)).afct() * 1e3);
+    for (std::size_t c = 0; c < protocols.size(); ++c) {
+      row.push_back(sweep[i++].afct() * 1e3);
     }
     print_row(load, row);
   }

@@ -1,15 +1,19 @@
 // Figure 9(b): CDF of flow completion times at 70% load (left-right).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  const auto protocols = {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp};
+  Sweep sweep("fig09b");
+  for (auto p : protocols) sweep.add(case_label(p, 0.7), left_right(p, 0.7));
+  sweep.run(parse_threads(argc, argv));
+
   std::printf("Figure 9(b): FCT CDF at 70%% load, left-right inter-rack\n");
   std::printf("%-12s%16s%16s%16s\n", "fraction", "PASE(ms)", "L2DCT(ms)",
               "DCTCP(ms)");
   std::vector<std::vector<pase::stats::CdfPoint>> cdfs;
-  for (auto p : {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp}) {
-    auto res = run_scenario(left_right(p, 0.7));
-    cdfs.push_back(pase::stats::fct_cdf(res.records, 20));
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    cdfs.push_back(pase::stats::fct_cdf(sweep[i].records, 20));
   }
   for (std::size_t i = 0; i < cdfs[0].size(); ++i) {
     std::printf("%-12.2f%16.3f%16.3f%16.3f\n", cdfs[0][i].fraction,

@@ -5,15 +5,24 @@
 // at high load, because near-deadline flows are strictly prioritized.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  const auto protocols = {Protocol::kPase, Protocol::kD2tcp, Protocol::kDctcp};
+  Sweep sweep("fig09c");
+  for (double load : standard_loads()) {
+    for (auto p : protocols) {
+      sweep.add(case_label(p, load), intra_rack_20(p, load, true));
+    }
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 9(c): application throughput (deadlines met)",
                {"PASE", "D2TCP", "DCTCP"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;
-    for (auto p : {Protocol::kPase, Protocol::kD2tcp, Protocol::kDctcp}) {
-      row.push_back(
-          run_scenario(intra_rack_20(p, load, true)).app_throughput());
+    for (std::size_t c = 0; c < protocols.size(); ++c) {
+      row.push_back(sweep[i++].app_throughput());
     }
     print_row(load, row);
   }

@@ -4,13 +4,23 @@
 // persistent high loss inflates its tail), by >85% at 90% load.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  Sweep sweep("fig10a");
+  for (double load : standard_loads()) {
+    sweep.add(case_label(Protocol::kPase, load),
+              left_right(Protocol::kPase, load));
+    sweep.add(case_label(Protocol::kPfabric, load),
+              left_right(Protocol::kPfabric, load));
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 10(a): 99th percentile FCT (ms), left-right",
                {"PASE", "pFabric", "PASE-afct", "pFab-afct"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
-    auto res_pase = run_scenario(left_right(Protocol::kPase, load));
-    auto res_pfab = run_scenario(left_right(Protocol::kPfabric, load));
+    const auto& res_pase = sweep[i++];
+    const auto& res_pfab = sweep[i++];
     print_row(load, {res_pase.fct_p99() * 1e3, res_pfab.fct_p99() * 1e3,
                      res_pase.afct() * 1e3, res_pfab.afct() * 1e3});
   }

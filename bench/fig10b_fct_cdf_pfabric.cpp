@@ -1,14 +1,19 @@
 // Figure 10(b): CDF of FCTs at 70% load, PASE vs pFabric (left-right).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  Sweep sweep("fig10b");
+  sweep.add(case_label(Protocol::kPase, 0.7),
+            left_right(Protocol::kPase, 0.7));
+  sweep.add(case_label(Protocol::kPfabric, 0.7),
+            left_right(Protocol::kPfabric, 0.7));
+  sweep.run(parse_threads(argc, argv));
+
   std::printf("Figure 10(b): FCT CDF at 70%% load, PASE vs pFabric\n");
   std::printf("%-12s%16s%16s\n", "fraction", "PASE(ms)", "pFabric(ms)");
-  auto res_pase = run_scenario(left_right(Protocol::kPase, 0.7));
-  auto res_pfab = run_scenario(left_right(Protocol::kPfabric, 0.7));
-  auto c1 = pase::stats::fct_cdf(res_pase.records, 20);
-  auto c2 = pase::stats::fct_cdf(res_pfab.records, 20);
+  auto c1 = pase::stats::fct_cdf(sweep[0].records, 20);
+  auto c2 = pase::stats::fct_cdf(sweep[1].records, 20);
   for (std::size_t i = 0; i < c1.size(); ++i) {
     std::printf("%-12.2f%16.3f%16.3f\n", c1[i].fraction, c1[i].x * 1e3,
                 c2[i].x * 1e3);

@@ -6,13 +6,23 @@
 // Expected: PASE wins at every load, by up to ~85% at the high end.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  Sweep sweep("fig10c");
+  for (double load : standard_loads()) {
+    sweep.add(case_label(Protocol::kPase, load),
+              all_to_all_40(Protocol::kPase, load));
+    sweep.add(case_label(Protocol::kPfabric, load),
+              all_to_all_40(Protocol::kPfabric, load));
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 10(c): AFCT (ms), all-to-all intra-rack",
                {"PASE", "pFabric", "improv(%)"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
-    auto res_pase = run_scenario(all_to_all_40(Protocol::kPase, load));
-    auto res_pfab = run_scenario(all_to_all_40(Protocol::kPfabric, load));
+    const auto& res_pase = sweep[i++];
+    const auto& res_pfab = sweep[i++];
     const double improvement =
         100.0 * (res_pfab.afct() - res_pase.afct()) / res_pfab.afct();
     print_row(load, {res_pase.afct() * 1e3, res_pfab.afct() * 1e3,

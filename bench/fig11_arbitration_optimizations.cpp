@@ -5,19 +5,28 @@
 // AFCT no worse (the paper reports 4-10% better).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  Sweep sweep("fig11");
+  for (double load : standard_loads()) {
+    auto basic_cfg = left_right(Protocol::kPase, load);
+    basic_cfg.pase.early_pruning = false;
+    basic_cfg.pase.delegation = false;
+    sweep.add(case_label(Protocol::kPase, load) + " basic", basic_cfg);
+    sweep.add(case_label(Protocol::kPase, load) + " optimized",
+              left_right(Protocol::kPase, load));
+  }
+  sweep.run(parse_threads(argc, argv));
+
   std::printf(
       "Figure 11: early pruning + delegation, left-right inter-rack\n");
   std::printf("%-10s%14s%14s%14s%14s%16s%16s\n", "load(%)", "basic-afct",
               "opt-afct", "basic-msgs", "opt-msgs", "afct-impr(%)",
               "ovhd-red(%)");
+  std::size_t i = 0;
   for (double load : standard_loads()) {
-    auto basic_cfg = left_right(Protocol::kPase, load);
-    basic_cfg.pase.early_pruning = false;
-    basic_cfg.pase.delegation = false;
-    auto basic = run_scenario(basic_cfg);
-    auto opt = run_scenario(left_right(Protocol::kPase, load));
+    const auto& basic = sweep[i++];
+    const auto& opt = sweep[i++];
     const double afct_improvement =
         100.0 * (basic.afct() - opt.afct()) / basic.afct();
     const double overhead_reduction =

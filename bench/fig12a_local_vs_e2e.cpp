@@ -23,16 +23,25 @@ double small_flow_afct(const pase::bench::ScenarioResult& res) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
-  std::printf("Figure 12(a): local vs end-to-end arbitration, left-right\n");
-  std::printf("%-10s%14s%14s%14s%14s%14s%14s\n", "load(%)", "local-afct",
-              "e2e-afct", "local-small", "e2e-small", "local-p99", "e2e-p99");
+  Sweep sweep("fig12a");
   for (double load : standard_loads()) {
     auto local_cfg = left_right(Protocol::kPase, load);
     local_cfg.pase.local_only = true;
-    auto local = run_scenario(local_cfg);
-    auto e2e = run_scenario(left_right(Protocol::kPase, load));
+    sweep.add(case_label(Protocol::kPase, load) + " local", local_cfg);
+    sweep.add(case_label(Protocol::kPase, load) + " e2e",
+              left_right(Protocol::kPase, load));
+  }
+  sweep.run(parse_threads(argc, argv));
+
+  std::printf("Figure 12(a): local vs end-to-end arbitration, left-right\n");
+  std::printf("%-10s%14s%14s%14s%14s%14s%14s\n", "load(%)", "local-afct",
+              "e2e-afct", "local-small", "e2e-small", "local-p99", "e2e-p99");
+  std::size_t i = 0;
+  for (double load : standard_loads()) {
+    const auto& local = sweep[i++];
+    const auto& e2e = sweep[i++];
     std::printf("%-10.0f%14.3f%14.3f%14.3f%14.3f%14.3f%14.3f\n", load * 100,
                 local.afct() * 1e3, e2e.afct() * 1e3,
                 small_flow_afct(local) * 1e3, small_flow_afct(e2e) * 1e3,

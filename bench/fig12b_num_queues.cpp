@@ -5,16 +5,27 @@
 // works on commodity switches (Table 2).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
-  print_header("Figure 12(b): AFCT (ms) vs number of priority queues",
-               {"3 queues", "4 queues", "6 queues", "8 queues"});
+  const auto queue_counts = {3, 4, 6, 8};
+  Sweep sweep("fig12b");
   for (double load : standard_loads()) {
-    std::vector<double> row;
-    for (int q : {3, 4, 6, 8}) {
+    for (int q : queue_counts) {
       auto cfg = left_right(Protocol::kPase, load);
       cfg.pase.num_queues = q;
-      row.push_back(run_scenario(cfg).afct() * 1e3);
+      sweep.add(case_label(Protocol::kPase, load) + " q=" + std::to_string(q),
+                cfg);
+    }
+  }
+  sweep.run(parse_threads(argc, argv));
+
+  print_header("Figure 12(b): AFCT (ms) vs number of priority queues",
+               {"3 queues", "4 queues", "6 queues", "8 queues"});
+  std::size_t i = 0;
+  for (double load : standard_loads()) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < queue_counts.size(); ++c) {
+      row.push_back(sweep[i++].afct() * 1e3);
     }
     print_row(load, row);
   }

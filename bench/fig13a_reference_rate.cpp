@@ -5,15 +5,23 @@
 // slow start inside the priority queues.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
-  print_header("Figure 13(a): AFCT (ms), PASE vs PASE-DCTCP",
-               {"PASE", "PASE-DCTCP", "improv(%)"});
+  Sweep sweep("fig13a");
   for (double load : standard_loads()) {
     auto cfg = intra_rack_20(Protocol::kPase, load, false);
-    auto full = run_scenario(cfg);
+    sweep.add(case_label(Protocol::kPase, load) + " full", cfg);
     cfg.pase.use_reference_rate = false;
-    auto ablated = run_scenario(cfg);
+    sweep.add(case_label(Protocol::kPase, load) + " no-rref", cfg);
+  }
+  sweep.run(parse_threads(argc, argv));
+
+  print_header("Figure 13(a): AFCT (ms), PASE vs PASE-DCTCP",
+               {"PASE", "PASE-DCTCP", "improv(%)"});
+  std::size_t i = 0;
+  for (double load : standard_loads()) {
+    const auto& full = sweep[i++];
+    const auto& ablated = sweep[i++];
     const double improvement =
         100.0 * (ablated.afct() - full.afct()) / ablated.afct();
     print_row(load, {full.afct() * 1e3, ablated.afct() * 1e3, improvement});

@@ -29,13 +29,23 @@ pase::bench::ScenarioConfig testbed(pase::bench::Protocol p, double load) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pase::bench;
+  Sweep sweep("fig13b");
+  for (double load : standard_loads()) {
+    sweep.add(case_label(Protocol::kPase, load),
+              testbed(Protocol::kPase, load));
+    sweep.add(case_label(Protocol::kDctcp, load),
+              testbed(Protocol::kDctcp, load));
+  }
+  sweep.run(parse_threads(argc, argv));
+
   print_header("Figure 13(b): testbed-like AFCT (ms), PASE vs DCTCP",
                {"PASE", "DCTCP", "improv(%)"});
+  std::size_t i = 0;
   for (double load : standard_loads()) {
-    auto res_pase = run_scenario(testbed(Protocol::kPase, load));
-    auto res_dctcp = run_scenario(testbed(Protocol::kDctcp, load));
+    const auto& res_pase = sweep[i++];
+    const auto& res_dctcp = sweep[i++];
     const double improvement =
         100.0 * (res_dctcp.afct() - res_pase.afct()) / res_dctcp.afct();
     print_row(load, {res_pase.afct() * 1e3, res_dctcp.afct() * 1e3,

@@ -3,7 +3,10 @@
 // simulation rate.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/arbitration_algorithm.h"
+#include "exp/sweep.h"
 #include "net/pfabric_queue.h"
 #include "net/priority_queue_bank.h"
 #include "net/red_ecn_queue.h"
@@ -41,6 +44,45 @@ void BM_TimerRestartChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_TimerRestartChurn);
+
+// Schedule/cancel churn: every scheduled event is cancelled via its
+// generation-stamped handle before it can fire (the retransmission-timer
+// pattern that dominates real transport runs).
+void BM_EventCancelChurn(benchmark::State& state) {
+  const int n = 1000;
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Rng rng(8);
+    for (int i = 0; i < n; ++i) {
+      sim::EventId id = s.schedule(rng.uniform(1e-3, 1.0), [] {});
+      benchmark::DoNotOptimize(s.cancel(id));
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventCancelChurn);
+
+void BM_PacketPoolAcquire(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = net::make_data_packet(1, 0, 1, 0);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolAcquire);
+
+void BM_PacketMakeUnique(benchmark::State& state) {
+  // Baseline: heap-allocate a fresh Packet each time, bypassing the pool.
+  for (auto _ : state) {
+    auto p = std::make_unique<net::Packet>();
+    p->flow = 1;
+    p->seq = 0;
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketMakeUnique);
 
 template <typename Q>
 void queue_churn(Q& q, int n, sim::Rng& rng) {
@@ -140,6 +182,38 @@ void BM_FullScenarioPfabric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullScenarioPfabric)->Unit(benchmark::kMillisecond);
+
+// Parallel sweep scaling: 8 independent scenarios fanned across N worker
+// threads. UseRealTime because the work happens off the timing thread;
+// expect near-linear wall-clock scaling up to the core count.
+void BM_SweepRunner(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::vector<workload::ScenarioConfig> configs;
+  for (int i = 0; i < 8; ++i) {
+    workload::ScenarioConfig cfg;
+    cfg.protocol = workload::Protocol::kPase;
+    cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+    cfg.rack.num_hosts = 10;
+    cfg.traffic.load = 0.5 + 0.05 * i;
+    cfg.traffic.num_flows = 100;
+    cfg.traffic.seed = static_cast<unsigned>(6 + i);
+    configs.push_back(cfg);
+  }
+  const exp::SweepRunner runner(threads);
+  for (auto _ : state) {
+    auto results = runner.run(configs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_SweepRunner)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,184 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+namespace pase::exp {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PASE_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(resolve_threads(threads)) {}
+
+std::vector<workload::ScenarioResult> SweepRunner::run(
+    const std::vector<workload::ScenarioConfig>& configs) const {
+  std::vector<workload::ScenarioResult> results(configs.size());
+  std::vector<std::exception_ptr> errors(configs.size());
+
+  // Results land in the slot matching the config's index, so the output
+  // order never depends on scheduling; each scenario's simulation is a pure
+  // function of its config.
+  const auto run_one = [&](std::size_t i) {
+    try {
+      results[i] = workload::run_scenario(configs[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const std::size_t n = configs.size();
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < n; i = next.fetch_add(1, std::memory_order_relaxed)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+namespace {
+
+// Shortest round-trippable representation of a double; JSON-safe (inf/nan
+// become null, which the schema allows for undefined metrics).
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest form that still parses back exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    if (std::strtod(probe, nullptr) == v) {
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+      break;
+    }
+  }
+  out += buf;
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, double v) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  append_number(out, v);
+}
+
+}  // namespace
+
+std::string sweep_to_json(
+    const std::string& name, const std::vector<SweepCase>& cases,
+    const std::vector<workload::ScenarioResult>& results) {
+  assert(cases.size() == results.size());
+  std::string out;
+  out.reserve(512 + 512 * cases.size());
+  out += "{\n  \"name\": ";
+  append_string(out, name);
+  out += ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const SweepCase& c = cases[i];
+    const workload::ScenarioResult& r = results[i];
+    out += "    {";
+    out += "\"label\": ";
+    append_string(out, c.label);
+    out += ", \"protocol\": ";
+    append_string(out, workload::protocol_name(c.config.protocol));
+    out += ", \"topology\": ";
+    append_string(
+        out, c.config.topology == workload::ScenarioConfig::TopologyKind::kSingleRack
+                 ? "single_rack"
+                 : "three_tier");
+    out += ", ";
+    append_field(out, "load", c.config.traffic.load);
+    out += ", \"num_flows\": " + std::to_string(c.config.traffic.num_flows);
+    out += ", \"seed\": " + std::to_string(c.config.traffic.seed);
+    out += ", ";
+    append_field(out, "afct_s", r.afct());
+    out += ", ";
+    append_field(out, "fct_p99_s", r.fct_p99());
+    out += ", ";
+    append_field(out, "app_throughput_bps", r.app_throughput());
+    out += ", ";
+    append_field(out, "loss_rate", r.loss_rate());
+    out += ", \"unfinished\": " + std::to_string(r.unfinished());
+    out += ", \"flows\": " + std::to_string(r.records.size());
+    out += ", \"fabric_drops\": " + std::to_string(r.fabric_drops);
+    out += ", \"data_packets_sent\": " + std::to_string(r.data_packets_sent);
+    out += ", \"probes_sent\": " + std::to_string(r.probes_sent);
+    out += ", \"control_messages_sent\": " +
+           std::to_string(r.control.messages_sent);
+    out += ", ";
+    append_field(out, "end_time_s", r.end_time);
+    out += '}';
+    if (i + 1 < cases.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool write_sweep_json(const std::string& path, const std::string& name,
+                      const std::vector<SweepCase>& cases,
+                      const std::vector<workload::ScenarioResult>& results) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string doc = sweep_to_json(name, cases, results);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace pase::exp

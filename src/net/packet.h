@@ -2,13 +2,18 @@
 //
 // Like ns-2, a simulated packet carries the union of all protocol headers the
 // framework knows about; only `size_bytes` counts on the wire. Packets are
-// heap-allocated and owned by exactly one component at a time via
-// std::unique_ptr.
+// owned by exactly one component at a time via std::unique_ptr; the pointer's
+// deleter recycles the storage through a thread-local free-list pool instead
+// of returning it to the allocator, so steady-state simulation makes no
+// per-packet malloc/free calls. Each thread has its own pool, which keeps the
+// scheme safe under the parallel sweep runner (a scenario never migrates
+// between threads mid-run).
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.h"
 
@@ -94,12 +99,65 @@ struct Packet {
   bool is_control() const { return type != PacketType::kData; }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Returns a packet to the owning thread's PacketPool instead of freeing it.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Thread-local free list of Packet storage. acquire() reuses a retired
+// packet (reset to default field values) when one is available and only
+// falls back to `new` when the list is dry; the deleter feeds retired
+// packets back. Bounded so a pathological burst cannot pin memory forever.
+class PacketPool {
+ public:
+  static constexpr std::size_t kMaxFree = 1 << 16;
+
+  static PacketPool& local() {
+    static thread_local PacketPool pool;
+    return pool;
+  }
+
+  PacketPtr acquire() {
+    if (free_.empty()) return PacketPtr(new Packet{});
+    Packet* p = free_.back();
+    free_.pop_back();
+    *p = Packet{};  // trivially-copyable reset, no allocation
+    return PacketPtr(p);
+  }
+
+  void release(Packet* p) noexcept {
+    if (free_.size() >= kMaxFree) {
+      delete p;
+      return;
+    }
+    try {
+      free_.push_back(p);
+    } catch (...) {
+      delete p;  // list growth failed; just free the packet
+    }
+  }
+
+  std::size_t available() const { return free_.size(); }
+
+  ~PacketPool() {
+    for (Packet* p : free_) delete p;
+  }
+
+ private:
+  PacketPool() = default;
+  std::vector<Packet*> free_;
+};
+
+inline void PacketDeleter::operator()(Packet* p) const noexcept {
+  PacketPool::local().release(p);
+}
 
 inline PacketPtr make_data_packet(FlowId flow, NodeId src, NodeId dst,
                                   std::uint32_t seq,
                                   std::uint32_t payload = kMss) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = PacketPool::local().acquire();
   p->type = PacketType::kData;
   p->flow = flow;
   p->src = src;
@@ -111,7 +169,7 @@ inline PacketPtr make_data_packet(FlowId flow, NodeId src, NodeId dst,
 
 inline PacketPtr make_control_packet(PacketType type, FlowId flow, NodeId src,
                                      NodeId dst) {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = PacketPool::local().acquire();
   p->type = type;
   p->flow = flow;
   p->src = src;

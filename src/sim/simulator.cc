@@ -1,9 +1,269 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace pase::sim {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+double Simulator::preferred_width(Time lo, Time hi, std::size_t n) const {
+  if (executed_ > 64 && fire_gap_ewma_ > 0.0 &&
+      std::isfinite(fire_gap_ewma_)) {
+    return fire_gap_ewma_ * 3.0;
+  }
+  if (n > 1 && hi > lo) return (hi - lo) * 2.0 / static_cast<double>(n);
+  return width_;  // degenerate: keep the current width
+}
+
+Simulator::Simulator() {
+  bucket_heads_.assign(kMinBuckets, kNil);
+  bucket_mask_ = kMinBuckets - 1;
+  free_slots_.reserve(256);
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::link(std::uint32_t slot_index, Slot& s) {
+  const std::uint64_t day = day_of(s.t);
+  std::uint32_t& head =
+      day == kInfDay ? inf_list_ : bucket_heads_[day & bucket_mask_];
+  s.next = head;
+  head = slot_index;
+  if (day == kInfDay) {
+    ++inf_count_;
+  } else {
+    ++finite_entries_;
+  }
+  if (memo_valid_ &&
+      (s.t < memo_t_ || (s.t == memo_t_ && s.seq < memo_seq_))) {
+    // The new event preempts the cached top; rewind the calendar cursor so
+    // the next walk starts no later than its day.
+    memo_slot_ = slot_index;
+    memo_t_ = s.t;
+    memo_seq_ = s.seq;
+    if (day < cur_day_) cur_day_ = day;
+  }
+}
+
+void Simulator::unlink(std::uint32_t slot_index, const Slot& s) {
+  const std::uint64_t day = day_of(s.t);
+  std::uint32_t* plink =
+      day == kInfDay ? &inf_list_ : &bucket_heads_[day & bucket_mask_];
+  while (*plink != slot_index) {
+    assert(*plink != kNil && "pending event missing from its bucket");
+    plink = &slot_at(*plink).next;
+  }
+  *plink = s.next;
+  if (day == kInfDay) {
+    --inf_count_;
+  } else {
+    --finite_entries_;
+  }
+  if (memo_valid_ && memo_slot_ == slot_index) {
+    // The cached top went away; restart the walk from the clock's day.
+    memo_valid_ = false;
+    cur_day_ = day_of(now_);
+  }
+}
+
+void Simulator::flush_staged() {
+  std::uint32_t chain = staged_list_;
+  staged_list_ = kNil;
+  const std::size_t incoming = staged_count_;
+  staged_count_ = 0;
+
+  // If the calendar is empty, size it and derive the bucket width from the
+  // batch itself (its span/size were tracked at schedule time), so the batch
+  // is linked exactly once — no growth rebuilds mid-distribution.
+  if (finite_entries_ == 0 && inf_count_ == 0 && incoming > 0) {
+    set_width(preferred_width(staged_lo_, staged_hi_, staged_finite_));
+    const std::size_t want = std::max(kMinBuckets, next_pow2(incoming * 2));
+    if (want != bucket_heads_.size()) {
+      bucket_heads_.assign(want, kNil);
+      bucket_mask_ = want - 1;
+    }
+    cur_day_ = day_of(now_);
+    memo_valid_ = false;
+  }
+  staged_finite_ = 0;
+  staged_lo_ = kTimeInfinity;
+  staged_hi_ = -kTimeInfinity;
+
+  while (chain != kNil) {
+    const std::uint32_t i = chain;
+    Slot& s = slot_at(i);
+    chain = s.next;
+    s.staged = false;
+    if (s.seq == 0) {
+      // Cancelled while staged; reclaim the slot now that it is unchained.
+      free_slots_.push_back(i);
+    } else {
+      link(i, s);
+    }
+  }
+  maybe_grow();
+}
+
+bool Simulator::locate_top() {
+  if (staged_list_ != kNil) flush_staged();
+  if (memo_valid_) return true;
+  if (finite_entries_ > 0) {
+    const std::size_t nb = bucket_heads_.size();
+    for (std::size_t k = 0; k < nb; ++k) {
+      const std::uint64_t day = cur_day_ + k;
+      std::uint32_t i = bucket_heads_[day & bucket_mask_];
+      if (i == kNil) continue;
+      // Bucket lists are unsorted; scan for the (t, seq)-minimum belonging
+      // to this day, skipping events a full rotation (or more) ahead.
+      std::uint32_t best = kNil;
+      Time bt = 0.0;
+      std::uint64_t bs = 0;
+      std::size_t scanned = 0;
+      for (; i != kNil; i = slot_at(i).next) {
+        const Slot& s = slot_at(i);
+        ++scanned;
+        if (day_of(s.t) != day) continue;
+        if (best == kNil || s.t < bt || (s.t == bt && s.seq < bs)) {
+          best = i;
+          bt = s.t;
+          bs = s.seq;
+        }
+      }
+      if (best != kNil) {
+        // A grossly overfull bucket means the width no longer matches the
+        // event density (the workload's timescale changed); re-derive it.
+        // The cooldown keeps coincident-time pileups, which no width can
+        // spread, from triggering a rebuild per pop.
+        if (scanned > 64 && executed_ - last_rebuild_exec_ > finite_entries_) {
+          rebuild(bucket_heads_.size());
+          return locate_top();
+        }
+        cur_day_ = day;
+        memo_slot_ = best;
+        memo_t_ = bt;
+        memo_seq_ = bs;
+        memo_valid_ = true;
+        return true;
+      }
+    }
+    // Nothing within one full rotation: the calendar is too sparse for its
+    // size. Shrink it (also re-deriving the width) while the occupancy
+    // invariant is off, then retry; once sized to the population, fall
+    // through to a direct search for the globally earliest pending event.
+    const std::size_t want =
+        std::max(kMinBuckets, next_pow2(finite_entries_ * 2));
+    if (want < nb) {
+      rebuild(want);
+      return locate_top();
+    }
+    std::uint32_t best = kNil;
+    Time bt = 0.0;
+    std::uint64_t bs = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::uint32_t i = bucket_heads_[b]; i != kNil; i = slot_at(i).next) {
+        const Slot& s = slot_at(i);
+        if (best == kNil || s.t < bt || (s.t == bt && s.seq < bs)) {
+          best = i;
+          bt = s.t;
+          bs = s.seq;
+        }
+      }
+    }
+    assert(best != kNil);
+    cur_day_ = day_of(bt);
+    memo_slot_ = best;
+    memo_t_ = bt;
+    memo_seq_ = bs;
+    memo_valid_ = true;
+    return true;
+  }
+  if (inf_count_ > 0) {
+    std::uint32_t best = kNil;
+    Time bt = 0.0;
+    std::uint64_t bs = 0;
+    for (std::uint32_t i = inf_list_; i != kNil; i = slot_at(i).next) {
+      const Slot& s = slot_at(i);
+      if (best == kNil || s.t < bt || (s.t == bt && s.seq < bs)) {
+        best = i;
+        bt = s.t;
+        bs = s.seq;
+      }
+    }
+    memo_slot_ = best;
+    memo_t_ = bt;
+    memo_seq_ = bs;
+    memo_valid_ = true;
+    return true;
+  }
+  return false;
+}
+
+void Simulator::rebuild(std::size_t new_num_buckets) {
+  // Gather every pending event into a temporary chain (no allocation: the
+  // links are intrusive) while measuring the finite-time span.
+  std::uint32_t chain = kNil;
+  double lo = kTimeInfinity, hi = -kTimeInfinity;
+  std::size_t finite_count = 0;
+  const auto gather = [&](std::uint32_t head) {
+    std::uint32_t i = head;
+    while (i != kNil) {
+      Slot& s = slot_at(i);
+      const std::uint32_t nx = s.next;
+      s.next = chain;
+      chain = i;
+      if (std::isfinite(s.t)) {
+        lo = std::min(lo, s.t);
+        hi = std::max(hi, s.t);
+        ++finite_count;
+      }
+      i = nx;
+    }
+  };
+  for (const std::uint32_t head : bucket_heads_) gather(head);
+  gather(inf_list_);
+  inf_list_ = kNil;
+  inf_count_ = 0;
+
+  bucket_heads_.assign(new_num_buckets, kNil);
+  bucket_mask_ = new_num_buckets - 1;
+
+  set_width(preferred_width(lo, hi, finite_count));
+
+  finite_entries_ = 0;
+  cur_day_ = day_of(now_);
+  memo_valid_ = false;
+  last_rebuild_exec_ = executed_;
+  while (chain != kNil) {
+    const std::uint32_t i = chain;
+    Slot& s = slot_at(i);
+    chain = s.next;
+    link(i, s);
+  }
+}
+
+void Simulator::maybe_grow() {
+  // Jump past the trigger point (2x occupancy) so refill-heavy workloads see
+  // O(log n) rebuilds totalling O(n) relinks, not O(n log n).
+  if (finite_entries_ > bucket_heads_.size() * 2) {
+    rebuild(next_pow2(finite_entries_ * 2));
+  }
+}
+
+void Simulator::reserve(std::size_t n) {
+  free_slots_.reserve(n);
+  if (n > bucket_heads_.size()) rebuild(next_pow2(n));
+}
 
 EventId Simulator::schedule(Time delay, std::function<void()> fn) {
   assert(delay >= 0.0 && "cannot schedule in the past");
@@ -12,34 +272,76 @@ EventId Simulator::schedule(Time delay, std::function<void()> fn) {
 
 EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{t, seq, std::move(fn)});
-  return EventId{seq};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = num_slots_++;
+    assert(slot != kNil && "pending-event slot space exhausted");
+    if ((slot >> kSlotChunkShift) >= slot_chunks_.size()) {
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+  }
+  Slot& s = slot_at(slot);
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  s.t = t;
+  // Stage rather than bucket: everything here lands on the slot line we just
+  // wrote, so a schedule burst costs no bucket traffic and no growth
+  // rebuilds — the batch is distributed (and the calendar sized for it in
+  // one pass) when the next event is actually needed.
+  s.staged = true;
+  s.next = staged_list_;
+  staged_list_ = slot;
+  ++staged_count_;
+  if (std::isfinite(t)) {
+    ++staged_finite_;
+    staged_lo_ = std::min(staged_lo_, t);
+    staged_hi_ = std::max(staged_hi_, t);
+  }
+  return EventId{slot, s.gen};
 }
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid() || id.seq_ >= next_seq_) return false;
-  // Lazy cancellation: remember the id and skip it when popped.
-  return cancelled_ids_.insert(id.seq_).second;
+  if (!id.valid() || id.slot_ >= num_slots_) return false;
+  Slot& s = slot_at(id.slot_);
+  if (s.gen != id.gen_) return false;  // already fired, cancelled, or reused
+  if (s.staged) {
+    // Cheaply unlinking from the middle of the staging list isn't possible,
+    // so mark the node dead (seq = 0) and leave it chained; the slot is
+    // retired — and removed — when the staging list is next flushed.
+    --staged_count_;
+    if (std::isfinite(s.t)) --staged_finite_;
+    s.seq = 0;
+    s.fn = nullptr;
+    bump_gen(s);
+    return true;
+  }
+  unlink(id.slot_, s);
+  s.fn = nullptr;
+  retire_slot(id.slot_, s);
+  return true;
 }
 
 bool Simulator::step(Time until) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (!cancelled_ids_.empty() && cancelled_ids_.erase(top.seq) > 0) {
-      heap_.pop();
-      continue;
-    }
-    if (top.t > until) return false;
-    // Move the callback out before popping so it may schedule new events.
-    Event ev{top.t, top.seq, std::move(const_cast<Event&>(top).fn)};
-    heap_.pop();
-    now_ = ev.t;
-    ++executed_;
-    ev.fn();
-    return true;
+  if (!locate_top()) return false;
+  if (memo_t_ > until) return false;
+  const std::uint32_t slot = memo_slot_;
+  const Time t = memo_t_;
+  Slot& s = slot_at(slot);
+  // Unlink and retire before invoking, so the callback may freely schedule
+  // (possibly reusing this very slot) or cancel.
+  unlink(slot, s);
+  std::function<void()> fn = std::move(s.fn);
+  retire_slot(slot, s);
+  if (executed_ > 0) {
+    fire_gap_ewma_ = fire_gap_ewma_ * 0.98 + (t - now_) * 0.02;
   }
-  return false;
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Simulator::run(Time until) {

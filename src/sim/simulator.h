@@ -1,15 +1,31 @@
 // Discrete-event simulation engine.
 //
-// The engine is a monotonic clock plus a min-heap of (time, sequence) ordered
-// events. Events scheduled for the same instant fire in scheduling order
-// (FIFO), which keeps packet pipelines deterministic.
+// The engine is a monotonic clock plus a calendar queue (Brown 1988, the
+// structure behind ns-2's scheduler): a power-of-two ring of "day" buckets of
+// width `width_` seconds, where an event at time t belongs to bucket
+// floor(t / width_) mod num_buckets. The next event overall is found by
+// walking buckets from the current calendar day — O(1) amortized instead of
+// the O(log n) pointer-chasing sift of a binary heap. Events scheduled for
+// the same instant fire in scheduling order (FIFO, via a monotonic sequence
+// number), which keeps packet pipelines deterministic.
+//
+// Buckets are intrusive singly-linked lists threaded through the slot table:
+// each pending event owns one slot (callback, time, sequence, generation,
+// next-link), so scheduling writes only the slot plus a 4-byte bucket head,
+// and no allocation happens outside slot-table growth. Slots live in stable
+// chunked storage (growth never moves a live std::function) and are recycled
+// through a free list; a per-slot generation stamp makes cancelling an
+// already-fired, already-cancelled, or reused id a true no-op that returns
+// false. Cancellation physically unlinks the event — O(bucket occupancy),
+// which resizing keeps at O(1) — so the queue never carries stale entries.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 namespace pase::sim {
@@ -19,23 +35,26 @@ using Time = double;  // seconds
 inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
 
 // Handle for a scheduled event; used to cancel it. Default-constructed
-// handles are inert.
+// handles are inert. A handle is invalidated (cancel() returns false) once
+// its event fires or is cancelled, even if the underlying slot is reused.
 class EventId {
  public:
   EventId() = default;
-  bool valid() const { return seq_ != 0; }
+  bool valid() const { return gen_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;  // 0 = inert handle; slot generations start at 1
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   Time now() const { return now_; }
 
@@ -45,9 +64,14 @@ class Simulator {
   // Schedules `fn` at absolute time `t` (>= now()).
   EventId schedule_at(Time t, std::function<void()> fn);
 
-  // Cancels a pending event. Cancelling an already-fired or invalid id is a
-  // no-op. Returns true if the event was pending.
+  // Cancels a pending event. Returns true iff the event was still pending;
+  // cancelling a fired, cancelled, or default-constructed id returns false
+  // and has no effect on engine state.
   bool cancel(EventId id);
+
+  // Pre-sizes internal structures for a workload of roughly `n` concurrently
+  // pending events, avoiding growth rebuilds during the run.
+  void reserve(std::size_t n);
 
   // Runs events until the queue drains or the clock passes `until`.
   void run(Time until = kTimeInfinity);
@@ -59,24 +83,113 @@ class Simulator {
   // Makes run() return after the current event completes.
   void stop() { stopped_ = true; }
 
-  std::size_t pending_events() const { return heap_.size() - cancelled_ids_.size(); }
+  std::size_t pending_events() const {
+    return finite_entries_ + inf_count_ + staged_count_;
+  }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+  static constexpr std::size_t kMinBuckets = 64;
+
+  // Cache-line sized and aligned: scheduling or firing an event touches
+  // exactly one line of the slot arena.
+  struct alignas(64) Slot {
     std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
+    std::uint64_t seq = 0;   // scheduling order; breaks time ties (FIFO)
+    Time t = 0.0;            // event time; locates the calendar bucket
+    std::uint32_t gen = 1;   // bumped on fire/cancel to kill old handles
+    std::uint32_t next = kNil;  // intrusive bucket/staging-list link
+    bool staged = false;     // on the staging list, not yet in a bucket
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_ids_;
+  // Stable chunked slot storage: growing never move-constructs the
+  // std::functions of live slots (vector reallocation would), and slot
+  // references stay valid while a callback schedules new events.
+  static constexpr std::size_t kSlotChunkShift = 12;
+  static constexpr std::size_t kSlotChunkSize = 1ull << kSlotChunkShift;
+
+  Slot& slot_at(std::uint32_t i) {
+    return slot_chunks_[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+  }
+
+  // Never lands on the inert generation 0.
+  static void bump_gen(Slot& s) {
+    if (++s.gen == 0) s.gen = 1;
+  }
+
+  void retire_slot(std::uint32_t slot_index, Slot& s) {
+    s.seq = 0;
+    bump_gen(s);
+    free_slots_.push_back(slot_index);
+  }
+
+  // Absolute day number of time `t`, or kInfDay when t is infinite (or so
+  // large the day number would overflow). day_of is monotone in t, so
+  // overflow events sort after everything the calendar can hold; they live
+  // in a side list consumed only once all finite events have fired.
+  static constexpr std::uint64_t kInfDay = ~std::uint64_t{0};
+  std::uint64_t day_of(Time t) const {
+    const double d = t * inv_width_;
+    return d < 9.2e18 ? static_cast<std::uint64_t>(d) : kInfDay;
+  }
+
+  void link(std::uint32_t slot_index, Slot& s);
+  void unlink(std::uint32_t slot_index, const Slot& s);
+  // Picks a bucket width for `n` pending events: the observed inter-fire gap
+  // when enough events have run (robust against a few far-future outliers
+  // stretching the pending span), otherwise the span-based estimate.
+  double preferred_width(Time lo, Time hi, std::size_t n) const;
+  void set_width(double w) {
+    if (std::isfinite(w) && w > 0.0) {
+      width_ = w;
+      inv_width_ = 1.0 / w;
+    }
+  }
+  // Distributes the staging list into calendar buckets (see schedule_at).
+  void flush_staged();
+  // Finds the earliest pending event, caching it in memo_slot_. Returns
+  // false if nothing is pending.
+  bool locate_top();
+  void rebuild(std::size_t new_num_buckets);
+  void maybe_grow();
+
+  std::vector<std::uint32_t> bucket_heads_;  // kNil-terminated lists
+  std::size_t bucket_mask_ = 0;
+  double width_ = 1e-6;
+  double inv_width_ = 1e6;
+  std::uint64_t cur_day_ = 0;  // calendar position: no pending event is older
+  std::size_t finite_entries_ = 0;
+
+  std::uint32_t inf_list_ = kNil;  // events past the calendar horizon
+  std::size_t inf_count_ = 0;
+
+  // Staging list: newly scheduled events accumulate here (O(1) prepend, no
+  // bucket traffic) and are distributed in a batch when the next event is
+  // needed. The batch's span and size are tracked incrementally so the
+  // distribution pass can size the calendar and width up front.
+  std::uint32_t staged_list_ = kNil;
+  std::size_t staged_count_ = 0;   // live (uncancelled) staged events
+  std::size_t staged_finite_ = 0;  // ... of those, finite-time ones
+  Time staged_lo_ = kTimeInfinity;
+  Time staged_hi_ = -kTimeInfinity;
+
+  // Cached result of locate_top(): the next event to fire. memo_t_/memo_seq_
+  // mirror the slot so the scheduling fast path compares without a deref.
+  bool memo_valid_ = false;
+  std::uint32_t memo_slot_ = 0;
+  Time memo_t_ = 0.0;
+  std::uint64_t memo_seq_ = 0;
+
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::uint32_t num_slots_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t last_rebuild_exec_ = 0;  // rebuild cooldown (see locate_top)
+  double fire_gap_ewma_ = 0.0;  // smoothed gap between consecutive fires
   bool stopped_ = false;
 };
 

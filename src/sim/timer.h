@@ -14,21 +14,23 @@ namespace pase::sim {
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)
-      : sim_(&sim), on_fire_(std::move(on_fire)) {}
+      : sim_(&sim), on_fire_(std::move(on_fire)), fire_([this] {
+          pending_ = false;
+          on_fire_();
+        }) {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
   ~Timer() { cancel(); }
 
   // (Re)arms the timer `delay` seconds from now, replacing any pending one.
+  // Reuses the trampoline built at construction: rearming copies a small
+  // (one-pointer, SBO) closure instead of wrapping `on_fire_` again.
   void restart(Time delay) {
     cancel();
     pending_ = true;
     expiry_ = sim_->now() + delay;
-    id_ = sim_->schedule(delay, [this] {
-      pending_ = false;
-      on_fire_();
-    });
+    id_ = sim_->schedule(delay, fire_);
   }
 
   void cancel() {
@@ -46,6 +48,7 @@ class Timer {
  private:
   Simulator* sim_;
   std::function<void()> on_fire_;
+  std::function<void()> fire_;  // reusable trampoline, captures only `this`
   EventId id_;
   Time expiry_ = 0.0;
   bool pending_ = false;

@@ -91,6 +91,73 @@ TEST(Simulator, DoubleCancelReturnsFalse) {
   EXPECT_FALSE(s.cancel(id));
 }
 
+// Regression: cancelling an id whose event already fired must be a true
+// no-op. The old lazy-cancellation scheme decremented pending_events() for
+// any id it had not seen before, so a fired id made the size_t counter
+// underflow to ~2^64.
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  int fired = 0;
+  EventId id = s.schedule(1e-3, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // and again
+  EXPECT_EQ(s.pending_events(), 0u);  // no underflow
+  // The engine must still work normally afterwards.
+  s.schedule(1e-3, [&] { ++fired; });
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// A stale handle must stay dead even after its slot is recycled for a new
+// event: cancelling via the old handle must not kill the new event.
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator s;
+  EventId old_id = s.schedule(1e-3, [] {});
+  EXPECT_TRUE(s.cancel(old_id));
+  int fired = 0;
+  // Recycle: keep scheduling until some slot (typically the freed one) is
+  // reused; the generation stamp must protect every one of them.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(s.schedule(1e-3, [&] { ++fired; }));
+  EXPECT_FALSE(s.cancel(old_id));
+  EXPECT_EQ(s.pending_events(), 8u);
+  s.run();
+  EXPECT_EQ(fired, 8);
+  for (const EventId& id : ids) EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// Cancellation must work both while an event is still in the staging list
+// (scheduled, nothing executed yet) and after it has been flushed into the
+// calendar buckets by an intervening run.
+TEST(Simulator, CancelWorksBeforeAndAfterFlush) {
+  Simulator s;
+  int fired = 0;
+  // Staged: cancel immediately after scheduling.
+  EventId staged = s.schedule(1e-3, [&] { ++fired; });
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_TRUE(s.cancel(staged));
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.cancel(staged));
+
+  // Flushed: run an earlier event first so the target is moved out of the
+  // staging list, then cancel it.
+  EventId later = s.schedule(5e-3, [&] { ++fired; });
+  s.schedule(1e-3, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_TRUE(s.cancel(later));
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Simulator, StopHaltsRun) {
   Simulator s;
   int fired = 0;
