@@ -34,6 +34,67 @@ inline unsigned parse_threads(int argc, char** argv) {
   return 0;
 }
 
+// Parses `--protocols=a,b,c` (or `--protocols a,b,c`; `--protocol` is an
+// accepted alias) into Protocol values via workload::parse_protocol, so any
+// figure can be re-run over a different protocol subset without recompiling:
+//
+//   ./build/bench/fig09a_afct_deployment_friendly --protocols=pase,pdq
+//
+// Returns `defaults` when the flag is absent; exits with a message naming
+// the unknown spelling otherwise.
+inline std::vector<Protocol> protocols_from_cli(
+    int argc, char** argv, std::vector<Protocol> defaults) {
+  std::string list;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--protocols=", 12) == 0) {
+      list = a + 12;
+    } else if (std::strncmp(a, "--protocol=", 11) == 0) {
+      list = a + 11;
+    } else if ((std::strcmp(a, "--protocols") == 0 ||
+                std::strcmp(a, "--protocol") == 0) &&
+               i + 1 < argc) {
+      list = argv[++i];
+    }
+  }
+  if (list.empty()) return defaults;
+
+  std::vector<Protocol> chosen;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      if (const auto p = workload::parse_protocol(tok)) {
+        chosen.push_back(*p);
+      } else {
+        std::fprintf(stderr,
+                     "unknown protocol '%s' (expected one of "
+                     "dctcp,d2tcp,l2dct,pdq,pfabric,pase)\n",
+                     tok.c_str());
+        std::exit(1);
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (chosen.empty()) {
+    std::fprintf(stderr, "--protocols needs at least one protocol\n");
+    std::exit(1);
+  }
+  return chosen;
+}
+
+// Column headers matching a protocol list, for print_header.
+inline std::vector<std::string> protocol_columns(
+    const std::vector<Protocol>& protocols) {
+  std::vector<std::string> cols;
+  cols.reserve(protocols.size());
+  for (Protocol p : protocols) cols.emplace_back(workload::protocol_name(p));
+  return cols;
+}
+
 inline std::string case_label(Protocol p, double load) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%s load=%.2f", workload::protocol_name(p),

@@ -9,8 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace pase::bench;
-  const auto protocols = {Protocol::kPfabric, Protocol::kD2tcp,
-                          Protocol::kDctcp};
+  const auto protocols = protocols_from_cli(
+      argc, argv, {Protocol::kPfabric, Protocol::kD2tcp, Protocol::kDctcp});
   Sweep sweep("fig01");
   for (double load : standard_loads()) {
     for (auto p : protocols) {
@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   sweep.run(parse_threads(argc, argv));
 
   print_header("Figure 1: application throughput (fraction of deadlines met)",
-               {"pFabric", "D2TCP", "DCTCP"});
+               protocol_columns(protocols));
   std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;

@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   using namespace pase::bench;
-  const auto protocols = {Protocol::kPdq, Protocol::kDctcp};
+  const auto protocols =
+      protocols_from_cli(argc, argv, {Protocol::kPdq, Protocol::kDctcp});
   Sweep sweep("fig02");
   for (double load : standard_loads()) {
     for (auto p : protocols) {
@@ -17,7 +18,8 @@ int main(int argc, char** argv) {
   }
   sweep.run(parse_threads(argc, argv));
 
-  print_header("Figure 2: AFCT (ms), PDQ vs DCTCP", {"PDQ", "DCTCP"});
+  print_header("Figure 2: AFCT (ms), PDQ vs DCTCP",
+               protocol_columns(protocols));
   std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;

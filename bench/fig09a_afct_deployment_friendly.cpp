@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace pase::bench;
-  const auto protocols = {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp};
+  const auto protocols = protocols_from_cli(
+      argc, argv, {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp});
   Sweep sweep("fig09a");
   for (double load : standard_loads()) {
     for (auto p : protocols) {
@@ -17,7 +18,7 @@ int main(int argc, char** argv) {
   sweep.run(parse_threads(argc, argv));
 
   print_header("Figure 9(a): AFCT (ms), left-right inter-rack",
-               {"PASE", "L2DCT", "DCTCP"});
+               protocol_columns(protocols));
   std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;

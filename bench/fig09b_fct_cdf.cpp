@@ -3,21 +3,27 @@
 
 int main(int argc, char** argv) {
   using namespace pase::bench;
-  const auto protocols = {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp};
+  const auto protocols = protocols_from_cli(
+      argc, argv, {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp});
   Sweep sweep("fig09b");
   for (auto p : protocols) sweep.add(case_label(p, 0.7), left_right(p, 0.7));
   sweep.run(parse_threads(argc, argv));
 
   std::printf("Figure 9(b): FCT CDF at 70%% load, left-right inter-rack\n");
-  std::printf("%-12s%16s%16s%16s\n", "fraction", "PASE(ms)", "L2DCT(ms)",
-              "DCTCP(ms)");
+  std::printf("%-12s", "fraction");
+  for (auto p : protocols) {
+    std::printf("%16s", (std::string(pase::workload::protocol_name(p)) +
+                         "(ms)").c_str());
+  }
+  std::printf("\n");
   std::vector<std::vector<pase::stats::CdfPoint>> cdfs;
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     cdfs.push_back(pase::stats::fct_cdf(sweep[i].records, 20));
   }
   for (std::size_t i = 0; i < cdfs[0].size(); ++i) {
-    std::printf("%-12.2f%16.3f%16.3f%16.3f\n", cdfs[0][i].fraction,
-                cdfs[0][i].x * 1e3, cdfs[1][i].x * 1e3, cdfs[2][i].x * 1e3);
+    std::printf("%-12.2f", cdfs[0][i].fraction);
+    for (const auto& cdf : cdfs) std::printf("%16.3f", cdf[i].x * 1e3);
+    std::printf("\n");
   }
   return 0;
 }

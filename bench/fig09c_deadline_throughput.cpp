@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace pase::bench;
-  const auto protocols = {Protocol::kPase, Protocol::kD2tcp, Protocol::kDctcp};
+  const auto protocols = protocols_from_cli(
+      argc, argv, {Protocol::kPase, Protocol::kD2tcp, Protocol::kDctcp});
   Sweep sweep("fig09c");
   for (double load : standard_loads()) {
     for (auto p : protocols) {
@@ -17,7 +18,7 @@ int main(int argc, char** argv) {
   sweep.run(parse_threads(argc, argv));
 
   print_header("Figure 9(c): application throughput (deadlines met)",
-               {"PASE", "D2TCP", "DCTCP"});
+               protocol_columns(protocols));
   std::size_t i = 0;
   for (double load : standard_loads()) {
     std::vector<double> row;

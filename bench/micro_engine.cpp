@@ -12,6 +12,7 @@
 #include "net/red_ecn_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 #include "workload/scenario.h"
 
 namespace {

@@ -3,10 +3,10 @@
 #include <cstdio>
 
 #include "core/pase_config.h"
-#include "workload/defaults.h"
+#include "proto/defaults.h"
 
 int main() {
-  using pase::workload::Table3;
+  using pase::proto::Table3;
   pase::core::PaseConfig pase_cfg;
   std::printf("Table 3: default parameter settings\n");
   std::printf("%-10s %-28s %s\n", "Scheme", "Parameter", "Value");

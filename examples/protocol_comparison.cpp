@@ -1,13 +1,15 @@
-// Example: six-transport bake-off on the paper's 160-host data center.
+// Example: transport bake-off on the paper's 160-host data center.
 //
-// Runs the same left-right workload over every transport in the library and
-// prints the headline metrics side by side — a one-command tour of the
-// public API and of the paper's central claim.
+// Runs the same left-right workload over every transport profile in the
+// registry and prints the headline metrics side by side — a one-command tour
+// of the public API and of the paper's central claim. Profiles registered
+// beyond the built-in six are picked up automatically.
 //
 // Run: ./build/examples/protocol_comparison [load] [flows]
 #include <cstdio>
 #include <cstdlib>
 
+#include "proto/registry.h"
 #include "workload/scenario.h"
 
 int main(int argc, char** argv) {
@@ -22,12 +24,9 @@ int main(int argc, char** argv) {
   std::printf("%-10s %10s %10s %10s %10s %12s\n", "protocol", "afct(ms)",
               "p50(ms)", "p99(ms)", "loss(%)", "ctrl msg/s");
 
-  for (auto proto :
-       {workload::Protocol::kDctcp, workload::Protocol::kD2tcp,
-        workload::Protocol::kL2dct, workload::Protocol::kPdq,
-        workload::Protocol::kPfabric, workload::Protocol::kPase}) {
+  for (const auto* profile : proto::ProfileRegistry::instance().profiles()) {
     workload::ScenarioConfig cfg;
-    cfg.protocol = proto;
+    cfg.profile_name = std::string(profile->name());
     cfg.topology = workload::ScenarioConfig::TopologyKind::kThreeTier;
     cfg.traffic.pattern = workload::Pattern::kLeftRight;
     cfg.traffic.load = load;
@@ -35,7 +34,7 @@ int main(int argc, char** argv) {
     cfg.traffic.seed = 41;
     auto res = workload::run_scenario(cfg);
     std::printf("%-10s %10.3f %10.3f %10.3f %10.2f %12.0f\n",
-                workload::protocol_name(proto), res.afct() * 1e3,
+                std::string(profile->display_name()).c_str(), res.afct() * 1e3,
                 stats::fct_percentile(res.records, 50) * 1e3,
                 res.fct_p99() * 1e3, res.loss_rate() * 100,
                 res.control_msgs_per_sec());

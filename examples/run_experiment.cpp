@@ -7,7 +7,8 @@
 //   ./build/examples/run_experiment --protocol pase --topology tree \
 //       --pattern leftright --load 0.8 --flows 500 --seed 7
 //
-// Flags: --protocol {dctcp,d2tcp,l2dct,pdq,pfabric,pase}
+// Flags: --protocol NAME (any registered transport profile; the built-ins
+//                         are dctcp,d2tcp,l2dct,pdq,pfabric,pase)
 //        --topology {rack,tree}      --hosts N (rack size)
 //        --pattern  {random,leftright,workeragg,incast}
 //        --load X   --flows N  --seed S
@@ -16,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "workload/scenario.h"
@@ -27,16 +29,6 @@ using namespace pase;
 [[noreturn]] void usage(const char* msg) {
   std::fprintf(stderr, "error: %s (see header comment for flags)\n", msg);
   std::exit(1);
-}
-
-workload::Protocol parse_protocol(const std::string& s) {
-  if (s == "dctcp") return workload::Protocol::kDctcp;
-  if (s == "d2tcp") return workload::Protocol::kD2tcp;
-  if (s == "l2dct") return workload::Protocol::kL2dct;
-  if (s == "pdq") return workload::Protocol::kPdq;
-  if (s == "pfabric") return workload::Protocol::kPfabric;
-  if (s == "pase") return workload::Protocol::kPase;
-  usage("unknown protocol");
 }
 
 workload::Pattern parse_pattern(const std::string& s) {
@@ -68,7 +60,9 @@ int main(int argc, char** argv) {
     const std::string flag = argv[i];
     const std::string val = argv[i + 1];
     if (flag == "--protocol") {
-      cfg.protocol = parse_protocol(val);
+      // The registry resolves any profile name, built-in or registered
+      // later; an unknown spelling is rejected by validate_config below.
+      cfg.profile_name = val;
     } else if (flag == "--topology") {
       cfg.topology = val == "tree"
                          ? workload::ScenarioConfig::TopologyKind::kThreeTier
@@ -96,14 +90,18 @@ int main(int argc, char** argv) {
       usage(("unknown flag " + flag).c_str());
     }
   }
-  if (cfg.traffic.pattern == workload::Pattern::kLeftRight &&
-      cfg.topology != workload::ScenarioConfig::TopologyKind::kThreeTier) {
-    usage("--pattern leftright requires --topology tree");
+  try {
+    workload::validate_config(cfg);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
   }
 
   auto res = workload::run_scenario(cfg);
 
-  std::printf("protocol        : %s\n", workload::protocol_name(cfg.protocol));
+  std::printf("protocol        : %s\n",
+              cfg.profile_name.empty()
+                  ? workload::protocol_name(cfg.protocol)
+                  : cfg.profile_name.c_str());
   std::printf("load            : %.0f%%  (%d flows, seed %llu)\n",
               cfg.traffic.load * 100, cfg.traffic.num_flows,
               static_cast<unsigned long long>(cfg.traffic.seed));
@@ -119,7 +117,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(res.fabric_drops),
               static_cast<unsigned long long>(res.data_packets_sent));
   std::printf("unfinished      : %zu\n", res.unfinished());
-  if (cfg.protocol == workload::Protocol::kPase) {
+  if (res.control.messages_sent > 0) {
     std::printf("control msgs    : %llu (%.0f/s), %llu arbitrations, "
                 "%llu pruned\n",
                 static_cast<unsigned long long>(res.control.messages_sent),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "topo/builder.h"
+
 namespace pase::core {
 
 // ---------------------------------------------------------------------------
@@ -19,6 +21,19 @@ PlaneTopology PlaneTopology::from(topo::ThreeTier& tt) {
     pt.hosts[hosts[i]->id()] =
         HostInfo{hosts[i].get(), tt.tors[static_cast<std::size_t>(tor_idx)],
                  tt.agg_of_tor(tor_idx)};
+  }
+  return pt;
+}
+
+PlaneTopology PlaneTopology::from(topo::BuiltTopology& built) {
+  PlaneTopology pt;
+  pt.topo = &built.topo();
+  pt.host_rate_bps = built.host_rate_bps();
+  pt.fabric_rate_bps = built.fabric_rate_bps();
+  const auto& hosts = built.topo().hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const topo::HostAttachment at = built.attachment(i);
+    pt.hosts[hosts[i]->id()] = HostInfo{hosts[i].get(), at.tor, at.agg};
   }
   return pt;
 }

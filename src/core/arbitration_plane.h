@@ -26,10 +26,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/control_stats.h"
 #include "core/link_arbitrator.h"
 #include "topo/single_rack.h"
 #include "topo/three_tier.h"
 #include "transport/receiver.h"
+
+namespace pase::topo {
+class BuiltTopology;
+}
 
 namespace pase::core {
 
@@ -55,16 +60,8 @@ struct PlaneTopology {
 
   static PlaneTopology from(topo::ThreeTier& tt);
   static PlaneTopology from(topo::SingleRack& rack);
-};
-
-struct ControlPlaneStats {
-  std::uint64_t messages_sent = 0;  // control packets injected into the fabric
-  std::uint64_t requests = 0;
-  std::uint64_t responses = 0;
-  std::uint64_t fins = 0;
-  std::uint64_t delegation_msgs = 0;   // reports + grants
-  std::uint64_t arbitrations = 0;      // Algorithm-1 executions
-  std::uint64_t pruned_requests = 0;   // ascents cut short by early pruning
+  // Generic form: any BuiltTopology that reports per-host ToR/Agg attachment.
+  static PlaneTopology from(topo::BuiltTopology& built);
 };
 
 class ArbitrationPlane {

@@ -1,0 +1,19 @@
+// Control-plane counters, split from arbitration_plane.h so result structs
+// (ScenarioResult) can carry them without depending on the whole plane.
+#pragma once
+
+#include <cstdint>
+
+namespace pase::core {
+
+struct ControlPlaneStats {
+  std::uint64_t messages_sent = 0;  // control packets injected into the fabric
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t fins = 0;
+  std::uint64_t delegation_msgs = 0;   // reports + grants
+  std::uint64_t arbitrations = 0;      // Algorithm-1 executions
+  std::uint64_t pruned_requests = 0;   // ascents cut short by early pruning
+};
+
+}  // namespace pase::core

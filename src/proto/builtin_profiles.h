@@ -1,0 +1,20 @@
+// Factories for the six built-in profiles, one translation unit each under
+// proto/profiles/. A new protocol is one new file exporting a factory plus
+// one registration line in registry.cc (kept explicit rather than
+// static-initializer magic so static linking never drops a profile).
+#pragma once
+
+#include <memory>
+
+#include "proto/transport_profile.h"
+
+namespace pase::proto {
+
+std::unique_ptr<TransportProfile> make_dctcp_profile();
+std::unique_ptr<TransportProfile> make_d2tcp_profile();
+std::unique_ptr<TransportProfile> make_l2dct_profile();
+std::unique_ptr<TransportProfile> make_pdq_profile();
+std::unique_ptr<TransportProfile> make_pfabric_profile();
+std::unique_ptr<TransportProfile> make_pase_profile();
+
+}  // namespace pase::proto

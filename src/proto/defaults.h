@@ -5,7 +5,7 @@
 
 #include "sim/simulator.h"
 
-namespace pase::workload {
+namespace pase::proto {
 
 struct Table3 {
   // DCTCP / D2TCP / L2DCT
@@ -34,4 +34,4 @@ inline std::size_t mark_threshold_for(double rate_bps) {
   return rate_bps > 5e9 ? Table3::kMarkThreshold10G : Table3::kMarkThreshold1G;
 }
 
-}  // namespace pase::workload
+}  // namespace pase::proto

@@ -1,0 +1,24 @@
+// Per-run protocol knobs a TransportProfile consumes. ScenarioConfig derives
+// from this, so experiment code keeps writing `cfg.pase.num_queues = 4` while
+// the profile layer stays independent of the workload layer.
+#pragma once
+
+#include <cstddef>
+
+#include "core/pase_config.h"
+#include "transport/pdq_options.h"
+
+namespace pase::proto {
+
+struct ProfileParams {
+  core::PaseConfig pase;      // PASE knobs (criterion picked from deadlines)
+  transport::PdqOptions pdq;  // PDQ knobs
+  double pdq_probe_rtts = 8.0;           // paused-sender probe period, in RTTs
+  double arbitration_period_rtts = 1.0;  // PASE source refresh period, in RTTs
+
+  // Fabric overrides; 0 = per-protocol Table 3 default.
+  std::size_t queue_capacity_pkts = 0;
+  std::size_t mark_threshold_pkts = 0;
+};
+
+}  // namespace pase::proto

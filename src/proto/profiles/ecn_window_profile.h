@@ -1,0 +1,58 @@
+// Shared base for the DCTCP family (DCTCP, D2TCP, L2DCT): a single RED/ECN
+// marking queue per port with Table 3 capacity, and window-based senders
+// seeded with the measured base RTT.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "net/red_ecn_queue.h"
+#include "proto/defaults.h"
+#include "proto/transport_profile.h"
+#include "transport/window_sender.h"
+
+namespace pase::proto {
+
+// Shared override sanity check: an explicit ECN mark threshold must fit in
+// the effective queue capacity, else every packet is marked-then-dropped.
+inline void check_mark_fits_capacity(const ProfileParams& p,
+                                     std::size_t default_capacity_pkts,
+                                     std::string_view profile) {
+  const std::size_t cap =
+      p.queue_capacity_pkts ? p.queue_capacity_pkts : default_capacity_pkts;
+  if (p.mark_threshold_pkts && p.mark_threshold_pkts > cap) {
+    throw std::invalid_argument(
+        std::string(profile) + ": mark_threshold_pkts (" +
+        std::to_string(p.mark_threshold_pkts) +
+        ") exceeds the queue capacity (" + std::to_string(cap) + " pkts)");
+  }
+}
+
+class EcnWindowProfile : public TransportProfile {
+ public:
+  void validate(const ProfileParams& params) const override {
+    check_mark_fits_capacity(params, Table3::kDctcpQueuePkts, name());
+  }
+
+  topo::QueueFactory make_queue_factory(
+      const ProfileParams& params) const override {
+    const std::size_t cap_override = params.queue_capacity_pkts;
+    const std::size_t mark_override = params.mark_threshold_pkts;
+    return [=](double rate) -> std::unique_ptr<net::Queue> {
+      const std::size_t cap =
+          cap_override ? cap_override : Table3::kDctcpQueuePkts;
+      const std::size_t k =
+          mark_override ? mark_override : mark_threshold_for(rate);
+      return std::make_unique<net::RedEcnQueue>(cap, k);
+    };
+  }
+
+ protected:
+  static transport::WindowSenderOptions window_options(const RunContext& ctx) {
+    transport::WindowSenderOptions w;
+    w.initial_rtt = ctx.base_rtt;
+    return w;
+  }
+};
+
+}  // namespace pase::proto

@@ -1,0 +1,49 @@
+#include "proto/protocol.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace pase::proto {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kDctcp: return "DCTCP";
+    case Protocol::kD2tcp: return "D2TCP";
+    case Protocol::kL2dct: return "L2DCT";
+    case Protocol::kPdq: return "PDQ";
+    case Protocol::kPfabric: return "pFabric";
+    case Protocol::kPase: return "PASE";
+  }
+  return "?";
+}
+
+const char* protocol_key(Protocol p) {
+  switch (p) {
+    case Protocol::kDctcp: return "dctcp";
+    case Protocol::kD2tcp: return "d2tcp";
+    case Protocol::kL2dct: return "l2dct";
+    case Protocol::kPdq: return "pdq";
+    case Protocol::kPfabric: return "pfabric";
+    case Protocol::kPase: return "pase";
+  }
+  return "?";
+}
+
+std::optional<Protocol> parse_protocol(std::string_view name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    key.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  static constexpr std::array<Protocol, 6> kAll = {
+      Protocol::kDctcp, Protocol::kD2tcp,   Protocol::kL2dct,
+      Protocol::kPdq,   Protocol::kPfabric, Protocol::kPase};
+  for (Protocol p : kAll) {
+    if (key == protocol_key(p)) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pase::proto

@@ -1,0 +1,25 @@
+// The protocol identifier shared by configs, CLIs and the profile registry.
+// A Protocol value names one of the paper's six transports; arbitrary
+// additional transports can be registered by string name only (see
+// proto/registry.h), so the enum never has to grow for an experiment.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace pase::proto {
+
+enum class Protocol { kDctcp, kD2tcp, kL2dct, kPdq, kPfabric, kPase };
+
+// Canonical display name, e.g. "DCTCP", "pFabric".
+const char* protocol_name(Protocol p);
+
+// Canonical lowercase registry/CLI key, e.g. "dctcp", "pfabric".
+const char* protocol_key(Protocol p);
+
+// Inverse of protocol_name/protocol_key: case-insensitive, accepts both the
+// display and the key spelling ("pFabric" == "pfabric" == "PFABRIC").
+// Returns nullopt for anything else.
+std::optional<Protocol> parse_protocol(std::string_view name);
+
+}  // namespace pase::proto

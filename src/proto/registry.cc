@@ -1,0 +1,98 @@
+#include "proto/registry.h"
+
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "proto/builtin_profiles.h"
+
+namespace pase::proto {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+struct ProfileRegistry::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<TransportProfile>> owned;
+  std::unordered_map<std::string, const TransportProfile*> by_name;
+};
+
+ProfileRegistry::ProfileRegistry() : impl_(new Impl) {
+  add(make_dctcp_profile());
+  add(make_d2tcp_profile());
+  add(make_l2dct_profile());
+  add(make_pdq_profile());
+  add(make_pfabric_profile());
+  add(make_pase_profile());
+}
+
+ProfileRegistry& ProfileRegistry::instance() {
+  static ProfileRegistry* reg = new ProfileRegistry;
+  return *reg;
+}
+
+const TransportProfile* ProfileRegistry::add(
+    std::unique_ptr<TransportProfile> p) {
+  if (!p) throw std::invalid_argument("cannot register a null profile");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::string key = lower(p->name());
+  if (key.empty()) throw std::invalid_argument("profile name must not be empty");
+  if (impl_->by_name.count(key)) {
+    throw std::invalid_argument("transport profile '" + key +
+                                "' is already registered");
+  }
+  const TransportProfile* raw = p.get();
+  impl_->owned.push_back(std::move(p));
+  impl_->by_name.emplace(key, raw);
+  return raw;
+}
+
+const TransportProfile* ProfileRegistry::by_name(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->by_name.find(lower(name));
+  return it == impl_->by_name.end() ? nullptr : it->second;
+}
+
+const TransportProfile* ProfileRegistry::by_protocol(Protocol p) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& prof : impl_->owned) {
+    if (prof->protocol() == p) return prof.get();
+  }
+  return nullptr;
+}
+
+std::vector<const TransportProfile*> ProfileRegistry::profiles() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<const TransportProfile*> out;
+  out.reserve(impl_->owned.size());
+  for (const auto& prof : impl_->owned) out.push_back(prof.get());
+  return out;
+}
+
+const TransportProfile& profile_for(Protocol p) {
+  const TransportProfile* prof = ProfileRegistry::instance().by_protocol(p);
+  if (!prof) {
+    throw std::logic_error(std::string("no profile registered for protocol ") +
+                           protocol_name(p));
+  }
+  return *prof;
+}
+
+const TransportProfile* profile_for(std::string_view name) {
+  return ProfileRegistry::instance().by_name(name);
+}
+
+}  // namespace pase::proto

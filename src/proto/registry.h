@@ -1,0 +1,53 @@
+// Name-keyed registry of transport profiles.
+//
+// The six paper protocols self-register at first use (see
+// proto/builtin_profiles.h); experiments, tests or downstream users add
+// their own with ProfileRegistry::instance().add(...) — no scenario, switch
+// or bench code has to change for a new transport to be runnable via
+// ScenarioConfig::profile_name or a `--protocol=` CLI flag.
+//
+// Lookups are case-insensitive on the profile's name(). Registered profiles
+// live for the process lifetime; lookups are thread-safe (sweep workers
+// resolve profiles concurrently).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "proto/protocol.h"
+#include "proto/transport_profile.h"
+
+namespace pase::proto {
+
+class ProfileRegistry {
+ public:
+  // The process-wide registry, with the built-in profiles already present.
+  static ProfileRegistry& instance();
+
+  // Registers a profile under lowercase(p->name()). Throws
+  // std::invalid_argument on a duplicate name. Returns the stored profile.
+  const TransportProfile* add(std::unique_ptr<TransportProfile> p);
+
+  // nullptr when unknown.
+  const TransportProfile* by_name(std::string_view name) const;
+  const TransportProfile* by_protocol(Protocol p) const;
+
+  // All profiles, in registration order (built-ins first).
+  std::vector<const TransportProfile*> profiles() const;
+
+ private:
+  ProfileRegistry();
+
+  struct Impl;
+  Impl* impl_;  // leaked intentionally: registry outlives static teardown
+};
+
+// Convenience lookups.
+// Enum form: every Protocol value has a built-in profile, so this never
+// fails (throws std::logic_error if a built-in was somehow not registered).
+const TransportProfile& profile_for(Protocol p);
+// Name form for CLI flags; nullptr when unknown.
+const TransportProfile* profile_for(std::string_view name);
+
+}  // namespace pase::proto

@@ -1,0 +1,19 @@
+#include "proto/transport_profile.h"
+
+namespace pase::proto {
+
+std::unique_ptr<transport::Receiver> TransportProfile::make_receiver(
+    RunContext& ctx, const transport::Flow& flow, net::Host& dst) const {
+  return std::make_unique<transport::Receiver>(ctx.sim, dst, flow);
+}
+
+sim::Time estimate_base_rtt(topo::Topology& topo, double host_rate_bps) {
+  const net::NodeId a = topo.host(0)->id();
+  const net::NodeId b = topo.host(topo.num_hosts() - 1)->id();
+  const sim::Time prop = topo.propagation_rtt(a, b);
+  const sim::Time serial =
+      4.0 * (net::kMss + net::kDataHeaderBytes) * 8.0 / host_rate_bps;
+  return prop + serial;
+}
+
+}  // namespace pase::proto

@@ -1,0 +1,99 @@
+// The pluggable seam between "which transport" and "how to run a scenario".
+//
+// A TransportProfile bundles everything that used to be a per-protocol branch
+// in the scenario monolith:
+//   (a) the fabric: which queue discipline each link gets, with the paper's
+//       Table 3 capacities/ECN thresholds as defaults;
+//   (b) the endpoints: sender/receiver factories invoked per flow by the
+//       harness as the workload arrives;
+//   (c) optional control-plane setup: PASE's arbitration plane, PDQ's
+//       per-port controllers — built once per run, owned by the run.
+//
+// Profiles are stateless; all per-run state lives in the RunContext and the
+// ControlPlane object the profile returns. Registering a profile (see
+// proto/registry.h) makes it reachable from every bench, example and test
+// by name — the scenario harness itself never names a protocol.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/control_stats.h"
+#include "proto/profile_params.h"
+#include "proto/protocol.h"
+#include "topo/builder.h"
+#include "transport/agent.h"
+#include "transport/receiver.h"
+
+namespace pase::proto {
+
+// Per-run control-plane state (arbitration plane, PDQ controllers, ...).
+// Owned by the scenario run; destroyed after the simulation ends.
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+  // Counters for ScenarioResult::control; null when the protocol has none.
+  virtual const core::ControlPlaneStats* stats() const { return nullptr; }
+};
+
+// Everything a profile may consult while wiring a run. `params` is the run's
+// own mutable copy: a profile may tune it from measured facts (PASE derives
+// its arbitration period and criterion from the RTT and the workload).
+struct RunContext {
+  sim::Simulator& sim;
+  topo::BuiltTopology& built;
+  ProfileParams params;
+  sim::Time base_rtt = 0.0;
+  bool any_deadline = false;
+  ControlPlane* control = nullptr;  // set once make_control_plane returned
+};
+
+class TransportProfile {
+ public:
+  virtual ~TransportProfile() = default;
+
+  // The enum identity for the six paper protocols; nullopt for registered
+  // extras, which are reachable by name only.
+  virtual std::optional<Protocol> protocol() const { return std::nullopt; }
+  // Registry/CLI key, lowercase ("pase"). Unique across the registry.
+  virtual std::string_view name() const = 0;
+  virtual std::string_view display_name() const { return name(); }
+
+  // Rejects nonsensical knob combinations with std::invalid_argument; called
+  // by the harness before anything is built.
+  virtual void validate(const ProfileParams& params) const { (void)params; }
+
+  // (a) fabric.
+  virtual topo::QueueFactory make_queue_factory(
+      const ProfileParams& params) const = 0;
+
+  // (c) control plane; called once after the topology is built, before any
+  // flow starts. Default: the protocol needs none.
+  virtual std::unique_ptr<ControlPlane> make_control_plane(
+      RunContext& ctx) const {
+    (void)ctx;
+    return nullptr;
+  }
+
+  // (b) endpoints, invoked per flow at its start time.
+  virtual std::unique_ptr<transport::Sender> make_sender(
+      RunContext& ctx, const transport::Flow& flow, net::Host& src) const = 0;
+  virtual std::unique_ptr<transport::Receiver> make_receiver(
+      RunContext& ctx, const transport::Flow& flow, net::Host& dst) const;
+
+  // Called after the pair exists and completion callbacks are wired, before
+  // the sender starts (PASE hooks the receiver into the arbitration plane).
+  virtual void before_flow_start(RunContext& ctx, transport::Sender& sender,
+                                 transport::Receiver& receiver) const {
+    (void)ctx;
+    (void)sender;
+    (void)receiver;
+  }
+};
+
+// Measured base RTT between the two most distant hosts: propagation plus a
+// nominal per-hop serialization allowance for a data packet.
+sim::Time estimate_base_rtt(topo::Topology& topo, double host_rate_bps);
+
+}  // namespace pase::proto

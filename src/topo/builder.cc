@@ -1,0 +1,71 @@
+#include "topo/builder.h"
+
+namespace pase::topo {
+
+namespace {
+
+class BuiltSingleRack : public BuiltTopology {
+ public:
+  explicit BuiltSingleRack(SingleRack rack) : rack_(std::move(rack)) {}
+  Topology& topo() override { return *rack_.topo; }
+  double host_rate_bps() const override { return rack_.config.host_rate_bps; }
+  // A rack has no fabric tier: the host links are the fabric.
+  double fabric_rate_bps() const override { return rack_.config.host_rate_bps; }
+  HostAttachment attachment(std::size_t) const override {
+    return HostAttachment{rack_.tor, nullptr};
+  }
+
+ private:
+  SingleRack rack_;
+};
+
+class BuiltThreeTier : public BuiltTopology {
+ public:
+  explicit BuiltThreeTier(ThreeTier tree) : tree_(std::move(tree)) {}
+  Topology& topo() override { return *tree_.topo; }
+  double host_rate_bps() const override { return tree_.config.host_rate_bps; }
+  double fabric_rate_bps() const override {
+    return tree_.config.fabric_rate_bps;
+  }
+  HostAttachment attachment(std::size_t host_index) const override {
+    const int tor = tree_.tor_of_host(static_cast<int>(host_index));
+    return HostAttachment{tree_.tors[static_cast<std::size_t>(tor)],
+                          tree_.agg_of_tor(tor)};
+  }
+
+ private:
+  ThreeTier tree_;
+};
+
+}  // namespace
+
+WorkloadHints SingleRackBuilder::hints() const {
+  WorkloadHints h;
+  h.num_hosts = cfg_.num_hosts;
+  h.host_rate_bps = cfg_.host_rate_bps;
+  h.bottleneck_rate_bps = cfg_.host_rate_bps;
+  return h;
+}
+
+std::unique_ptr<BuiltTopology> SingleRackBuilder::build(
+    sim::Simulator& sim, const QueueFactory& make_queue) const {
+  return std::make_unique<BuiltSingleRack>(
+      build_single_rack(sim, cfg_, make_queue));
+}
+
+WorkloadHints ThreeTierBuilder::hints() const {
+  WorkloadHints h;
+  h.num_hosts = cfg_.num_tors * cfg_.hosts_per_tor;
+  h.left_hosts = h.num_hosts / 2;
+  h.host_rate_bps = cfg_.host_rate_bps;
+  h.bottleneck_rate_bps = cfg_.fabric_rate_bps;
+  return h;
+}
+
+std::unique_ptr<BuiltTopology> ThreeTierBuilder::build(
+    sim::Simulator& sim, const QueueFactory& make_queue) const {
+  return std::make_unique<BuiltThreeTier>(
+      build_three_tier(sim, cfg_, make_queue));
+}
+
+}  // namespace pase::topo

@@ -1,0 +1,78 @@
+// A common seam over the concrete topologies.
+//
+// A TopologyBuilder knows how to size a workload for its topology (hints())
+// and how to materialize the node/link graph for a given fabric
+// (build(sim, queue_factory)). The BuiltTopology it returns keeps the
+// structural facts a control plane needs — which ToR/Agg each host hangs
+// off — without the caller having to know whether it is looking at a rack,
+// a tree, or something new. The scenario harness only ever sees these two
+// interfaces, so adding a topology means adding a builder, not editing the
+// harness.
+#pragma once
+
+#include <memory>
+
+#include "topo/single_rack.h"
+#include "topo/three_tier.h"
+#include "topo/topology.h"
+
+namespace pase::topo {
+
+// Where a host attaches to the fabric (agg is null when there is no
+// aggregation layer above the host's ToR).
+struct HostAttachment {
+  net::Switch* tor = nullptr;
+  net::Switch* agg = nullptr;
+};
+
+// A materialized topology plus the structural metadata builders preserve.
+class BuiltTopology {
+ public:
+  virtual ~BuiltTopology() = default;
+  virtual Topology& topo() = 0;
+  virtual double host_rate_bps() const = 0;
+  // Core/fabric link rate; equals host_rate_bps when there is no fabric tier.
+  virtual double fabric_rate_bps() const = 0;
+  // Attachment of host index i (host creation order).
+  virtual HostAttachment attachment(std::size_t host_index) const = 0;
+};
+
+// Workload sizing facts derivable from the config alone, before building.
+struct WorkloadHints {
+  int num_hosts = 0;
+  int left_hosts = 0;  // hosts in the left subtree; 0 when not partitioned
+  double host_rate_bps = 0.0;
+  double bottleneck_rate_bps = 0.0;  // capacity offered load is defined against
+};
+
+class TopologyBuilder {
+ public:
+  virtual ~TopologyBuilder() = default;
+  virtual WorkloadHints hints() const = 0;
+  virtual std::unique_ptr<BuiltTopology> build(
+      sim::Simulator& sim, const QueueFactory& make_queue) const = 0;
+};
+
+class SingleRackBuilder : public TopologyBuilder {
+ public:
+  explicit SingleRackBuilder(SingleRackConfig cfg) : cfg_(cfg) {}
+  WorkloadHints hints() const override;
+  std::unique_ptr<BuiltTopology> build(
+      sim::Simulator& sim, const QueueFactory& make_queue) const override;
+
+ private:
+  SingleRackConfig cfg_;
+};
+
+class ThreeTierBuilder : public TopologyBuilder {
+ public:
+  explicit ThreeTierBuilder(ThreeTierConfig cfg) : cfg_(cfg) {}
+  WorkloadHints hints() const override;
+  std::unique_ptr<BuiltTopology> build(
+      sim::Simulator& sim, const QueueFactory& make_queue) const override;
+
+ private:
+  ThreeTierConfig cfg_;
+};
+
+}  // namespace pase::topo

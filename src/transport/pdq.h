@@ -20,17 +20,9 @@
 #include "net/switch.h"
 #include "sim/timer.h"
 #include "transport/agent.h"
+#include "transport/pdq_options.h"
 
 namespace pase::transport {
-
-struct PdqOptions {
-  double utilization = 0.98;    // fraction of capacity handed out
-  sim::Time rtt = 300e-6;       // RTT estimate for Early Start
-  double early_start_rtts = 1;  // K: grant next flow if blocker ends within K RTTs
-  sim::Time entry_timeout = 10e-3;  // GC for flows that vanished silently
-  bool early_start = true;
-  bool early_termination = true;
-};
 
 class PdqController {
  public:
@@ -74,12 +66,6 @@ class PdqController {
   PdqOptions opts_;
   std::vector<Entry> flows_;  // sorted, most critical first
   sim::Time last_prune_ = 0.0;
-};
-
-struct PdqSenderOptions {
-  sim::Time min_rto = 10e-3;
-  sim::Time initial_rtt = 300e-6;
-  sim::Time probe_interval = 1.5e-3;  // paused flows probe every ~5 RTTs
 };
 
 class PdqSender : public Sender {

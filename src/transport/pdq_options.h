@@ -1,0 +1,25 @@
+// PDQ knobs, split from pdq.h so configuration-only headers (profile params,
+// scenario configs) can name them without pulling in the controller/sender
+// machinery.
+#pragma once
+
+#include "sim/simulator.h"
+
+namespace pase::transport {
+
+struct PdqOptions {
+  double utilization = 0.98;    // fraction of capacity handed out
+  sim::Time rtt = 300e-6;       // RTT estimate for Early Start
+  double early_start_rtts = 1;  // K: grant next flow if blocker ends within K RTTs
+  sim::Time entry_timeout = 10e-3;  // GC for flows that vanished silently
+  bool early_start = true;
+  bool early_termination = true;
+};
+
+struct PdqSenderOptions {
+  sim::Time min_rto = 10e-3;
+  sim::Time initial_rtt = 300e-6;
+  sim::Time probe_interval = 1.5e-3;  // paused flows probe every ~5 RTTs
+};
+
+}  // namespace pase::transport

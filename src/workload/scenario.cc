@@ -1,39 +1,98 @@
 #include "workload/scenario.h"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
-#include "net/droptail_queue.h"
-#include "net/pfabric_queue.h"
-#include "net/priority_queue_bank.h"
-#include "net/red_ecn_queue.h"
-#include "transport/d2tcp.h"
-#include "transport/l2dct.h"
-#include "transport/pfabric.h"
+#include "proto/registry.h"
+#include "proto/transport_profile.h"
+#include "topo/builder.h"
 
 namespace pase::workload {
 
-const char* protocol_name(Protocol p) {
-  switch (p) {
-    case Protocol::kDctcp: return "DCTCP";
-    case Protocol::kD2tcp: return "D2TCP";
-    case Protocol::kL2dct: return "L2DCT";
-    case Protocol::kPdq: return "PDQ";
-    case Protocol::kPfabric: return "pFabric";
-    case Protocol::kPase: return "PASE";
+namespace {
+
+const proto::TransportProfile& resolve_profile(const ScenarioConfig& cfg) {
+  if (!cfg.profile_name.empty()) {
+    if (const proto::TransportProfile* p =
+            proto::profile_for(cfg.profile_name)) {
+      return *p;
+    }
+    throw std::invalid_argument("unknown transport profile '" +
+                                cfg.profile_name + "'");
   }
-  return "?";
+  return proto::profile_for(cfg.protocol);
 }
 
-namespace {
+std::unique_ptr<topo::TopologyBuilder> topology_builder(
+    const ScenarioConfig& cfg) {
+  if (cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
+    return std::make_unique<topo::SingleRackBuilder>(cfg.rack);
+  }
+  return std::make_unique<topo::ThreeTierBuilder>(cfg.tree);
+}
+
+[[noreturn]] void bad_config(const std::string& what) {
+  throw std::invalid_argument("invalid scenario config: " + what);
+}
+
+// Generic (profile-independent) sanity checks.
+void validate_generic(const ScenarioConfig& cfg) {
+  if (!(cfg.max_duration > 0.0)) {
+    bad_config("max_duration must be positive, got " +
+               std::to_string(cfg.max_duration));
+  }
+  if (cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
+    if (cfg.rack.num_hosts < 2) {
+      bad_config("single-rack topology needs at least 2 hosts, got " +
+                 std::to_string(cfg.rack.num_hosts));
+    }
+    if (!(cfg.rack.host_rate_bps > 0.0)) {
+      bad_config("rack.host_rate_bps must be positive");
+    }
+  } else {
+    if (cfg.tree.num_tors < 1 || cfg.tree.hosts_per_tor < 1 ||
+        cfg.tree.tors_per_agg < 1) {
+      bad_config("three-tier dimensions must all be at least 1");
+    }
+    if (cfg.tree.num_tors % cfg.tree.tors_per_agg != 0) {
+      bad_config("num_tors (" + std::to_string(cfg.tree.num_tors) +
+                 ") must be a multiple of tors_per_agg (" +
+                 std::to_string(cfg.tree.tors_per_agg) + ")");
+    }
+    if (cfg.tree.num_tors * cfg.tree.hosts_per_tor < 2) {
+      bad_config("three-tier topology needs at least 2 hosts");
+    }
+    if (!(cfg.tree.host_rate_bps > 0.0) || !(cfg.tree.fabric_rate_bps > 0.0)) {
+      bad_config("tree link rates must be positive");
+    }
+  }
+  const WorkloadConfig& t = cfg.traffic;
+  if (!(t.load > 0.0)) {
+    bad_config("traffic.load must be positive, got " + std::to_string(t.load));
+  }
+  if (t.size_min_bytes <= 0 || t.size_max_bytes < t.size_min_bytes) {
+    bad_config("flow size range [" + std::to_string(t.size_min_bytes) + ", " +
+               std::to_string(t.size_max_bytes) +
+               "] is empty or non-positive");
+  }
+  if (t.deadline_min < 0.0 || t.deadline_max < t.deadline_min) {
+    bad_config("deadline range [" + std::to_string(t.deadline_min) + ", " +
+               std::to_string(t.deadline_max) + "] is invalid");
+  }
+  if (t.pattern == Pattern::kLeftRight &&
+      cfg.topology != ScenarioConfig::TopologyKind::kThreeTier) {
+    bad_config("left-right traffic needs the three-tier topology");
+  }
+}
 
 struct Run {
   sim::Simulator sim;
-  std::unique_ptr<topo::Topology> topo_holder;  // keeps ownership
-  topo::Topology* topo = nullptr;
-  std::unique_ptr<core::ArbitrationPlane> plane;
-  std::vector<std::unique_ptr<transport::PdqController>> pdq_controllers;
+  std::unique_ptr<topo::BuiltTopology> built;
+  std::unique_ptr<proto::ControlPlane> control;
   std::vector<std::unique_ptr<transport::Sender>> senders;
   std::vector<std::unique_ptr<transport::Receiver>> receivers;
   std::vector<stats::FlowRecord> records;
@@ -41,96 +100,15 @@ struct Run {
   std::size_t outstanding = 0;  // short flows not yet finished
 };
 
-topo::QueueFactory make_queue_factory(const ScenarioConfig& cfg) {
-  const std::size_t cap_override = cfg.queue_capacity_pkts;
-  const std::size_t mark_override = cfg.mark_threshold_pkts;
-  const int num_queues = cfg.pase.num_queues;
-  switch (cfg.protocol) {
-    case Protocol::kDctcp:
-    case Protocol::kD2tcp:
-    case Protocol::kL2dct:
-      return [=](double rate) -> std::unique_ptr<net::Queue> {
-        const std::size_t cap =
-            cap_override ? cap_override : Table3::kDctcpQueuePkts;
-        const std::size_t k =
-            mark_override ? mark_override : mark_threshold_for(rate);
-        return std::make_unique<net::RedEcnQueue>(cap, k);
-      };
-    case Protocol::kPdq:
-      return [=](double) -> std::unique_ptr<net::Queue> {
-        const std::size_t cap =
-            cap_override ? cap_override : Table3::kPdqQueuePkts;
-        return std::make_unique<net::DropTailQueue>(cap);
-      };
-    case Protocol::kPfabric:
-      return [=](double) -> std::unique_ptr<net::Queue> {
-        const std::size_t cap =
-            cap_override ? cap_override : Table3::kPfabricQueuePkts;
-        return std::make_unique<net::PfabricQueue>(cap);
-      };
-    case Protocol::kPase:
-      return [=](double rate) -> std::unique_ptr<net::Queue> {
-        const std::size_t cap =
-            cap_override ? cap_override : Table3::kPaseQueuePkts;
-        const std::size_t k =
-            mark_override ? mark_override : mark_threshold_for(rate);
-        return std::make_unique<net::PriorityQueueBank>(num_queues, cap, k);
-      };
-  }
-  throw std::logic_error("unknown protocol");
-}
-
-// Measured base RTT between the two most distant hosts: propagation plus a
-// nominal per-hop serialization allowance for a data packet.
-sim::Time estimate_rtt(topo::Topology& topo, double host_rate) {
-  const net::NodeId a = topo.host(0)->id();
-  const net::NodeId b = topo.host(topo.num_hosts() - 1)->id();
-  const sim::Time prop = topo.propagation_rtt(a, b);
-  const sim::Time serial =
-      4.0 * (net::kMss + net::kDataHeaderBytes) * 8.0 / host_rate;
-  return prop + serial;
-}
-
-std::unique_ptr<transport::Sender> make_sender(Run& run,
-                                               const ScenarioConfig& cfg,
-                                               const transport::Flow& flow,
-                                               net::Host& src,
-                                               sim::Time base_rtt) {
-  transport::WindowSenderOptions w;
-  w.initial_rtt = base_rtt;
-  switch (cfg.protocol) {
-    case Protocol::kDctcp:
-      return std::make_unique<transport::DctcpSender>(run.sim, src, flow, w);
-    case Protocol::kD2tcp:
-      return std::make_unique<transport::D2tcpSender>(run.sim, src, flow, w);
-    case Protocol::kL2dct:
-      return std::make_unique<transport::L2dctSender>(run.sim, src, flow, w);
-    case Protocol::kPfabric: {
-      w = transport::PfabricSender::default_window_options();
-      w.initial_rtt = base_rtt;
-      return std::make_unique<transport::PfabricSender>(run.sim, src, flow, w);
-    }
-    case Protocol::kPdq: {
-      transport::PdqSenderOptions o;
-      o.initial_rtt = base_rtt;
-      o.probe_interval = cfg.pdq_probe_rtts * base_rtt;
-      return std::make_unique<transport::PdqSender>(run.sim, src, flow, o);
-    }
-    case Protocol::kPase:
-      return std::make_unique<core::PaseSender>(run.sim, src, flow,
-                                                *run.plane);
-  }
-  throw std::logic_error("unknown protocol");
-}
-
-void launch_flow(Run& run, const ScenarioConfig& cfg, transport::Flow flow,
-                 sim::Time base_rtt) {
-  net::Host* src = static_cast<net::Host*>(run.topo->node(flow.src));
-  net::Host* dst = static_cast<net::Host*>(run.topo->node(flow.dst));
+void launch_flow(Run& run, const proto::TransportProfile& profile,
+                 proto::RunContext& ctx, const transport::Flow& flow) {
+  topo::Topology& topo = ctx.built.topo();
+  net::Host* src = static_cast<net::Host*>(topo.node(flow.src));
+  net::Host* dst = static_cast<net::Host*>(topo.node(flow.dst));
   assert(src && dst);
 
-  auto receiver = std::make_unique<transport::Receiver>(run.sim, *dst, flow);
-  auto sender = make_sender(run, cfg, flow, *src, base_rtt);
+  auto receiver = profile.make_receiver(ctx, flow, *dst);
+  auto sender = profile.make_sender(ctx, flow, *src);
 
   const std::size_t rec_idx = run.record_of.at(flow.id);
   receiver->on_complete = [&run, rec_idx](transport::Receiver& r) {
@@ -148,9 +126,7 @@ void launch_flow(Run& run, const ScenarioConfig& cfg, transport::Flow flow,
     }
   };
 
-  if (cfg.protocol == Protocol::kPase && run.plane) {
-    run.plane->attach_receiver(*receiver);
-  }
+  profile.before_flow_start(ctx, *sender, *receiver);
   src->register_flow(flow.id, sender.get());
   dst->register_flow(flow.id, receiver.get());
   sender->start();
@@ -161,115 +137,49 @@ void launch_flow(Run& run, const ScenarioConfig& cfg, transport::Flow flow,
 
 }  // namespace
 
+void validate_config(const ScenarioConfig& cfg) {
+  validate_generic(cfg);
+  resolve_profile(cfg).validate(cfg);
+}
+
 ScenarioResult run_scenario(ScenarioConfig cfg) {
   // Fill topology-derived workload fields, then generate.
-  if (cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
-    cfg.traffic.num_hosts = cfg.rack.num_hosts;
-    cfg.traffic.host_rate_bps = cfg.rack.host_rate_bps;
-    cfg.traffic.bottleneck_rate_bps = cfg.rack.host_rate_bps;
-  } else {
-    const int hosts = cfg.tree.num_tors * cfg.tree.hosts_per_tor;
-    cfg.traffic.num_hosts = hosts;
-    cfg.traffic.left_hosts = hosts / 2;
-    cfg.traffic.host_rate_bps = cfg.tree.host_rate_bps;
-    cfg.traffic.bottleneck_rate_bps = cfg.tree.fabric_rate_bps;
-  }
+  const topo::WorkloadHints hints = topology_builder(cfg)->hints();
+  cfg.traffic.num_hosts = hints.num_hosts;
+  if (hints.left_hosts > 0) cfg.traffic.left_hosts = hints.left_hosts;
+  cfg.traffic.host_rate_bps = hints.host_rate_bps;
+  cfg.traffic.bottleneck_rate_bps = hints.bottleneck_rate_bps;
+  validate_config(cfg);
   return run_scenario_with_flows(cfg, generate_flows(cfg.traffic));
 }
 
 ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
                                        std::vector<transport::Flow> flows) {
+  const proto::TransportProfile& profile = resolve_profile(cfg);
+  validate_generic(cfg);
+  profile.validate(cfg);
+
   Run run;
-  const auto factory = make_queue_factory(cfg);
+  run.built =
+      topology_builder(cfg)->build(run.sim, profile.make_queue_factory(cfg));
+  topo::BuiltTopology& built = *run.built;
 
-  double host_rate = 0.0;
-  if (cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
-    topo::SingleRack rack = topo::build_single_rack(run.sim, cfg.rack, factory);
-    run.topo = rack.topo.get();
-    run.topo_holder = std::move(rack.topo);
-    host_rate = cfg.rack.host_rate_bps;
-  } else {
-    topo::ThreeTier tree = topo::build_three_tier(run.sim, cfg.tree, factory);
-    run.topo = tree.topo.get();
-    run.topo_holder = std::move(tree.topo);
-    host_rate = cfg.tree.host_rate_bps;
-  }
-
-  const sim::Time base_rtt = estimate_rtt(*run.topo, host_rate);
-
+  proto::RunContext ctx{run.sim, built,
+                        static_cast<const proto::ProfileParams&>(cfg)};
+  ctx.base_rtt = proto::estimate_base_rtt(built.topo(), built.host_rate_bps());
   // Deadline workloads arbitrate/schedule EDF; others SJF.
-  bool any_deadline = false;
-  for (const auto& f : flows) any_deadline |= f.has_deadline();
-
-  if (cfg.protocol == Protocol::kPase) {
-    cfg.pase.rtt = base_rtt;
-    cfg.pase.arbitration_period = cfg.arbitration_period_rtts * base_rtt;
-    if (any_deadline &&
-        cfg.pase.criterion == core::Criterion::kShortestFlowFirst) {
-      cfg.pase.criterion = core::Criterion::kEarliestDeadlineFirst;
-    }
-    core::PlaneTopology pt;
-    if (cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
-      pt.topo = run.topo;
-      pt.host_rate_bps = cfg.rack.host_rate_bps;
-      pt.fabric_rate_bps = cfg.rack.host_rate_bps;
-      net::Switch* tor = run.topo->switches().front().get();
-      for (const auto& h : run.topo->hosts()) {
-        pt.hosts[h->id()] = core::PlaneTopology::HostInfo{h.get(), tor,
-                                                          nullptr};
-      }
-    } else {
-      pt.topo = run.topo;
-      pt.host_rate_bps = cfg.tree.host_rate_bps;
-      pt.fabric_rate_bps = cfg.tree.fabric_rate_bps;
-      // Hosts were created rack by rack; recover ToR/Agg from structure.
-      const int hosts_per_tor = cfg.tree.hosts_per_tor;
-      const int tors_per_agg = cfg.tree.tors_per_agg;
-      const auto& hosts = run.topo->hosts();
-      // Switch creation order in build_three_tier: core, aggs..., tors
-      // (each followed by its hosts).
-      const auto& switches = run.topo->switches();
-      const int num_aggs = cfg.tree.num_tors / tors_per_agg;
-      for (std::size_t i = 0; i < hosts.size(); ++i) {
-        const int tor_idx = static_cast<int>(i) / hosts_per_tor;
-        net::Switch* tor =
-            switches[static_cast<std::size_t>(1 + num_aggs + tor_idx)].get();
-        net::Switch* agg =
-            switches[static_cast<std::size_t>(1 + tor_idx / tors_per_agg)]
-                .get();
-        pt.hosts[hosts[i]->id()] =
-            core::PlaneTopology::HostInfo{hosts[i].get(), tor, agg};
-      }
-    }
-    run.plane =
-        std::make_unique<core::ArbitrationPlane>(run.sim, std::move(pt),
-                                                 cfg.pase);
+  for (const auto& f : flows) {
+    ctx.any_deadline = ctx.any_deadline || f.has_deadline();
   }
 
-  if (cfg.protocol == Protocol::kPdq) {
-    transport::PdqOptions po = cfg.pdq;
-    po.rtt = base_rtt;
-    if (!any_deadline) po.early_termination = false;
-    // Controllers on every switch output port...
-    for (const auto& sw : run.topo->switches()) {
-      auto cs = transport::PdqController::attach(run.sim, *sw, po);
-      for (auto& c : cs) run.pdq_controllers.push_back(std::move(c));
-    }
-    // ...and on every host uplink.
-    for (const auto& h : run.topo->hosts()) {
-      auto c = std::make_unique<transport::PdqController>(
-          run.sim, h->id(), h->nic_rate_bps(), po);
-      transport::PdqController* raw = c.get();
-      h->add_send_hook([raw](net::Packet& p) { raw->process(p); });
-      run.pdq_controllers.push_back(std::move(c));
-    }
-  }
+  run.control = profile.make_control_plane(ctx);
+  ctx.control = run.control.get();
 
   // Map generator host indices onto node ids and set up records.
   run.records.reserve(flows.size());
   for (auto& f : flows) {
-    f.src = run.topo->host(static_cast<std::size_t>(f.src))->id();
-    f.dst = run.topo->host(static_cast<std::size_t>(f.dst))->id();
+    f.src = built.topo().host(static_cast<std::size_t>(f.src))->id();
+    f.dst = built.topo().host(static_cast<std::size_t>(f.dst))->id();
     stats::FlowRecord rec;
     rec.id = f.id;
     rec.size_bytes = f.size_bytes;
@@ -283,8 +193,8 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
 
   // Schedule flow launches.
   for (const auto& f : flows) {
-    run.sim.schedule_at(f.start_time, [&run, &cfg, f, base_rtt] {
-      launch_flow(run, cfg, f, base_rtt);
+    run.sim.schedule_at(f.start_time, [&run, &profile, &ctx, f] {
+      launch_flow(run, profile, ctx, f);
     });
   }
 
@@ -299,12 +209,16 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   ScenarioResult result;
   result.records = std::move(run.records);
   result.end_time = run.sim.now();
-  result.fabric_drops = run.topo->total_drops();
+  result.fabric_drops = built.topo().total_drops();
   for (const auto& s : run.senders) {
     result.data_packets_sent += s->data_packets_sent();
     result.probes_sent += s->probes_sent();
   }
-  if (run.plane) result.control = run.plane->stats();
+  if (run.control) {
+    if (const core::ControlPlaneStats* st = run.control->stats()) {
+      result.control = *st;
+    }
+  }
   return result;
 }
 

@@ -1,31 +1,42 @@
-// Experiment harness: builds a topology + fabric for the chosen protocol,
-// instantiates per-flow senders/receivers as the workload arrives, runs the
-// simulation to completion and returns the flow records plus fabric and
+// Experiment harness: pure assembly. Resolves the transport profile from the
+// registry, builds the fabric through a topo::TopologyBuilder, instantiates
+// per-flow senders/receivers via the profile as the workload arrives, runs
+// the simulation to completion and returns flow records plus fabric and
 // control-plane counters. Every bench and example drives this one entry
-// point, so an experiment is ~20 lines of configuration.
+// point; protocol-specific knowledge lives behind proto::TransportProfile
+// and topology-specific knowledge behind topo::TopologyBuilder.
 #pragma once
 
-#include <memory>
+#include <cstdint>
+#include <string>
 #include <vector>
 
-#include "core/arbitration_plane.h"
-#include "core/pase_sender.h"
+#include "core/control_stats.h"
+#include "proto/profile_params.h"
+#include "proto/protocol.h"
 #include "stats/flow_stats.h"
 #include "stats/summary.h"
 #include "topo/single_rack.h"
 #include "topo/three_tier.h"
-#include "transport/pdq.h"
-#include "workload/defaults.h"
 #include "workload/flow_generator.h"
 
 namespace pase::workload {
 
-enum class Protocol { kDctcp, kD2tcp, kL2dct, kPdq, kPfabric, kPase };
+// The protocol identity and its string forms live in the proto layer; the
+// historical workload:: spellings keep working.
+using proto::Protocol;
+using proto::parse_protocol;
+using proto::protocol_name;
 
-const char* protocol_name(Protocol p);
-
-struct ScenarioConfig {
+// Per-protocol knobs (pase, pdq, pdq_probe_rtts, arbitration_period_rtts)
+// and fabric overrides (queue_capacity_pkts, mark_threshold_pkts) are
+// inherited from proto::ProfileParams.
+struct ScenarioConfig : proto::ProfileParams {
   Protocol protocol = Protocol::kDctcp;
+  // When non-empty, selects the transport by registry name instead of the
+  // enum, so profiles registered outside the built-in six can run without
+  // touching this struct (see proto/registry.h).
+  std::string profile_name;
 
   enum class TopologyKind { kSingleRack, kThreeTier };
   TopologyKind topology = TopologyKind::kSingleRack;
@@ -33,15 +44,6 @@ struct ScenarioConfig {
   topo::ThreeTierConfig tree;    // used when topology == kThreeTier
 
   WorkloadConfig traffic;  // host counts/rates are filled in from the topology
-
-  core::PaseConfig pase;            // PASE knobs (criterion picked from deadlines)
-  transport::PdqOptions pdq;        // PDQ knobs
-  double pdq_probe_rtts = 8.0;      // paused-sender probe period, in RTTs
-  double arbitration_period_rtts = 1.0;  // PASE source refresh period, in RTTs
-
-  // Fabric overrides; 0 = per-protocol Table 3 default.
-  std::size_t queue_capacity_pkts = 0;
-  std::size_t mark_threshold_pkts = 0;
 
   sim::Time max_duration = 30.0;  // hard stop for the simulation clock
 };
@@ -73,6 +75,14 @@ struct ScenarioResult {
                : 0.0;
   }
 };
+
+// Checks cfg for nonsense (non-positive durations/rates/sizes, impossible
+// topology dimensions, pattern/topology mismatches) and then runs the
+// resolved profile's own validate() (e.g. mark threshold vs queue capacity).
+// Throws std::invalid_argument with a descriptive message. run_scenario and
+// run_scenario_with_flows call this on entry; it is exposed so front ends
+// can fail fast before generating a workload.
+void validate_config(const ScenarioConfig& cfg);
 
 // Generates the workload from cfg.traffic and runs it.
 ScenarioResult run_scenario(ScenarioConfig cfg);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exp/sweep.h"
+#include "record_compare.h"
 #include "workload/scenario.h"
 
 namespace pase {
@@ -23,26 +24,6 @@ ScenarioConfig small_scenario(Protocol p, double load, unsigned seed) {
   cfg.traffic.num_flows = 60;
   cfg.traffic.seed = seed;
   return cfg;
-}
-
-void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
-  EXPECT_EQ(a.fabric_drops, b.fabric_drops);
-  EXPECT_EQ(a.data_packets_sent, b.data_packets_sent);
-  EXPECT_EQ(a.probes_sent, b.probes_sent);
-  EXPECT_EQ(a.end_time, b.end_time);  // bit-equal, not just close
-  EXPECT_EQ(a.control.messages_sent, b.control.messages_sent);
-  ASSERT_EQ(a.records.size(), b.records.size());
-  for (std::size_t i = 0; i < a.records.size(); ++i) {
-    const auto& ra = a.records[i];
-    const auto& rb = b.records[i];
-    EXPECT_EQ(ra.id, rb.id);
-    EXPECT_EQ(ra.size_bytes, rb.size_bytes);
-    EXPECT_EQ(ra.start, rb.start);
-    EXPECT_EQ(ra.finish, rb.finish);
-    EXPECT_EQ(ra.deadline, rb.deadline);
-    EXPECT_EQ(ra.background, rb.background);
-    EXPECT_EQ(ra.terminated, rb.terminated);
-  }
 }
 
 class ScenarioDeterminism : public ::testing::TestWithParam<Protocol> {};

@@ -1,0 +1,21 @@
+// The pre-refactor scenario path (the per-protocol switch monolith), frozen
+// verbatim as the golden reference for the profile-registry refactor.
+// golden_equivalence_test reruns every protocol's seed scenario through both
+// this path and the registry path and asserts bit-identical results. Test
+// fixture only — nothing in src/ may include it.
+#pragma once
+
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace pase::legacy {
+
+// Generates the workload from cfg.traffic and runs it (old run_scenario).
+workload::ScenarioResult run_scenario(workload::ScenarioConfig cfg);
+
+// Runs an explicit flow list (old run_scenario_with_flows).
+workload::ScenarioResult run_scenario_with_flows(
+    workload::ScenarioConfig cfg, std::vector<transport::Flow> flows);
+
+}  // namespace pase::legacy

@@ -1,0 +1,210 @@
+// The transport-profile registry: built-in coverage, name lookup rules,
+// config validation, and — the acceptance test for the whole refactor —
+// registering a seventh profile at runtime and running it through the
+// unmodified scenario harness.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "net/droptail_queue.h"
+#include "proto/registry.h"
+#include "proto/transport_profile.h"
+#include "transport/window_sender.h"
+#include "workload/scenario.h"
+
+namespace pase {
+namespace {
+
+using proto::ProfileRegistry;
+using proto::Protocol;
+using proto::TransportProfile;
+using workload::ScenarioConfig;
+
+constexpr Protocol kAll[] = {Protocol::kDctcp,   Protocol::kD2tcp,
+                             Protocol::kL2dct,   Protocol::kPdq,
+                             Protocol::kPfabric, Protocol::kPase};
+
+TEST(ProfileRegistry, EveryProtocolHasABuiltinProfile) {
+  for (Protocol p : kAll) {
+    const TransportProfile& prof = proto::profile_for(p);
+    ASSERT_TRUE(prof.protocol().has_value());
+    EXPECT_EQ(*prof.protocol(), p);
+    EXPECT_EQ(prof.name(), proto::protocol_key(p));
+    EXPECT_EQ(prof.display_name(), proto::protocol_name(p));
+  }
+}
+
+TEST(ProfileRegistry, LookupByNameIsCaseInsensitive) {
+  for (Protocol p : kAll) {
+    const std::string key(proto::protocol_key(p));
+    const TransportProfile* lower = proto::profile_for(key);
+    ASSERT_NE(lower, nullptr) << key;
+    std::string upper = key;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    EXPECT_EQ(proto::profile_for(upper), lower);
+  }
+  // Display names with different casing resolve too.
+  EXPECT_NE(proto::profile_for("pFabric"), nullptr);
+  EXPECT_NE(proto::profile_for("DCTCP"), nullptr);
+}
+
+TEST(ProfileRegistry, UnknownNameIsRejected) {
+  EXPECT_EQ(proto::profile_for(""), nullptr);
+  EXPECT_EQ(proto::profile_for("tcp-vegas"), nullptr);
+  EXPECT_EQ(proto::profile_for("pase "), nullptr);
+}
+
+TEST(ProfileRegistry, DuplicateRegistrationThrows) {
+  class Dup final : public TransportProfile {
+   public:
+    std::string_view name() const override { return "PASE"; }  // case clash
+    topo::QueueFactory make_queue_factory(
+        const proto::ProfileParams&) const override {
+      return nullptr;
+    }
+    std::unique_ptr<transport::Sender> make_sender(
+        proto::RunContext&, const transport::Flow&,
+        net::Host&) const override {
+      return nullptr;
+    }
+  };
+  EXPECT_THROW(ProfileRegistry::instance().add(std::make_unique<Dup>()),
+               std::invalid_argument);
+}
+
+TEST(ParseProtocol, RoundTripsAllSpellings) {
+  for (Protocol p : kAll) {
+    EXPECT_EQ(proto::parse_protocol(proto::protocol_key(p)), p);
+    EXPECT_EQ(proto::parse_protocol(proto::protocol_name(p)), p);
+  }
+  EXPECT_EQ(proto::parse_protocol("PFABRIC"), Protocol::kPfabric);
+  EXPECT_FALSE(proto::parse_protocol("").has_value());
+  EXPECT_FALSE(proto::parse_protocol("tcp-reno").has_value());
+}
+
+TEST(ValidateConfig, RejectsMarkThresholdAboveCapacity) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kDctcp;
+  cfg.queue_capacity_pkts = 50;
+  cfg.mark_threshold_pkts = 80;
+  EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+  EXPECT_THROW(workload::run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(ValidateConfig, RejectsSingleQueuePase) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kPase;
+  cfg.pase.num_queues = 1;
+  EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+}
+
+TEST(ValidateConfig, RejectsNonsenseScenario) {
+  {
+    ScenarioConfig cfg;
+    cfg.max_duration = 0.0;
+    EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.traffic.load = -0.1;
+    EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.topology = ScenarioConfig::TopologyKind::kThreeTier;
+    cfg.tree.num_tors = 3;
+    cfg.tree.tors_per_agg = 2;  // 3 % 2 != 0
+    EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.traffic.pattern = workload::Pattern::kLeftRight;  // needs three-tier
+    EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.profile_name = "no-such-transport";
+    EXPECT_THROW(workload::validate_config(cfg), std::invalid_argument);
+  }
+}
+
+TEST(ValidateConfig, AcceptsDefaults) {
+  for (Protocol p : kAll) {
+    ScenarioConfig cfg;
+    cfg.protocol = p;
+    EXPECT_NO_THROW(workload::validate_config(cfg)) << proto::protocol_key(p);
+  }
+}
+
+// The refactor's acceptance criterion: a seventh transport — plain TCP over
+// DropTail queues — registered here, with zero edits to scenario.cc,
+// switch.cc or any bench, runs end to end via ScenarioConfig::profile_name.
+class TcpDroptailProfile final : public TransportProfile {
+ public:
+  std::string_view name() const override { return "tcp-droptail"; }
+  std::string_view display_name() const override { return "TCP/DropTail"; }
+
+  topo::QueueFactory make_queue_factory(
+      const proto::ProfileParams& params) const override {
+    const std::size_t cap_override = params.queue_capacity_pkts;
+    return [=](double) -> std::unique_ptr<net::Queue> {
+      return std::make_unique<net::DropTailQueue>(cap_override ? cap_override
+                                                               : 250);
+    };
+  }
+
+  std::unique_ptr<transport::Sender> make_sender(
+      proto::RunContext& ctx, const transport::Flow& flow,
+      net::Host& src) const override {
+    transport::WindowSenderOptions w;
+    w.initial_rtt = ctx.base_rtt;
+    return std::make_unique<transport::WindowSender>(ctx.sim, src, flow, w);
+  }
+};
+
+TEST(SeventhProfile, RunsThroughUnmodifiedHarness) {
+  if (proto::profile_for("tcp-droptail") == nullptr) {
+    ProfileRegistry::instance().add(std::make_unique<TcpDroptailProfile>());
+  }
+
+  ScenarioConfig cfg;
+  cfg.profile_name = "tcp-droptail";  // enum field is ignored when set
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.traffic.load = 0.5;
+  cfg.traffic.num_flows = 40;
+  cfg.traffic.seed = 5;
+
+  EXPECT_NO_THROW(workload::validate_config(cfg));
+  const workload::ScenarioResult res = workload::run_scenario(cfg);
+  EXPECT_EQ(res.unfinished(), 0u);
+  EXPECT_GT(res.data_packets_sent, 0u);
+  EXPECT_GT(res.afct(), 0.0);
+  // No control plane: the counters stay zero.
+  EXPECT_EQ(res.control.messages_sent, 0u);
+
+  // Determinism holds for registered extras too.
+  const workload::ScenarioResult again = workload::run_scenario(cfg);
+  EXPECT_EQ(res.end_time, again.end_time);
+  EXPECT_EQ(res.data_packets_sent, again.data_packets_sent);
+}
+
+TEST(SeventhProfile, ListedInRegistryEnumeration) {
+  if (proto::profile_for("tcp-droptail") == nullptr) {
+    ProfileRegistry::instance().add(std::make_unique<TcpDroptailProfile>());
+  }
+  bool found = false;
+  for (const TransportProfile* p : ProfileRegistry::instance().profiles()) {
+    if (p->name() == "tcp-droptail") {
+      found = true;
+      // Extras have no enum identity.
+      EXPECT_FALSE(p->protocol().has_value());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pase

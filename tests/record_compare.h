@@ -1,0 +1,35 @@
+// Shared bit-exact comparison of two ScenarioResults, used by both the
+// determinism tests (same path twice) and the golden-equivalence tests
+// (legacy monolith vs profile registry). Every field is compared with
+// EXPECT_EQ — bit-equal, not just close — since the simulator is supposed
+// to be a deterministic function of (config, seed).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace pase {
+
+inline void expect_identical(const workload::ScenarioResult& a,
+                             const workload::ScenarioResult& b) {
+  EXPECT_EQ(a.fabric_drops, b.fabric_drops);
+  EXPECT_EQ(a.data_packets_sent, b.data_packets_sent);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.end_time, b.end_time);  // bit-equal, not just close
+  EXPECT_EQ(a.control.messages_sent, b.control.messages_sent);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.size_bytes, rb.size_bytes);
+    EXPECT_EQ(ra.start, rb.start);
+    EXPECT_EQ(ra.finish, rb.finish);
+    EXPECT_EQ(ra.deadline, rb.deadline);
+    EXPECT_EQ(ra.background, rb.background);
+    EXPECT_EQ(ra.terminated, rb.terminated);
+  }
+}
+
+}  // namespace pase

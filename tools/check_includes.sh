@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Header-hygiene gate for the layered architecture.
+#
+# The profile-registry refactor (PR 2) deliberately broke the include chains
+# that used to leak every transport header into every bench via
+# workload/scenario.h. This script keeps them broken:
+#
+#   1. Layering bans (fatal, grep-based, run everywhere): the workload layer
+#      must stay protocol-agnostic, and only the proto layer may see the
+#      concrete profile implementations.
+#   2. Full include-cleanliness (advisory): clang-tidy misc-include-cleaner
+#      over the tree, when clang-tidy is installed. CI images without it
+#      still get the fatal layering checks.
+#
+# Usage: tools/check_includes.sh [build-dir]   (build dir only needed for
+# the advisory clang-tidy pass; defaults to ./build)
+set -u
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+failures=0
+
+fail() {
+  echo "HYGIENE FAIL: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  failures=$((failures + 1))
+}
+
+# Returns matching "file:line: include" lines, or nothing.
+scan() { # <pattern> <paths...>
+  local pattern="$1"
+  shift
+  grep -RnE --include='*.h' --include='*.cc' "^#include \"$pattern" "$@" \
+    2>/dev/null
+}
+
+# 1a. The scenario harness is pure assembly: no transport, queue-discipline,
+#     or arbitration-plane headers anywhere in the workload layer.
+hits=$(scan '(transport/(dctcp|d2tcp|l2dct|pdq|pfabric|window_sender)|net/(droptail_queue|red_ecn_queue|pfabric_queue|priority_queue_bank)|core/(arbitration_plane|pase_sender))' src/workload)
+[ -n "$hits" ] && fail \
+  "src/workload must not include protocol machinery (use proto/registry.h)" \
+  "$hits"
+
+# 1b. Concrete profile implementations are private to the proto layer:
+#     builtin_profiles.h and proto/profiles/ headers stay inside src/proto.
+hits=$(scan 'proto/(builtin_profiles\.h|profiles/)' \
+  src/sim src/net src/topo src/transport src/core src/stats src/workload \
+  src/exp bench examples tests)
+[ -n "$hits" ] && fail \
+  "proto profile internals leaked outside src/proto" \
+  "$hits"
+
+# 1c. Production code must never include test fixtures.
+hits=$(grep -RnE '^#include ".*legacy_scenario' src bench examples 2>/dev/null)
+[ -n "$hits" ] && fail "legacy_scenario is a test-only golden fixture" "$hits"
+
+# 1d. The topology/fabric layers must not know about transports or the
+#     control plane (dependency direction: transport -> topo, never back).
+hits=$(scan '(transport/|core/|proto/|workload/)' src/sim src/net src/topo)
+[ -n "$hits" ] && fail \
+  "lower layers (sim/net/topo) must not include upper layers" \
+  "$hits"
+
+# 1e. scenario.h itself: the refactor's headline. Only the interfaces it
+#     actually re-exports are allowed.
+hits=$(grep -nE '^#include "(transport|net)/' src/workload/scenario.h)
+[ -n "$hits" ] && fail \
+  "workload/scenario.h regained transport/net includes" \
+  "$hits"
+
+if [ "$failures" -gt 0 ]; then
+  echo "" >&2
+  echo "$failures header-hygiene violation group(s). These bans keep the" >&2
+  echo "protocol layer pluggable; include proto/registry.h instead of" >&2
+  echo "concrete transports." >&2
+  exit 1
+fi
+echo "Layering checks passed."
+
+# 2. Advisory include-cleaner pass (never fails the build: the checker is
+#    noisy on system headers and not installed everywhere).
+if command -v clang-tidy >/dev/null 2>&1 && \
+   [ -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "Running clang-tidy misc-include-cleaner (advisory)..."
+  clang-tidy --checks='-*,misc-include-cleaner' -p "$BUILD_DIR" \
+    src/workload/scenario.cc src/proto/registry.cc \
+    src/proto/transport_profile.cc 2>/dev/null | grep -E "warning:" | head -40 \
+    || true
+else
+  echo "clang-tidy or compile_commands.json unavailable; skipped advisory pass."
+fi
+exit 0
