@@ -1,0 +1,213 @@
+// End-to-end hot-path throughput: simulated data packets per wall-clock
+// second, per protocol, on the single-rack and three-tier topologies with
+// the web-search flow-size distribution.
+//
+// This is the repo's perf trajectory for the steady-state packet path
+// (event dispatch, link hop, queue discipline, host demux): the workload is
+// deterministic per config, so packets/sec moves only when the engine does.
+// Results are written to BENCH_hotpath.json together with the recorded
+// pre-change baseline (captured on the reference dev machine with
+// tools/record_hotpath_goldens-era sources), so every run reports its
+// speedup against the same yardstick. Wall-clock numbers are machine
+// dependent; the speedup column is only meaningful on comparable hardware,
+// the packets/sec trend on the same machine is the series to track (see
+// EXPERIMENTS.md).
+//
+// Flags:
+//   --quick          smaller grids, one repetition (CI smoke)
+//   --reps=N         timing repetitions per case (default 3; best-of-N)
+//   --protocols=a,b  protocol subset (default: all six)
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace pase;
+using workload::Pattern;
+using workload::Protocol;
+using workload::ScenarioConfig;
+using workload::SizeDistribution;
+
+struct Case {
+  std::string label;      // "<protocol>/<topology>", stable JSON key
+  std::string topology;   // "single-rack" | "three-tier"
+  std::string workload;   // human-readable description
+  ScenarioConfig config;
+};
+
+// Baseline packets/sec recorded on the pre-change tree (commit d98677b,
+// std::function event dispatch, unordered_map host demux), best of 3, same
+// configs as below. Quick-mode cases are keyed with a "-quick" suffix.
+struct Baseline {
+  const char* label;
+  double packets_per_sec;
+};
+constexpr Baseline kBaseline[] = {
+    {"dctcp/single-rack", 716404},   {"dctcp/three-tier", 325327},
+    {"d2tcp/single-rack", 716696},   {"d2tcp/three-tier", 321023},
+    {"l2dct/single-rack", 781483},   {"l2dct/three-tier", 266765},
+    {"pdq/single-rack", 623241},     {"pdq/three-tier", 276070},
+    {"pfabric/single-rack", 558266}, {"pfabric/three-tier", 341057},
+    {"pase/single-rack", 558229},    {"pase/three-tier", 238904},
+    {"dctcp/single-rack-quick", 817474},   {"dctcp/three-tier-quick", 372930},
+    {"d2tcp/single-rack-quick", 913986},   {"d2tcp/three-tier-quick", 359656},
+    {"l2dct/single-rack-quick", 917203},   {"l2dct/three-tier-quick", 358933},
+    {"pdq/single-rack-quick", 804611},     {"pdq/three-tier-quick", 338028},
+    {"pfabric/single-rack-quick", 667197}, {"pfabric/three-tier-quick", 330930},
+    {"pase/single-rack-quick", 738537},    {"pase/three-tier-quick", 332213},
+};
+
+double baseline_for(const std::string& label) {
+  for (const auto& b : kBaseline) {
+    if (label == b.label) return b.packets_per_sec;
+  }
+  return 0.0;
+}
+
+std::string lower_name(Protocol p) {
+  std::string s = workload::protocol_name(p);
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+std::vector<Case> build_cases(const std::vector<Protocol>& protocols,
+                              bool quick) {
+  std::vector<Case> cases;
+  for (Protocol p : protocols) {
+    {
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+      cfg.rack.num_hosts = quick ? 20 : 40;
+      cfg.traffic.pattern = Pattern::kIntraRackRandom;
+      cfg.traffic.size_dist = SizeDistribution::kWebSearch;
+      cfg.traffic.load = 0.7;
+      cfg.traffic.num_flows = quick ? 200 : 1200;
+      cfg.traffic.seed = 42;
+      char desc[96];
+      std::snprintf(desc, sizeof(desc),
+                    "web-search all-to-all load=0.70 hosts=%d flows=%d",
+                    cfg.rack.num_hosts, cfg.traffic.num_flows);
+      cases.push_back({lower_name(p) + "/single-rack" + (quick ? "-quick" : ""),
+                       "single-rack", desc, cfg});
+    }
+    {
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.topology = ScenarioConfig::TopologyKind::kThreeTier;
+      if (quick) cfg.tree.hosts_per_tor = 10;
+      cfg.traffic.pattern = Pattern::kLeftRight;
+      cfg.traffic.size_dist = SizeDistribution::kWebSearch;
+      cfg.traffic.load = 0.6;
+      cfg.traffic.num_flows = quick ? 150 : 800;
+      cfg.traffic.seed = 42;
+      char desc[96];
+      std::snprintf(desc, sizeof(desc),
+                    "web-search left-right load=0.60 hosts=%d flows=%d",
+                    cfg.tree.num_tors * cfg.tree.hosts_per_tor,
+                    cfg.traffic.num_flows);
+      cases.push_back({lower_name(p) + "/three-tier" + (quick ? "-quick" : ""),
+                       "three-tier", desc, cfg});
+    }
+  }
+  return cases;
+}
+
+struct Measurement {
+  std::uint64_t sim_packets = 0;
+  double wall_sec_best = 0.0;
+  double packets_per_sec = 0.0;
+};
+
+Measurement measure(const ScenarioConfig& cfg, int reps) {
+  Measurement m;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = workload::run_scenario(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    m.sim_packets = result.data_packets_sent;
+    if (r == 0 || wall < m.wall_sec_best) m.wall_sec_best = wall;
+  }
+  if (m.wall_sec_best > 0.0) {
+    m.packets_per_sec =
+        static_cast<double>(m.sim_packets) / m.wall_sec_best;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+      if (reps < 1) reps = 1;
+    }
+  }
+  if (quick) reps = 1;
+
+  const std::vector<Protocol> protocols = bench::protocols_from_cli(
+      argc, argv,
+      {Protocol::kDctcp, Protocol::kD2tcp, Protocol::kL2dct, Protocol::kPdq,
+       Protocol::kPfabric, Protocol::kPase});
+  const std::vector<Case> cases = build_cases(protocols, quick);
+
+  std::printf("hot-path throughput (%s, best of %d)\n",
+              quick ? "quick" : "full", reps);
+  std::printf("%-26s %12s %10s %14s %10s\n", "case", "sim pkts", "wall(s)",
+              "pkts/sec", "speedup");
+
+  std::string json = "{\n  \"bench\": \"hotpath\",\n  \"mode\": \"";
+  json += quick ? "quick" : "full";
+  json += "\",\n  \"reps\": " + std::to_string(reps) + ",\n  \"cases\": [\n";
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    const Measurement m = measure(c.config, reps);
+    const double base = baseline_for(c.label);
+    const double speedup = base > 0.0 ? m.packets_per_sec / base : 0.0;
+
+    std::printf("%-26s %12llu %10.3f %14.0f %9.2fx\n", c.label.c_str(),
+                static_cast<unsigned long long>(m.sim_packets),
+                m.wall_sec_best, m.packets_per_sec, speedup);
+    std::fflush(stdout);
+
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"label\": \"%s\", \"protocol\": \"%s\", \"topology\": \"%s\",\n"
+        "     \"workload\": \"%s\",\n"
+        "     \"sim_packets\": %llu, \"wall_sec_best\": %.6f,\n"
+        "     \"packets_per_sec\": %.1f, \"baseline_packets_per_sec\": %.1f,\n"
+        "     \"speedup_vs_baseline\": %.4f}%s\n",
+        c.label.c_str(),
+        workload::protocol_name(c.config.protocol), c.topology.c_str(),
+        c.workload.c_str(), static_cast<unsigned long long>(m.sim_packets),
+        m.wall_sec_best, m.packets_per_sec, base, speedup,
+        i + 1 < cases.size() ? "," : "");
+    json += row;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_hotpath.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write BENCH_hotpath.json\n");
+    return 0;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote BENCH_hotpath.json\n");
+  return 0;
+}

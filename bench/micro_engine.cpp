@@ -4,9 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <unordered_map>
 
 #include "core/arbitration_algorithm.h"
 #include "exp/sweep.h"
+#include "net/droptail_queue.h"
+#include "net/flow_demux.h"
+#include "net/host.h"
 #include "net/pfabric_queue.h"
 #include "net/priority_queue_bank.h"
 #include "net/red_ecn_queue.h"
@@ -215,6 +219,116 @@ BENCHMARK(BM_SweepRunner)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Typed-event dispatch: raw fn-ptr events vs heap-spilled closures ---
+
+void raw_count(void* ctx, void*) { ++*static_cast<int*>(ctx); }
+
+// The post-refactor hot path: a raw function pointer plus context, written
+// straight into the 64-byte event slot. No capture, no indirection beyond
+// the call itself.
+void BM_TypedEventDispatch(benchmark::State& state) {
+  const int n = 1000;
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Rng rng(7);
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      s.schedule_raw(rng.uniform(0, 1.0), &raw_count, &fired);
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TypedEventDispatch);
+
+// The pre-refactor cost model: every event carries a capture too big for the
+// 24-byte inline payload, so each schedule allocates a heap closure — the
+// same allocate/indirect/free cycle a std::function with a spilled capture
+// paid on every event.
+void BM_StdFunctionEventDispatch(benchmark::State& state) {
+  const int n = 1000;
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Rng rng(7);
+    int fired = 0;
+    int* pf = &fired;
+    const std::uint64_t pad1 = 1, pad2 = 2, pad3 = 3;  // 32-byte capture
+    for (int i = 0; i < n; ++i) {
+      s.schedule(rng.uniform(0, 1.0), [pf, pad1, pad2, pad3] {
+        *pf += static_cast<int>(pad1 + pad2 + pad3 != 0);
+      });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdFunctionEventDispatch);
+
+// --- Host receive demux: dense FlowDemux vs the map it replaced ---
+
+struct NullSink : net::PacketSink {
+  void deliver(net::PacketPtr) override {}
+};
+
+void BM_HostDemuxFlat(benchmark::State& state) {
+  const net::FlowId n = static_cast<net::FlowId>(state.range(0));
+  net::FlowDemux demux;
+  NullSink sink;
+  for (net::FlowId f = 1; f <= n; ++f) demux.insert(f, &sink);
+  net::FlowId f = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demux.find(f));
+    if (++f > n) f = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostDemuxFlat)->Arg(16)->Arg(1024);
+
+void BM_HostDemuxUnorderedMap(benchmark::State& state) {
+  const net::FlowId n = static_cast<net::FlowId>(state.range(0));
+  std::unordered_map<net::FlowId, net::PacketSink*> demux;
+  NullSink sink;
+  for (net::FlowId f = 1; f <= n; ++f) demux.emplace(f, &sink);
+  net::FlowId f = 1;
+  for (auto _ : state) {
+    auto it = demux.find(f);
+    benchmark::DoNotOptimize(it);
+    if (++f > n) f = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostDemuxUnorderedMap)->Arg(16)->Arg(1024);
+
+// --- Full link hop: enqueue -> dequeue -> serialize -> deliver ---
+
+struct CountingNode : net::Node {
+  CountingNode() : net::Node(1, "sink") {}
+  std::uint64_t received = 0;
+  void receive(net::PacketPtr) override { ++received; }
+};
+
+// One item = one packet hop = two raw events (tx-done, then delivery) plus
+// the queue discipline's enqueue/dequeue. Reported time is ns per hop.
+void BM_LinkHop(benchmark::State& state) {
+  const int n = 1000;
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::DropTailQueue q(n + 8);
+    net::Link link(s, 10e9, 1e-6, "bench");
+    CountingNode dst;
+    link.connect(&q, &dst);
+    for (int i = 0; i < n; ++i) {
+      q.enqueue(net::make_data_packet(1, 0, 1, static_cast<std::uint32_t>(i)));
+    }
+    s.run();
+    benchmark::DoNotOptimize(dst.received);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinkHop);
 
 }  // namespace
 

@@ -16,8 +16,7 @@ bool DropTailQueue::do_enqueue(PacketPtr p) {
 
 PacketPtr DropTailQueue::do_dequeue() {
   if (q_.empty()) return nullptr;
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
+  PacketPtr p = q_.pop_front();
   bytes_ -= p->size_bytes;
   return p;
 }

@@ -1,8 +1,8 @@
 // FIFO tail-drop queue with a packet-count capacity.
 #pragma once
 
-#include <deque>
 
+#include "net/packet_ring.h"
 #include "net/queue.h"
 
 namespace pase::net {
@@ -10,7 +10,7 @@ namespace pase::net {
 class DropTailQueue : public Queue {
  public:
   explicit DropTailQueue(std::size_t capacity_pkts)
-      : capacity_(capacity_pkts) {}
+      : q_(capacity_pkts), capacity_(capacity_pkts) {}
 
   std::size_t len_packets() const override { return q_.size(); }
   std::size_t len_bytes() const override { return bytes_; }
@@ -21,7 +21,7 @@ class DropTailQueue : public Queue {
   PacketPtr do_dequeue() override;
 
  private:
-  std::deque<PacketPtr> q_;
+  PacketRing q_;
   std::size_t capacity_;
   std::size_t bytes_ = 0;
 };

@@ -1,0 +1,166 @@
+// Flow -> sink demux for the host receive path.
+//
+// The workload layer allocates flow IDs sequentially from 1 (see
+// workload::FlowGenerator), so in any real scenario every lookup is a bounds
+// check plus one indexed load in a dense table — no hashing, no buckets, no
+// pointer chase. IDs at or above kDenseLimit fall back to a small
+// open-addressing hash table so correctness never depends on that contract
+// (tests and external embedders may register arbitrary 64-bit IDs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/dcheck.h"
+
+namespace pase::net {
+
+class PacketSink;
+
+class FlowDemux {
+ public:
+  // IDs below this are dense-table candidates; at 8 bytes per entry the
+  // table tops out at 512 KiB per host, and real scenarios stay far under.
+  static constexpr FlowId kDenseLimit = 1ull << 16;
+
+  PacketSink* find(FlowId id) const {
+    if (id < dense_.size()) [[likely]] {
+      return dense_[id];
+    }
+    if (id < kDenseLimit) return nullptr;  // dense range, never registered
+    return sparse_find(id);
+  }
+
+  void insert(FlowId id, PacketSink* sink) {
+    PASE_DCHECK(sink != nullptr && "demux sinks must be non-null");
+    if (id < kDenseLimit) {
+      if (id >= dense_.size()) {
+        std::size_t want = dense_.empty() ? 64 : dense_.size();
+        while (want <= id) want *= 2;
+        dense_.resize(want, nullptr);
+      }
+      if (dense_[id] == nullptr) ++count_;
+      dense_[id] = sink;
+      return;
+    }
+    sparse_insert(id, sink);
+  }
+
+  void erase(FlowId id) {
+    if (id < kDenseLimit) {
+      if (id < dense_.size() && dense_[id] != nullptr) {
+        dense_[id] = nullptr;
+        --count_;
+      }
+      return;
+    }
+    sparse_erase(id);
+  }
+
+  // Number of registered flows.
+  std::size_t size() const { return count_; }
+
+ private:
+  // Sentinels occupy keys that can never reach the sparse table (they are
+  // below kDenseLimit).
+  static constexpr FlowId kEmptyKey = 0;
+  static constexpr FlowId kTombKey = 1;
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  struct SparseEntry {
+    FlowId key = kEmptyKey;
+    PacketSink* sink = nullptr;
+  };
+
+  static std::size_t hash(FlowId id) {
+    std::uint64_t x = id;  // splitmix64 finalizer
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  PacketSink* sparse_find(FlowId id) const {
+    if (sparse_.empty()) return nullptr;
+    const std::size_t mask = sparse_.size() - 1;
+    for (std::size_t i = hash(id) & mask;; i = (i + 1) & mask) {
+      const SparseEntry& e = sparse_[i];
+      if (e.key == id) return e.sink;
+      if (e.key == kEmptyKey) return nullptr;
+    }
+  }
+
+  void sparse_insert(FlowId id, PacketSink* sink) {
+    // Rehash at ~70% occupancy counting tombstones, so probe chains stay
+    // short even under churn.
+    if (sparse_.empty() || (sparse_used_ + 1) * 10 >= sparse_.size() * 7) {
+      sparse_rehash();
+    }
+    const std::size_t mask = sparse_.size() - 1;
+    std::size_t tomb = kNpos;
+    for (std::size_t i = hash(id) & mask;; i = (i + 1) & mask) {
+      SparseEntry& e = sparse_[i];
+      if (e.key == id) {
+        e.sink = sink;
+        return;
+      }
+      if (e.key == kTombKey && tomb == kNpos) tomb = i;
+      if (e.key == kEmptyKey) {
+        if (tomb != kNpos) {
+          sparse_[tomb] = SparseEntry{id, sink};
+        } else {
+          e = SparseEntry{id, sink};
+          ++sparse_used_;
+        }
+        ++sparse_live_;
+        ++count_;
+        return;
+      }
+    }
+  }
+
+  void sparse_erase(FlowId id) {
+    if (sparse_.empty()) return;
+    const std::size_t mask = sparse_.size() - 1;
+    for (std::size_t i = hash(id) & mask;; i = (i + 1) & mask) {
+      SparseEntry& e = sparse_[i];
+      if (e.key == id) {
+        e.key = kTombKey;
+        e.sink = nullptr;
+        --sparse_live_;
+        --count_;
+        return;
+      }
+      if (e.key == kEmptyKey) return;
+    }
+  }
+
+  void sparse_rehash() {
+    std::size_t want = 16;
+    while (want < (sparse_live_ + 1) * 2) want *= 2;
+    std::vector<SparseEntry> old;
+    old.swap(sparse_);
+    sparse_.assign(want, SparseEntry{});
+    sparse_used_ = 0;
+    const std::size_t mask = sparse_.size() - 1;
+    for (const SparseEntry& e : old) {
+      if (e.key == kEmptyKey || e.key == kTombKey) continue;
+      std::size_t i = hash(e.key) & mask;
+      while (sparse_[i].key != kEmptyKey) i = (i + 1) & mask;
+      sparse_[i] = e;
+      ++sparse_used_;
+    }
+  }
+
+  std::vector<PacketSink*> dense_;    // direct-indexed by FlowId
+  std::vector<SparseEntry> sparse_;   // open addressing, power-of-two size
+  std::size_t sparse_live_ = 0;       // live sparse entries
+  std::size_t sparse_used_ = 0;       // live + tombstones
+  std::size_t count_ = 0;             // total registered flows
+};
+
+}  // namespace pase::net

@@ -1,38 +1,54 @@
 #include "net/host.h"
 
-#include <cassert>
 #include <utility>
+
+#include "sim/dcheck.h"
 
 namespace pase::net {
 
+namespace {
+
+// Host::receive demuxes arbitration control traffic with one compare, which
+// requires the five kArb* values to be the trailing contiguous run of
+// PacketType. Keep this in sync with the enum.
+constexpr auto kArbFirst = static_cast<std::uint8_t>(PacketType::kArbRequest);
+static_assert(static_cast<std::uint8_t>(PacketType::kArbResponse) ==
+                  kArbFirst + 1 &&
+              static_cast<std::uint8_t>(PacketType::kArbFin) == kArbFirst + 2 &&
+              static_cast<std::uint8_t>(PacketType::kArbDelegate) ==
+                  kArbFirst + 3 &&
+              static_cast<std::uint8_t>(PacketType::kArbReport) ==
+                  kArbFirst + 4,
+              "arbitration packet types must stay contiguous");
+
+}  // namespace
+
 void Host::attach_uplink(std::unique_ptr<Queue> queue,
                          std::unique_ptr<Link> link, Node* tor) {
-  assert(queue && link && tor);
+  PASE_DCHECK(queue && link && tor);
   link->connect(queue.get(), tor);
   uplink_queue_ = std::move(queue);
   uplink_ = std::move(link);
 }
 
 void Host::send(PacketPtr p) {
-  assert(uplink_queue_ && "host has no uplink");
-  for (auto& hook : send_hooks_) hook(*p);
+  PASE_DCHECK(uplink_queue_ && "host has no uplink");
+  if (!send_hooks_.empty()) {
+    for (auto& hook : send_hooks_) hook(*p);
+  }
   uplink_queue_->enqueue(std::move(p));
 }
 
 void Host::receive(PacketPtr p) {
-  switch (p->type) {
-    case PacketType::kArbRequest:
-    case PacketType::kArbResponse:
-    case PacketType::kArbFin:
-    case PacketType::kArbDelegate:
-    case PacketType::kArbReport:
-      if (control_) control_(std::move(p));
-      return;
-    default:
-      break;
+  if (p->type >= PacketType::kArbRequest) [[unlikely]] {
+    // Arbitration control traffic (PASE endpoint arbitrators).
+    if (control_) control_(std::move(p));
+    return;
   }
-  auto it = flows_.find(p->flow);
-  if (it != flows_.end()) it->second->deliver(std::move(p));
+  PacketSink* sink = flows_.find(p->flow);
+  if (sink != nullptr) [[likely]] {
+    sink->deliver(std::move(p));
+  }
   // Packets for unknown flows (e.g. duplicates arriving after flow teardown)
   // are dropped silently, as a real host would RST/ignore them.
 }

@@ -5,8 +5,8 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
+#include "net/flow_demux.h"
 #include "net/link.h"
 #include "net/node.h"
 #include "net/queue.h"
@@ -33,8 +33,10 @@ class Host : public Node {
 
   // Demux registration. Data/probe packets go to the flow's receiver sink;
   // ACKs go to the flow's sender sink. A flow's sender and receiver live on
-  // different hosts, so one map per host suffices.
-  void register_flow(FlowId flow, PacketSink* sink) { flows_[flow] = sink; }
+  // different hosts, so one table per host suffices. Lookup is a dense
+  // FlowId-indexed load for the sequential IDs the workload layer allocates
+  // (see FlowDemux).
+  void register_flow(FlowId flow, PacketSink* sink) { flows_.insert(flow, sink); }
   void unregister_flow(FlowId flow) { flows_.erase(flow); }
 
   using ControlHandler = std::function<void(PacketPtr)>;
@@ -52,7 +54,7 @@ class Host : public Node {
  private:
   std::unique_ptr<Queue> uplink_queue_;
   std::unique_ptr<Link> uplink_;
-  std::unordered_map<FlowId, PacketSink*> flows_;
+  FlowDemux flows_;
   std::vector<ForwardHook> send_hooks_;
   ControlHandler control_;
 };

@@ -1,40 +1,41 @@
 #include "net/link.h"
 
-#include <cassert>
 #include <utility>
+
+#include "sim/dcheck.h"
 
 namespace pase::net {
 
-void Queue::enqueue(PacketPtr p) {
-  ++enqueues_;
-  if (do_enqueue(std::move(p))) try_send();
-}
-
-void Queue::on_link_idle() { try_send(); }
-
-void Queue::try_send() {
-  if (link_ == nullptr || !link_->idle() || empty()) return;
-  PacketPtr next = do_dequeue();
-  assert(next && "discipline reported non-empty but returned no packet");
-  link_->transmit(std::move(next));
-}
-
 void Link::transmit(PacketPtr p) {
-  assert(!busy_ && "transmit on busy link");
-  assert(dst_ != nullptr && "link not connected");
+  PASE_DCHECK(!busy_ && "transmit on busy link");
+  PASE_DCHECK(dst_ != nullptr && "link not connected");
   busy_ = true;
   const sim::Time tx = serialization_delay(p->size_bytes);
   bytes_sent_ += p->size_bytes;
   ++packets_sent_;
   busy_time_ += tx;
-  // Shared ownership of the in-flight packet between the two events below is
-  // avoided by handing it to the delivery event up front.
-  auto* raw = p.release();
-  sim_->schedule(tx, [this, raw] {
-    sim_->schedule(delay_, [this, raw] { dst_->receive(PacketPtr(raw)); });
-    busy_ = false;
-    if (source_ != nullptr) source_->on_link_idle();
-  });
+  // The hop stays two-stage — tx-done schedules the delivery — because
+  // same-instant event ties are pervasive under ACK clocking (every event
+  // time is a sum of identical serialization quanta from a common
+  // busy-period base), and assigning the delivery's FIFO sequence number at
+  // transmit time instead of tx-done time flips those ties, changing traces.
+  // The in-flight packet rides in the event's arg word (released here,
+  // re-wrapped in on_deliver), so ownership is never shared between events.
+  sim_->schedule_raw(tx, &Link::on_tx_done, this, p.release());
+}
+
+void Link::on_tx_done(void* self, void* packet) {
+  auto* link = static_cast<Link*>(self);
+  // Delivery first: it must outrank (in FIFO order) anything scheduled by
+  // the idle kick below for the same instant.
+  link->sim_->schedule_raw(link->delay_, &Link::on_deliver, link, packet);
+  link->busy_ = false;
+  if (link->source_ != nullptr) link->source_->on_link_idle();
+}
+
+void Link::on_deliver(void* self, void* packet) {
+  auto* link = static_cast<Link*>(self);
+  link->dst_->receive(PacketPtr(static_cast<Packet*>(packet)));
 }
 
 }  // namespace pase::net

@@ -38,7 +38,10 @@ class Link {
     return static_cast<double>(bytes) * 8.0 / rate_bps_;
   }
 
-  // Begins serializing `p`; must only be called when idle.
+  // Begins serializing `p`; must only be called when idle. The hop is two
+  // raw typed events — tx-done at now + serialization, which schedules the
+  // delivery a propagation delay later — so a packet hop costs two
+  // one-cache-line event writes and no closure construction.
   void transmit(PacketPtr p);
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -47,6 +50,10 @@ class Link {
   sim::Time busy_time() const { return busy_time_; }
 
  private:
+  // Typed-event trampolines (sim::RawFn signature).
+  static void on_tx_done(void* self, void* arg);
+  static void on_deliver(void* self, void* packet);
+
   sim::Simulator* sim_;
   double rate_bps_;
   sim::Time delay_;
@@ -58,5 +65,23 @@ class Link {
   std::uint64_t packets_sent_ = 0;
   sim::Time busy_time_ = 0.0;
 };
+
+// Queue's link-facing methods live here so call sites inline them: the
+// enqueue -> try_send -> transmit chain runs once per switch hop. do_dequeue
+// returns null when the discipline is empty (its contract), so probing
+// emptiness and dequeueing is a single virtual call.
+inline void Queue::try_send() {
+  if (link_ == nullptr || !link_->idle()) return;
+  PacketPtr next = do_dequeue();
+  if (next == nullptr) return;
+  link_->transmit(std::move(next));
+}
+
+inline void Queue::enqueue(PacketPtr p) {
+  ++enqueues_;
+  if (do_enqueue(std::move(p))) try_send();
+}
+
+inline void Queue::on_link_idle() { try_send(); }
 
 }  // namespace pase::net

@@ -120,7 +120,10 @@ class PacketPool {
   }
 
   PacketPtr acquire() {
-    if (free_.empty()) return PacketPtr(new Packet{});
+    if (free_.empty()) [[unlikely]] {
+      ++misses_;
+      return PacketPtr(new Packet{});
+    }
     Packet* p = free_.back();
     free_.pop_back();
     *p = Packet{};  // trivially-copyable reset, no allocation
@@ -141,13 +144,30 @@ class PacketPool {
 
   std::size_t available() const { return free_.size(); }
 
-  ~PacketPool() {
-    for (Packet* p : free_) delete p;
+  // Cumulative acquire() calls that had to hit the allocator. A warmed
+  // steady state holds this constant; the zero-alloc tests assert on it.
+  std::uint64_t misses() const { return misses_; }
+
+  // Pre-fills the free list to `n` packets (clamped to kMaxFree) so the
+  // scenario's first wave of sends never touches the allocator mid-run.
+  void prewarm(std::size_t n) {
+    if (n > kMaxFree) n = kMaxFree;
+    free_.reserve(n);
+    while (free_.size() < n) free_.push_back(new Packet{});
   }
+
+  // Frees every pooled packet (test isolation: start from a cold pool).
+  void drain() {
+    for (Packet* p : free_) delete p;
+    free_.clear();
+  }
+
+  ~PacketPool() { drain(); }
 
  private:
   PacketPool() = default;
   std::vector<Packet*> free_;
+  std::uint64_t misses_ = 0;
 };
 
 inline void PacketDeleter::operator()(Packet* p) const noexcept {

@@ -1,0 +1,49 @@
+// Fixed-capacity FIFO ring of packets.
+//
+// Queue disciplines know their capacity at construction, so their FIFOs can
+// be a single preallocated array with head/count indices: one allocation for
+// the lifetime of the queue, single-indirection access, and no per-packet
+// heap traffic (std::deque churns a storage block roughly every 64 entries
+// and double-indirects on every access, which shows up in the per-hop path).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/dcheck.h"
+
+namespace pase::net {
+
+class PacketRing {
+ public:
+  explicit PacketRing(std::size_t capacity) : buf_(capacity) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == buf_.size(); }
+
+  void push_back(PacketPtr p) {
+    PASE_DCHECK(!full() && "push into a full PacketRing");
+    std::size_t tail = head_ + count_;
+    if (tail >= buf_.size()) tail -= buf_.size();
+    buf_[tail] = std::move(p);
+    ++count_;
+  }
+
+  PacketPtr pop_front() {
+    PASE_DCHECK(!empty() && "pop from an empty PacketRing");
+    PacketPtr p = std::move(buf_[head_]);
+    if (++head_ == buf_.size()) head_ = 0;
+    --count_;
+    return p;
+  }
+
+ private:
+  std::vector<PacketPtr> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace pase::net

@@ -23,12 +23,12 @@ bool PfabricQueue::do_enqueue(PacketPtr p) {
     // Find the worst buffered packet.
     std::size_t worst = 0;
     for (std::size_t i = 1; i < buf_.size(); ++i) {
-      if (worse(buf_[i].pkt->remaining_size, buf_[i].arrival,
-                buf_[worst].pkt->remaining_size, buf_[worst].arrival)) {
+      if (worse(buf_[i].remaining, buf_[i].arrival, buf_[worst].remaining,
+                buf_[worst].arrival)) {
         worst = i;
       }
     }
-    if (worse(p->remaining_size, arrival, buf_[worst].pkt->remaining_size,
+    if (worse(p->remaining_size, arrival, buf_[worst].remaining,
               buf_[worst].arrival)) {
       count_drop();
       return false;  // arriving packet is the worst: drop it
@@ -39,7 +39,9 @@ bool PfabricQueue::do_enqueue(PacketPtr p) {
     count_drop();
   }
   bytes_ += p->size_bytes;
-  buf_.push_back(Entry{std::move(p), arrival});
+  const double remaining = p->remaining_size;
+  const FlowId flow = p->flow;
+  buf_.push_back(Entry{std::move(p), arrival, remaining, flow});
   return true;
 }
 
@@ -48,17 +50,17 @@ PacketPtr PfabricQueue::do_dequeue() {
   // Highest-priority packet decides which flow to serve...
   std::size_t best = 0;
   for (std::size_t i = 1; i < buf_.size(); ++i) {
-    if (worse(buf_[best].pkt->remaining_size, buf_[best].arrival,
-              buf_[i].pkt->remaining_size, buf_[i].arrival)) {
+    if (worse(buf_[best].remaining, buf_[best].arrival, buf_[i].remaining,
+              buf_[i].arrival)) {
       best = i;
     }
   }
   // ...but the earliest arrived packet of that flow is the one transmitted
   // (avoids intra-flow reordering).
-  const FlowId flow = buf_[best].pkt->flow;
+  const FlowId flow = buf_[best].flow;
   std::size_t send = best;
   for (std::size_t i = 0; i < buf_.size(); ++i) {
-    if (buf_[i].pkt->flow == flow && buf_[i].arrival < buf_[send].arrival) {
+    if (buf_[i].flow == flow && buf_[i].arrival < buf_[send].arrival) {
       send = i;
     }
   }

@@ -31,9 +31,15 @@ class PfabricQueue : public Queue {
   PacketPtr do_dequeue() override;
 
  private:
+  // Scan keys (priority, flow) are copied out of the packet at admission:
+  // they are immutable while the packet is buffered, and keeping them in the
+  // entry makes the per-dequeue priority scans walk contiguous memory
+  // instead of dereferencing every buffered packet.
   struct Entry {
     PacketPtr pkt;
     std::uint64_t arrival;  // monotonic arrival index for tie-breaks
+    double remaining;       // pkt->remaining_size at admission
+    FlowId flow;            // pkt->flow
   };
 
   std::vector<Entry> buf_;

@@ -9,11 +9,12 @@ namespace pase::net {
 PriorityQueueBank::PriorityQueueBank(int num_classes,
                                      std::size_t capacity_pkts,
                                      std::size_t mark_threshold_pkts)
-    : classes_(static_cast<std::size_t>(num_classes)),
-      dequeues_(static_cast<std::size_t>(num_classes), 0),
+    : dequeues_(static_cast<std::size_t>(num_classes), 0),
       capacity_(capacity_pkts),
       threshold_(mark_threshold_pkts) {
   assert(num_classes >= 1);
+  classes_.reserve(static_cast<std::size_t>(num_classes));
+  for (int i = 0; i < num_classes; ++i) classes_.emplace_back(capacity_pkts);
 }
 
 bool PriorityQueueBank::do_enqueue(PacketPtr p) {
@@ -37,8 +38,7 @@ PacketPtr PriorityQueueBank::do_dequeue() {
   for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
     auto& q = classes_[cls];
     if (q.empty()) continue;
-    PacketPtr p = std::move(q.front());
-    q.pop_front();
+    PacketPtr p = q.pop_front();
     --total_pkts_;
     total_bytes_ -= p->size_bytes;
     ++dequeues_[cls];

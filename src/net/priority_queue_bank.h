@@ -9,9 +9,9 @@
 // - Packets are classified by Packet::priority (clamped to the valid range).
 #pragma once
 
-#include <deque>
 #include <vector>
 
+#include "net/packet_ring.h"
 #include "net/queue.h"
 
 namespace pase::net {
@@ -32,7 +32,7 @@ class PriorityQueueBank : public Queue {
   PacketPtr do_dequeue() override;
 
  private:
-  std::vector<std::deque<PacketPtr>> classes_;
+  std::vector<PacketRing> classes_;  // each sized to the shared pool cap
   std::vector<std::uint64_t> dequeues_;
   std::size_t capacity_;
   std::size_t threshold_;

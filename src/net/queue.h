@@ -23,7 +23,8 @@ class Queue {
   Link* link() const { return link_; }
 
   // Entry point from the upstream node. May drop the packet (discipline
-  // decision); kicks the link if it is idle.
+  // decision); kicks the link if it is idle. Defined inline in link.h (it
+  // needs the Link definition), which every call site already includes.
   void enqueue(PacketPtr p);
 
   // Called by the link when it finishes serializing a packet.

@@ -6,8 +6,8 @@
 // instantaneous length).
 #pragma once
 
-#include <deque>
 
+#include "net/packet_ring.h"
 #include "net/queue.h"
 
 namespace pase::net {
@@ -15,7 +15,8 @@ namespace pase::net {
 class RedEcnQueue : public Queue {
  public:
   RedEcnQueue(std::size_t capacity_pkts, std::size_t mark_threshold_pkts)
-      : capacity_(capacity_pkts), threshold_(mark_threshold_pkts) {}
+      : q_(capacity_pkts), capacity_(capacity_pkts),
+        threshold_(mark_threshold_pkts) {}
 
   std::size_t len_packets() const override { return q_.size(); }
   std::size_t len_bytes() const override { return bytes_; }
@@ -27,7 +28,7 @@ class RedEcnQueue : public Queue {
   PacketPtr do_dequeue() override;
 
  private:
-  std::deque<PacketPtr> q_;
+  PacketRing q_;
   std::size_t capacity_;
   std::size_t threshold_;
   std::size_t bytes_ = 0;

@@ -1,43 +1,48 @@
 #include "net/switch.h"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "sim/dcheck.h"
 
 namespace pase::net {
 
 int Switch::add_port(std::unique_ptr<Queue> queue, std::unique_ptr<Link> link,
                      Node* neighbor) {
-  assert(queue && link && neighbor);
+  PASE_DCHECK(queue && link && neighbor);
   link->connect(queue.get(), neighbor);
   ports_.push_back(Port{std::move(queue), std::move(link), neighbor});
   return static_cast<int>(ports_.size()) - 1;
 }
 
 void Switch::set_route(NodeId dst, int port) {
-  assert(port >= 0 && port < num_ports());
+  PASE_DCHECK(port >= 0 && port < num_ports());
   if (static_cast<std::size_t>(dst) >= routes_.size()) {
     routes_.resize(static_cast<std::size_t>(dst) + 1, -1);
   }
   routes_[static_cast<std::size_t>(dst)] = port;
 }
 
-int Switch::route_for(NodeId dst) const {
-  if (dst < 0 || static_cast<std::size_t>(dst) >= routes_.size()) return -1;
-  return routes_[static_cast<std::size_t>(dst)];
+// Cold by construction: a missing route is a topology bug, so the message is
+// assembled (allocating) only here, never on the forwarding path.
+void Switch::throw_no_route(NodeId dst) const {
+  throw std::runtime_error(name() + ": no route to node " +
+                           std::to_string(dst));
 }
 
 void Switch::receive(PacketPtr p) {
-  if (p->dst == id()) {
+  if (p->dst == id()) [[unlikely]] {
     if (control_) control_(std::move(p));
     return;  // control traffic for this switch; drop silently if no handler
   }
   const int port = route_for(p->dst);
-  if (port < 0) {
-    throw std::runtime_error(name() + ": no route to node " +
-                             std::to_string(p->dst));
+  if (port < 0) [[unlikely]] {
+    throw_no_route(p->dst);
   }
-  for (auto& hook : hooks_) hook(*p, port);
+  if (!hooks_.empty()) {
+    for (auto& hook : hooks_) hook(*p, port);
+  }
   ports_[static_cast<std::size_t>(port)].queue->enqueue(std::move(p));
 }
 

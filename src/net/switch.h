@@ -26,7 +26,10 @@ class Switch : public Node {
 
   // Routes traffic destined to node `dst` out of `port`.
   void set_route(NodeId dst, int port);
-  int route_for(NodeId dst) const;
+  int route_for(NodeId dst) const {
+    if (dst < 0 || static_cast<std::size_t>(dst) >= routes_.size()) return -1;
+    return routes_[static_cast<std::size_t>(dst)];
+  }
 
   // Invoked for every packet about to be enqueued on an output port. May
   // rewrite protocol headers (e.g. PDQ rate fields).
@@ -49,6 +52,8 @@ class Switch : public Node {
   }
 
  private:
+  [[noreturn]] void throw_no_route(NodeId dst) const;
+
   struct Port {
     std::unique_ptr<Queue> queue;
     std::unique_ptr<Link> link;

@@ -1,26 +1,17 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <utility>
 
 namespace pase::sim {
-
-namespace {
-
-std::size_t next_pow2(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-}  // namespace
 
 double Simulator::preferred_width(Time lo, Time hi, std::size_t n) const {
   if (executed_ > 64 && fire_gap_ewma_ > 0.0 &&
       std::isfinite(fire_gap_ewma_)) {
-    return fire_gap_ewma_ * 3.0;
+    // A few events per day keeps day scans short while the top cache still
+    // amortizes one walk over several pops (the multiplier is empirical:
+    // wider days make buckets — and every scan — proportionally longer).
+    return fire_gap_ewma_ * 4.0;
   }
   if (n > 1 && hi > lo) return (hi - lo) * 2.0 / static_cast<double>(n);
   return width_;  // degenerate: keep the current width
@@ -32,48 +23,60 @@ Simulator::Simulator() {
   free_slots_.reserve(256);
 }
 
-Simulator::~Simulator() = default;
-
-void Simulator::link(std::uint32_t slot_index, Slot& s) {
-  const std::uint64_t day = day_of(s.t);
-  std::uint32_t& head =
-      day == kInfDay ? inf_list_ : bucket_heads_[day & bucket_mask_];
-  s.next = head;
-  head = slot_index;
-  if (day == kInfDay) {
-    ++inf_count_;
-  } else {
-    ++finite_entries_;
-  }
-  if (memo_valid_ &&
-      (s.t < memo_t_ || (s.t == memo_t_ && s.seq < memo_seq_))) {
-    // The new event preempts the cached top; rewind the calendar cursor so
-    // the next walk starts no later than its day.
-    memo_slot_ = slot_index;
-    memo_t_ = s.t;
-    memo_seq_ = s.seq;
-    if (day < cur_day_) cur_day_ = day;
-  }
+Simulator::~Simulator() {
+  // Pending heap closures (and cancelled-while-staged leftovers) are the
+  // only slot contents that own memory; fired and cancelled slots were
+  // already downgraded to kRaw.
+  for (std::uint32_t i = 0; i < num_slots_; ++i) destroy_payload(slot_at(i));
 }
+
+
 
 void Simulator::unlink(std::uint32_t slot_index, const Slot& s) {
   const std::uint64_t day = day_of(s.t);
-  std::uint32_t* plink =
-      day == kInfDay ? &inf_list_ : &bucket_heads_[day & bucket_mask_];
-  while (*plink != slot_index) {
-    assert(*plink != kNil && "pending event missing from its bucket");
-    plink = &slot_at(*plink).next;
+  if (s.prev != kNil) {
+    slot_at(s.prev).next = s.next;
+  } else {
+    std::uint32_t& head =
+        day == kInfDay ? inf_list_ : bucket_heads_[day & bucket_mask_];
+    PASE_DCHECK(head == slot_index && "pending event missing from its bucket");
+    head = s.next;
   }
-  *plink = s.next;
+  if (s.next != kNil) slot_at(s.next).prev = s.prev;
   if (day == kInfDay) {
     --inf_count_;
   } else {
     --finite_entries_;
   }
-  if (memo_valid_ && memo_slot_ == slot_index) {
-    // The cached top went away; restart the walk from the clock's day.
-    memo_valid_ = false;
-    cur_day_ = day_of(now_);
+  if (top_count_ > 0) {
+    if (top_cache_[0].slot == slot_index) {
+      // Popping the cached top (the common case): promote the rest of the
+      // prefix. The new head is by construction the minimum of the remaining
+      // pending set, and every other event is at or past its day, so the
+      // calendar cursor may jump forward to it.
+      --top_count_;
+      for (std::uint32_t i = 0; i < top_count_; ++i) {
+        top_cache_[i] = top_cache_[i + 1];
+      }
+      if (top_count_ > 0) {
+        const std::uint64_t d = day_of(top_cache_[0].t);
+        if (d != kInfDay && d > cur_day_) cur_day_ = d;
+      } else {
+        // Cache exhausted; restart the next walk from the clock's day.
+        cur_day_ = day_of(now_);
+      }
+    } else {
+      // Cancellation of a non-top event: drop it from the prefix if cached.
+      for (std::uint32_t i = 1; i < top_count_; ++i) {
+        if (top_cache_[i].slot == slot_index) {
+          --top_count_;
+          for (std::uint32_t j = i; j < top_count_; ++j) {
+            top_cache_[j] = top_cache_[j + 1];
+          }
+          break;
+        }
+      }
+    }
   }
 }
 
@@ -94,7 +97,7 @@ void Simulator::flush_staged() {
       bucket_mask_ = want - 1;
     }
     cur_day_ = day_of(now_);
-    memo_valid_ = false;
+    top_count_ = 0;
   }
   staged_finite_ = 0;
   staged_lo_ = kTimeInfinity;
@@ -106,7 +109,8 @@ void Simulator::flush_staged() {
     chain = s.next;
     s.staged = false;
     if (s.seq == 0) {
-      // Cancelled while staged; reclaim the slot now that it is unchained.
+      // Cancelled while staged (payload already freed); reclaim the slot now
+      // that it is unchained.
       free_slots_.push_back(i);
     } else {
       link(i, s);
@@ -117,93 +121,70 @@ void Simulator::flush_staged() {
 
 bool Simulator::locate_top() {
   if (staged_list_ != kNil) flush_staged();
-  if (memo_valid_) return true;
+  if (top_count_ > 0) return true;
   if (finite_entries_ > 0) {
     const std::size_t nb = bucket_heads_.size();
     for (std::size_t k = 0; k < nb; ++k) {
       const std::uint64_t day = cur_day_ + k;
       std::uint32_t i = bucket_heads_[day & bucket_mask_];
       if (i == kNil) continue;
-      // Bucket lists are unsorted; scan for the (t, seq)-minimum belonging
-      // to this day, skipping events a full rotation (or more) ahead.
-      std::uint32_t best = kNil;
-      Time bt = 0.0;
-      std::uint64_t bs = 0;
+      // Bucket lists are unsorted; scan for the day's (t, seq)-smallest
+      // events — the day's m smallest are the globally m smallest, since
+      // every later day holds strictly later times — capturing up to
+      // kTopCacheSize of them, and skipping events a full rotation (or
+      // more) ahead.
       std::size_t scanned = 0;
-      for (; i != kNil; i = slot_at(i).next) {
+      for (; i != kNil;) {
         const Slot& s = slot_at(i);
+        const std::uint32_t nx = s.next;
+        // Bucket neighbours live on unrelated cache lines; overlap the next
+        // fetch with this entry's day check and cache insert.
+        if (nx != kNil) __builtin_prefetch(&slot_at(nx));
         ++scanned;
-        if (day_of(s.t) != day) continue;
-        if (best == kNil || s.t < bt || (s.t == bt && s.seq < bs)) {
-          best = i;
-          bt = s.t;
-          bs = s.seq;
-        }
+        if (day_of(s.t) == day) top_insert(s.t, s.seq, i);
+        i = nx;
       }
-      if (best != kNil) {
+      if (top_count_ > 0) {
         // A grossly overfull bucket means the width no longer matches the
         // event density (the workload's timescale changed); re-derive it.
         // The cooldown keeps coincident-time pileups, which no width can
         // spread, from triggering a rebuild per pop.
-        if (scanned > 64 && executed_ - last_rebuild_exec_ > finite_entries_) {
+        if (scanned > 64 &&
+            executed_ - last_rebuild_exec_ > finite_entries_) {
           rebuild(bucket_heads_.size());
           return locate_top();
         }
         cur_day_ = day;
-        memo_slot_ = best;
-        memo_t_ = bt;
-        memo_seq_ = bs;
-        memo_valid_ = true;
         return true;
       }
     }
     // Nothing within one full rotation: the calendar is too sparse for its
     // size. Shrink it (also re-deriving the width) while the occupancy
     // invariant is off, then retry; once sized to the population, fall
-    // through to a direct search for the globally earliest pending event.
+    // through to a direct search over every finite event (whose smallest
+    // prefix is global: infinite-time events sort after all of them).
     const std::size_t want =
         std::max(kMinBuckets, next_pow2(finite_entries_ * 2));
     if (want < nb) {
       rebuild(want);
       return locate_top();
     }
-    std::uint32_t best = kNil;
-    Time bt = 0.0;
-    std::uint64_t bs = 0;
     for (std::size_t b = 0; b < nb; ++b) {
       for (std::uint32_t i = bucket_heads_[b]; i != kNil; i = slot_at(i).next) {
         const Slot& s = slot_at(i);
-        if (best == kNil || s.t < bt || (s.t == bt && s.seq < bs)) {
-          best = i;
-          bt = s.t;
-          bs = s.seq;
-        }
+        top_insert(s.t, s.seq, i);
       }
     }
-    assert(best != kNil);
-    cur_day_ = day_of(bt);
-    memo_slot_ = best;
-    memo_t_ = bt;
-    memo_seq_ = bs;
-    memo_valid_ = true;
+    PASE_DCHECK(top_count_ > 0);
+    cur_day_ = day_of(top_cache_[0].t);
     return true;
   }
   if (inf_count_ > 0) {
-    std::uint32_t best = kNil;
-    Time bt = 0.0;
-    std::uint64_t bs = 0;
+    // Only past-horizon events remain; their smallest prefix is global.
     for (std::uint32_t i = inf_list_; i != kNil; i = slot_at(i).next) {
       const Slot& s = slot_at(i);
-      if (best == kNil || s.t < bt || (s.t == bt && s.seq < bs)) {
-        best = i;
-        bt = s.t;
-        bs = s.seq;
-      }
+      top_insert(s.t, s.seq, i);
     }
-    memo_slot_ = best;
-    memo_t_ = bt;
-    memo_seq_ = bs;
-    memo_valid_ = true;
     return true;
   }
   return false;
@@ -242,8 +223,9 @@ void Simulator::rebuild(std::size_t new_num_buckets) {
 
   finite_entries_ = 0;
   cur_day_ = day_of(now_);
-  memo_valid_ = false;
+  top_count_ = 0;  // cleared before relinking: link() must not see stale entries
   last_rebuild_exec_ = executed_;
+  ++calendar_rebuilds_;
   while (chain != kNil) {
     const std::uint32_t i = chain;
     Slot& s = slot_at(i);
@@ -252,55 +234,12 @@ void Simulator::rebuild(std::size_t new_num_buckets) {
   }
 }
 
-void Simulator::maybe_grow() {
-  // Jump past the trigger point (2x occupancy) so refill-heavy workloads see
-  // O(log n) rebuilds totalling O(n) relinks, not O(n log n).
-  if (finite_entries_ > bucket_heads_.size() * 2) {
-    rebuild(next_pow2(finite_entries_ * 2));
-  }
-}
-
 void Simulator::reserve(std::size_t n) {
   free_slots_.reserve(n);
+  while (slot_chunks_.size() * kSlotChunkSize < n) {
+    slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  }
   if (n > bucket_heads_.size()) rebuild(next_pow2(n));
-}
-
-EventId Simulator::schedule(Time delay, std::function<void()> fn) {
-  assert(delay >= 0.0 && "cannot schedule in the past");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = num_slots_++;
-    assert(slot != kNil && "pending-event slot space exhausted");
-    if ((slot >> kSlotChunkShift) >= slot_chunks_.size()) {
-      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
-    }
-  }
-  Slot& s = slot_at(slot);
-  s.fn = std::move(fn);
-  s.seq = next_seq_++;
-  s.t = t;
-  // Stage rather than bucket: everything here lands on the slot line we just
-  // wrote, so a schedule burst costs no bucket traffic and no growth
-  // rebuilds — the batch is distributed (and the calendar sized for it in
-  // one pass) when the next event is actually needed.
-  s.staged = true;
-  s.next = staged_list_;
-  staged_list_ = slot;
-  ++staged_count_;
-  if (std::isfinite(t)) {
-    ++staged_finite_;
-    staged_lo_ = std::min(staged_lo_, t);
-    staged_hi_ = std::max(staged_hi_, t);
-  }
-  return EventId{slot, s.gen};
 }
 
 bool Simulator::cancel(EventId id) {
@@ -314,33 +253,59 @@ bool Simulator::cancel(EventId id) {
     --staged_count_;
     if (std::isfinite(s.t)) --staged_finite_;
     s.seq = 0;
-    s.fn = nullptr;
+    destroy_payload(s);
     bump_gen(s);
     return true;
   }
   unlink(id.slot_, s);
-  s.fn = nullptr;
+  destroy_payload(s);
   retire_slot(id.slot_, s);
   return true;
 }
 
 bool Simulator::step(Time until) {
-  if (!locate_top()) return false;
-  if (memo_t_ > until) return false;
-  const std::uint32_t slot = memo_slot_;
-  const Time t = memo_t_;
+  // Fast path: the top cache already knows the next event (~(K-1)/K of
+  // pops); fall into the full locator only on a cache miss or staged batch.
+  if (staged_list_ != kNil || top_count_ == 0) {
+    if (!locate_top()) return false;
+  }
+  if (top_cache_[0].t > until) return false;
+  const std::uint32_t slot = top_cache_[0].slot;
+  const Time t = top_cache_[0].t;
   Slot& s = slot_at(slot);
-  // Unlink and retire before invoking, so the callback may freely schedule
-  // (possibly reusing this very slot) or cancel.
+  // Unlink, copy the event out, and retire before invoking, so the callback
+  // may freely schedule (possibly reusing this very slot) or cancel. The
+  // payload is 24 trivially-copyable bytes; heap-closure ownership transfers
+  // to the invoker (which frees it), so the slot is downgraded to kRaw.
   unlink(slot, s);
-  std::function<void()> fn = std::move(s.fn);
+  const RawFn fn = s.fn;
+  const Kind kind = s.kind;
+  alignas(8) unsigned char payload[kInlinePayloadSize];
+  std::memcpy(payload, s.payload, sizeof(payload));
+  s.kind = Kind::kRaw;
   retire_slot(slot, s);
   if (executed_ > 0) {
     fire_gap_ewma_ = fire_gap_ewma_ * 0.98 + (t - now_) * 0.02;
   }
   now_ = t;
   ++executed_;
-  fn();
+  switch (kind) {
+    case Kind::kRaw: {
+      RawPayload rp;
+      std::memcpy(&rp, payload, sizeof(rp));
+      fn(rp.ctx, rp.arg);
+      break;
+    }
+    case Kind::kInlineClosure:
+      fn(payload, nullptr);
+      break;
+    case Kind::kHeapClosure: {
+      HeapPayload hp;
+      std::memcpy(&hp, payload, sizeof(hp));
+      fn(hp.obj, nullptr);
+      break;
+    }
+  }
   return true;
 }
 

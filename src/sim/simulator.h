@@ -9,30 +9,59 @@
 // the same instant fire in scheduling order (FIFO, via a monotonic sequence
 // number), which keeps packet pipelines deterministic.
 //
-// Buckets are intrusive singly-linked lists threaded through the slot table:
-// each pending event owns one slot (callback, time, sequence, generation,
-// next-link), so scheduling writes only the slot plus a 4-byte bucket head,
-// and no allocation happens outside slot-table growth. Slots live in stable
-// chunked storage (growth never moves a live std::function) and are recycled
-// through a free list; a per-slot generation stamp makes cancelling an
-// already-fired, already-cancelled, or reused id a true no-op that returns
-// false. Cancellation physically unlinks the event — O(bucket occupancy),
-// which resizing keeps at O(1) — so the queue never carries stale entries.
+// Events are typed, fixed-size payloads, not std::functions. A slot holds a
+// raw invoker `void(*)(void* ctx, void* arg)` plus a 24-byte payload that is
+// one of three things, discriminated by a kind tag:
+//   - kRaw: {ctx, arg} passed straight to the invoker — the packet hot path
+//     (link hops, timer fires) schedules this form, writing one cache line
+//     with zero allocations and zero virtual/std::function indirections;
+//   - kInlineClosure: a lambda placement-constructed into the payload, chosen
+//     at compile time when it is trivially copyable, at most 24 bytes and at
+//     most 8-aligned (the trampoline is a template instantiated per lambda
+//     type, so the call is a direct function-pointer call);
+//   - kHeapClosure: {object pointer, destroy fn} for closures too big or
+//     non-trivial to inline (owning captures, std::function) — the only form
+//     that allocates, counted in heap_closure_events() so tests can pin the
+//     steady state to zero.
+//
+// Buckets are intrusive doubly-linked lists threaded through the slot table:
+// each pending event owns one slot (invoker, payload, time, sequence,
+// generation, prev/next links), so scheduling writes only the slot plus a
+// 4-byte bucket head, and no allocation happens outside slot-table growth.
+// The prev link makes unlink O(1) — popping the top no longer rescans its
+// bucket — and a sorted top cache (the K smallest pending events, captured
+// by the day scan that located the top) lets one day-walk serve up to K
+// consecutive pops. Slots live in stable chunked storage and are recycled
+// through a
+// free list; a per-slot generation stamp makes cancelling an already-fired,
+// already-cancelled, or reused id a true no-op that returns false.
+// Cancellation physically unlinks the event, so the queue never carries
+// stale entries.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "sim/dcheck.h"
 
 namespace pase::sim {
 
 using Time = double;  // seconds
 
 inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+// The typed-event invoker signature. `ctx` is the scheduling site's context
+// (an object pointer, or the inline payload buffer); `arg` is the optional
+// second word (e.g. a released Packet*), null for closures.
+using RawFn = void (*)(void* ctx, void* arg);
 
 // Handle for a scheduled event; used to cancel it. Default-constructed
 // handles are inert. A handle is invalidated (cancel() returns false) once
@@ -58,11 +87,45 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  // Schedules `fn` to run `delay` seconds from now. `delay` must be >= 0.
-  EventId schedule(Time delay, std::function<void()> fn);
+  // Schedules a raw typed event: `fn(ctx, arg)` fires `delay` seconds from
+  // now. The zero-overhead form for hot-path call sites that already have a
+  // stable object to point at (links, timers, queues).
+  EventId schedule_raw(Time delay, RawFn fn, void* ctx, void* arg = nullptr) {
+    return schedule_raw_at(now_ + delay, fn, ctx, arg);
+  }
+  EventId schedule_raw_at(Time t, RawFn fn, void* ctx,
+                          void* arg = nullptr);  // defined after the class
 
-  // Schedules `fn` at absolute time `t` (>= now()).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  // Schedules any callable to run `delay` seconds from now (>= 0). Small
+  // trivially-copyable closures are stored inline in the event slot (no
+  // allocation); larger or non-trivial ones fall back to the heap.
+  template <typename Fn>
+  EventId schedule(Time delay, Fn&& fn) {
+    PASE_DCHECK(delay >= 0.0 && "cannot schedule in the past");
+    return schedule_at(now_ + delay, std::forward<Fn>(fn));
+  }
+
+  // Schedules any callable at absolute time `t` (>= now()).
+  template <typename Fn>
+  EventId schedule_at(Time t, Fn&& fn) {
+    PASE_DCHECK(t >= now_ && "cannot schedule in the past");
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_at(slot);
+    using F = std::decay_t<Fn>;
+    static_assert(std::is_invocable_v<F&>, "event callbacks take no args");
+    if constexpr (kInlineEligible<F>) {
+      ::new (static_cast<void*>(s.payload)) F(std::forward<Fn>(fn));
+      s.fn = &invoke_inline_closure<F>;
+      s.kind = Kind::kInlineClosure;
+    } else {
+      HeapPayload hp{new F(std::forward<Fn>(fn)), &destroy_heap_closure<F>};
+      std::memcpy(s.payload, &hp, sizeof(hp));
+      s.fn = &invoke_heap_closure<F>;
+      s.kind = Kind::kHeapClosure;
+      ++heap_closure_events_;
+    }
+    return commit_slot(slot, t);
+  }
 
   // Cancels a pending event. Returns true iff the event was still pending;
   // cancelling a fired, cancelled, or default-constructed id returns false
@@ -70,7 +133,8 @@ class Simulator {
   bool cancel(EventId id);
 
   // Pre-sizes internal structures for a workload of roughly `n` concurrently
-  // pending events, avoiding growth rebuilds during the run.
+  // pending events: calendar buckets, free-list capacity, and enough slot
+  // chunks that the first `n` concurrent events never allocate.
   void reserve(std::size_t n);
 
   // Runs events until the queue drains or the clock passes `until`.
@@ -88,24 +152,77 @@ class Simulator {
   }
   std::uint64_t executed_events() const { return executed_; }
 
+  // Allocation telemetry for the zero-alloc steady-state tests: cumulative
+  // heap-fallback closures scheduled, calendar rebuilds performed, and slot
+  // chunks allocated. A warmed steady state must hold all three constant.
+  std::uint64_t heap_closure_events() const { return heap_closure_events_; }
+  std::uint64_t calendar_rebuilds() const { return calendar_rebuilds_; }
+  std::size_t slot_chunks_allocated() const { return slot_chunks_.size(); }
+
  private:
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  static std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
   static constexpr std::size_t kMinBuckets = 64;
+  static constexpr std::size_t kInlinePayloadSize = 24;
+
+  enum class Kind : std::uint8_t {
+    kRaw = 0,         // payload = RawPayload{ctx, arg}; nothing owned
+    kInlineClosure,   // payload = the closure object (trivially copyable)
+    kHeapClosure,     // payload = HeapPayload{object, destroy}
+  };
+
+  struct RawPayload {
+    void* ctx;
+    void* arg;
+  };
+  struct HeapPayload {
+    void* obj;
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  static constexpr bool kInlineEligible =
+      sizeof(F) <= kInlinePayloadSize && alignof(F) <= 8 &&
+      std::is_trivially_copyable_v<F>;
+
+  template <typename F>
+  static void invoke_inline_closure(void* ctx, void* /*arg*/) {
+    (*std::launder(reinterpret_cast<F*>(ctx)))();
+  }
+  template <typename F>
+  static void invoke_heap_closure(void* ctx, void* /*arg*/) {
+    std::unique_ptr<F> obj(static_cast<F*>(ctx));  // freed even on throw
+    (*obj)();
+  }
+  template <typename F>
+  static void destroy_heap_closure(void* obj) {
+    delete static_cast<F*>(obj);
+  }
 
   // Cache-line sized and aligned: scheduling or firing an event touches
   // exactly one line of the slot arena.
   struct alignas(64) Slot {
-    std::function<void()> fn;
+    RawFn fn = nullptr;
+    alignas(8) unsigned char payload[kInlinePayloadSize];
     std::uint64_t seq = 0;   // scheduling order; breaks time ties (FIFO)
     Time t = 0.0;            // event time; locates the calendar bucket
     std::uint32_t gen = 1;   // bumped on fire/cancel to kill old handles
-    std::uint32_t next = kNil;  // intrusive bucket/staging-list link
+    std::uint32_t next = kNil;  // intrusive bucket/staging-list links
+    std::uint32_t prev = kNil;  // (prev maintained for linked events only)
+    Kind kind = Kind::kRaw;
     bool staged = false;     // on the staging list, not yet in a bucket
   };
+  static_assert(sizeof(Slot) == 64);
 
-  // Stable chunked slot storage: growing never move-constructs the
-  // std::functions of live slots (vector reallocation would), and slot
-  // references stay valid while a callback schedules new events.
+  // Stable chunked slot storage: growth never moves a live slot (vector
+  // reallocation would), so slot references stay valid while a callback
+  // schedules new events, and inline payloads never relocate.
   static constexpr std::size_t kSlotChunkShift = 12;
   static constexpr std::size_t kSlotChunkSize = 1ull << kSlotChunkShift;
 
@@ -124,6 +241,19 @@ class Simulator {
     free_slots_.push_back(slot_index);
   }
 
+  // Frees whatever the payload owns (heap closures only) and downgrades the
+  // slot to kRaw so a later destroy is a no-op. Used by cancel and teardown;
+  // step() instead transfers ownership to the invoke.
+  void destroy_payload(Slot& s) {
+    if (s.kind == Kind::kHeapClosure) {
+      HeapPayload hp;
+      std::memcpy(&hp, s.payload, sizeof(hp));
+      hp.destroy(hp.obj);
+    }
+    s.kind = Kind::kRaw;
+  }
+
+
   // Absolute day number of time `t`, or kInfDay when t is infinite (or so
   // large the day number would overflow). day_of is monotone in t, so
   // overflow events sort after everything the calendar can hold; they live
@@ -134,7 +264,6 @@ class Simulator {
     return d < 9.2e18 ? static_cast<std::uint64_t>(d) : kInfDay;
   }
 
-  void link(std::uint32_t slot_index, Slot& s);
   void unlink(std::uint32_t slot_index, const Slot& s);
   // Picks a bucket width for `n` pending events: the observed inter-fire gap
   // when enough events have run (robust against a few far-future outliers
@@ -146,13 +275,12 @@ class Simulator {
       inv_width_ = 1.0 / w;
     }
   }
-  // Distributes the staging list into calendar buckets (see schedule_at).
+  // Distributes the staging list into calendar buckets (see commit_slot).
   void flush_staged();
-  // Finds the earliest pending event, caching it in memo_slot_. Returns
-  // false if nothing is pending.
+  // Ensures the top cache is non-empty (its head is the earliest pending
+  // event). Returns false if nothing is pending.
   bool locate_top();
   void rebuild(std::size_t new_num_buckets);
-  void maybe_grow();
 
   std::vector<std::uint32_t> bucket_heads_;  // kNil-terminated lists
   std::size_t bucket_mask_ = 0;
@@ -174,12 +302,128 @@ class Simulator {
   Time staged_lo_ = kTimeInfinity;
   Time staged_hi_ = -kTimeInfinity;
 
-  // Cached result of locate_top(): the next event to fire. memo_t_/memo_seq_
-  // mirror the slot so the scheduling fast path compares without a deref.
-  bool memo_valid_ = false;
-  std::uint32_t memo_slot_ = 0;
-  Time memo_t_ = 0.0;
-  std::uint64_t memo_seq_ = 0;
+  // Top cache: the first top_count_ entries of the global (t, seq) pending
+  // order, sorted. The day scan that locates the next event visits every
+  // event of that day anyway, so it captures the day's K smallest — provably
+  // the K globally smallest, since later days hold strictly later times —
+  // and one walk then serves up to K consecutive pops. link() keeps the
+  // prefix exact (insert when the new event beats the cached tail, skip
+  // otherwise); unlink() removes in place. An empty cache means "unknown",
+  // never "no events".
+  struct TopEntry {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  static constexpr std::uint32_t kTopCacheSize = 16;
+  TopEntry top_cache_[kTopCacheSize];
+  std::uint32_t top_count_ = 0;
+
+  static bool entry_before(Time t, std::uint64_t seq, const TopEntry& e) {
+    return t < e.t || (t == e.t && seq < e.seq);
+  }
+  // Inserts into the sorted cache if (t, seq) beats the tail (or there is
+  // room to grow the prefix during a scan); drops the overflow.
+  void top_insert(Time t, std::uint64_t seq, std::uint32_t slot) {
+    std::uint32_t n = top_count_;
+    if (n == kTopCacheSize) {
+      if (!entry_before(t, seq, top_cache_[n - 1])) return;
+      --n;  // tail falls out
+    }
+    std::uint32_t i = n;
+    while (i > 0 && entry_before(t, seq, top_cache_[i - 1])) {
+      top_cache_[i] = top_cache_[i - 1];
+      --i;
+    }
+    top_cache_[i] = TopEntry{t, seq, slot};
+    top_count_ = n + 1;
+  }
+
+
+  // --- Hot-path scheduling, defined in-class so call sites (links, timers,
+  // hosts) compile the whole schedule to straight-line code. The cold
+  // restructuring operations (rebuild, flush_staged, locate_top) stay in
+  // simulator.cc.
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = num_slots_++;
+    PASE_DCHECK(slot != kNil && "pending-event slot space exhausted");
+    if ((slot >> kSlotChunkShift) >= slot_chunks_.size()) {
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+    return slot;
+  }
+
+  EventId commit_slot(std::uint32_t slot, Time t) {
+    Slot& s = slot_at(slot);
+    s.seq = next_seq_++;
+    s.t = t;
+    // Steady state: link straight into the calendar — everything lands on the
+    // slot line just written plus one bucket head, and the memo update inside
+    // link() usually keeps the next pop O(1).
+    if (staged_list_ == kNil && finite_entries_ + inf_count_ > 0) {
+      s.staged = false;
+      link(slot, s);
+      maybe_grow();
+      return EventId{slot, s.gen};
+    }
+    // Empty calendar (or a staged batch already accumulating): stage instead,
+    // so the whole burst is distributed — and the calendar sized and its
+    // bucket width derived for it in one pass — when the next event is
+    // actually needed (see flush_staged).
+    s.staged = true;
+    s.next = staged_list_;
+    staged_list_ = slot;
+    ++staged_count_;
+    if (std::isfinite(t)) {
+      ++staged_finite_;
+      staged_lo_ = std::min(staged_lo_, t);
+      staged_hi_ = std::max(staged_hi_, t);
+    }
+    return EventId{slot, s.gen};
+  }
+
+
+  void link(std::uint32_t slot_index, Slot& s) {
+    const std::uint64_t day = day_of(s.t);
+    std::uint32_t& head =
+        day == kInfDay ? inf_list_ : bucket_heads_[day & bucket_mask_];
+    s.next = head;
+    s.prev = kNil;
+    if (head != kNil) slot_at(head).prev = slot_index;
+    head = slot_index;
+    if (day == kInfDay) {
+      ++inf_count_;
+    } else {
+      ++finite_entries_;
+    }
+    if (top_count_ > 0 &&
+        entry_before(s.t, s.seq, top_cache_[top_count_ - 1])) {
+      // The new event lands inside the cached prefix; insert it (dropping the
+      // overflow — still a valid, shorter prefix). Events past the cached tail
+      // must be skipped, not appended: pending events outside the cache may
+      // sort between the tail and the newcomer. If the newcomer preempts the
+      // cached top, rewind the calendar cursor so the next walk starts no
+      // later than its day.
+      if (entry_before(s.t, s.seq, top_cache_[0]) && day < cur_day_) {
+        cur_day_ = day;
+      }
+      top_insert(s.t, s.seq, slot_index);
+    }
+  }
+
+  void maybe_grow() {
+    // Jump past the trigger point (2x occupancy) so refill-heavy workloads see
+    // O(log n) rebuilds totalling O(n) relinks, not O(n log n).
+    if (finite_entries_ > bucket_heads_.size() * 2) {
+      rebuild(next_pow2(finite_entries_ * 2));
+    }
+  }
+
 
   std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
   std::uint32_t num_slots_ = 0;
@@ -189,8 +433,22 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t last_rebuild_exec_ = 0;  // rebuild cooldown (see locate_top)
+  std::uint64_t heap_closure_events_ = 0;
+  std::uint64_t calendar_rebuilds_ = 0;
   double fire_gap_ewma_ = 0.0;  // smoothed gap between consecutive fires
   bool stopped_ = false;
 };
+
+inline EventId Simulator::schedule_raw_at(Time t, RawFn fn, void* ctx, void* arg) {
+  PASE_DCHECK(t >= now_ && "cannot schedule in the past");
+  PASE_DCHECK(fn != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slot_at(slot);
+  s.fn = fn;
+  const RawPayload rp{ctx, arg};
+  std::memcpy(s.payload, &rp, sizeof(rp));
+  s.kind = Kind::kRaw;
+  return commit_slot(slot, t);
+}
 
 }  // namespace pase::sim

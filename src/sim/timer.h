@@ -1,7 +1,10 @@
 // Cancellable, restartable one-shot timer built on Simulator events.
 //
 // Typical use: retransmission timeouts. The owner restarts the timer on every
-// ACK; the callback fires only if no restart/cancel intervened.
+// ACK; the callback fires only if no restart/cancel intervened. Rearming
+// schedules a raw typed event pointing back at the timer — one cache-line
+// write, no closure copied, no allocation — so restart-per-ACK churn costs
+// the same as any other hot-path event.
 #pragma once
 
 #include <functional>
@@ -14,23 +17,18 @@ namespace pase::sim {
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)
-      : sim_(&sim), on_fire_(std::move(on_fire)), fire_([this] {
-          pending_ = false;
-          on_fire_();
-        }) {}
+      : sim_(&sim), on_fire_(std::move(on_fire)) {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
   ~Timer() { cancel(); }
 
   // (Re)arms the timer `delay` seconds from now, replacing any pending one.
-  // Reuses the trampoline built at construction: rearming copies a small
-  // (one-pointer, SBO) closure instead of wrapping `on_fire_` again.
   void restart(Time delay) {
     cancel();
     pending_ = true;
     expiry_ = sim_->now() + delay;
-    id_ = sim_->schedule(delay, fire_);
+    id_ = sim_->schedule_raw(delay, &Timer::fire_trampoline, this);
   }
 
   void cancel() {
@@ -46,9 +44,14 @@ class Timer {
   Time expiry() const { return expiry_; }
 
  private:
+  static void fire_trampoline(void* self, void* /*arg*/) {
+    auto* timer = static_cast<Timer*>(self);
+    timer->pending_ = false;
+    timer->on_fire_();
+  }
+
   Simulator* sim_;
   std::function<void()> on_fire_;
-  std::function<void()> fire_;  // reusable trampoline, captures only `this`
   EventId id_;
   Time expiry_ = 0.0;
   bool pending_ = false;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "net/packet.h"
 #include "proto/registry.h"
 #include "proto/transport_profile.h"
 #include "topo/builder.h"
@@ -98,6 +99,11 @@ struct Run {
   std::vector<stats::FlowRecord> records;
   std::unordered_map<net::FlowId, std::size_t> record_of;
   std::size_t outstanding = 0;  // short flows not yet finished
+  // Flow table plus profile/context pointers, so a launch event captures
+  // only {&run, index} — 16 bytes, inside the simulator's inline payload.
+  std::vector<transport::Flow> flows;
+  const proto::TransportProfile* profile = nullptr;
+  proto::RunContext* ctx = nullptr;
 };
 
 void launch_flow(Run& run, const proto::TransportProfile& profile,
@@ -160,6 +166,8 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   profile.validate(cfg);
 
   Run run;
+  run.flows = std::move(flows);
+  run.profile = &profile;
   run.built =
       topology_builder(cfg)->build(run.sim, profile.make_queue_factory(cfg));
   topo::BuiltTopology& built = *run.built;
@@ -168,16 +176,27 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
                         static_cast<const proto::ProfileParams&>(cfg)};
   ctx.base_rtt = proto::estimate_base_rtt(built.topo(), built.host_rate_bps());
   // Deadline workloads arbitrate/schedule EDF; others SJF.
-  for (const auto& f : flows) {
+  for (const auto& f : run.flows) {
     ctx.any_deadline = ctx.any_deadline || f.has_deadline();
   }
+  run.ctx = &ctx;
 
   run.control = profile.make_control_plane(ctx);
   ctx.control = run.control.get();
 
+  // Pre-size the engine and the packet pool from the workload: every launch
+  // event is staged up front (one pending event per flow), and the in-flight
+  // population beyond that is bounded by a few events per host (tx-done,
+  // delivery, timers, control). Reserving here means steady-state scheduling
+  // never grows a slot chunk or rebuilds the calendar mid-burst, and the
+  // first wave of sends finds a warm packet pool.
+  const std::size_t num_hosts = built.topo().num_hosts();
+  run.sim.reserve(run.flows.size() + num_hosts * 8 + 64);
+  net::PacketPool::local().prewarm(num_hosts * 16 + 256);
+
   // Map generator host indices onto node ids and set up records.
-  run.records.reserve(flows.size());
-  for (auto& f : flows) {
+  run.records.reserve(run.flows.size());
+  for (auto& f : run.flows) {
     f.src = built.topo().host(static_cast<std::size_t>(f.src))->id();
     f.dst = built.topo().host(static_cast<std::size_t>(f.dst))->id();
     stats::FlowRecord rec;
@@ -191,10 +210,11 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
     if (!f.background) ++run.outstanding;
   }
 
-  // Schedule flow launches.
-  for (const auto& f : flows) {
-    run.sim.schedule_at(f.start_time, [&run, &profile, &ctx, f] {
-      launch_flow(run, profile, ctx, f);
+  // Schedule flow launches. The closure fits the simulator's inline event
+  // payload, so even the launch burst allocates nothing per event.
+  for (std::size_t i = 0; i < run.flows.size(); ++i) {
+    run.sim.schedule_at(run.flows[i].start_time, [&run, i] {
+      launch_flow(run, *run.profile, *run.ctx, run.flows[i]);
     });
   }
 

@@ -1,0 +1,65 @@
+// End-to-end golden fingerprints for the typed-event hot path.
+//
+// The table below was recorded (via tools/record_hotpath_goldens) at the
+// commit immediately before the typed-event/flat-path engine rewrite, on the
+// std::function-based engine. Every protocol must still produce bit-identical
+// traces: the refactor is a pure performance change, and any fingerprint
+// drift means event ordering (or arithmetic) changed somewhere.
+//
+// If a FUTURE change intentionally alters traces (new protocol feature, time
+// model fix), re-record with tools/record_hotpath_goldens and say so in the
+// commit message — never re-record to make a perf refactor pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+
+#include "trace_fingerprint.h"
+
+namespace pase {
+namespace {
+
+struct GoldenFingerprint {
+  const char* label;
+  std::uint64_t fingerprint;
+};
+
+constexpr GoldenFingerprint kGoldenFingerprints[] = {
+    {"DCTCP/rack-random", 0x0c7ee6cf9123c39eull},
+    {"DCTCP/incast-deadline", 0x0e9dc46bc39b7449ull},
+    {"DCTCP/tree-leftright", 0x14376c3c9bebf3e3ull},
+    {"D2TCP/rack-random", 0x0c7ee6cf9123c39eull},
+    {"D2TCP/incast-deadline", 0x9ecacda45463f324ull},
+    {"D2TCP/tree-leftright", 0x14376c3c9bebf3e3ull},
+    {"L2DCT/rack-random", 0xc9988fd5d628a987ull},
+    {"L2DCT/incast-deadline", 0x7ed12c6a49bf7376ull},
+    {"L2DCT/tree-leftright", 0x296ed03a3ccfb809ull},
+    {"PDQ/rack-random", 0x2748254a22cbd322ull},
+    {"PDQ/incast-deadline", 0x3d8a583bc0705c93ull},
+    {"PDQ/tree-leftright", 0x8080b1a8cfa9f49dull},
+    {"pFabric/rack-random", 0x46b34f6a647c3cc6ull},
+    {"pFabric/incast-deadline", 0x4444a0c257fcfa54ull},
+    {"pFabric/tree-leftright", 0x016cd8d57b3104efull},
+    {"PASE/rack-random", 0x997cdae9888aa8ffull},
+    {"PASE/incast-deadline", 0xd664ea6979746f46ull},
+    {"PASE/tree-leftright", 0x43cc8da94d74b94cull},
+};
+// DCTCP and D2TCP intentionally share fingerprints on the non-deadline
+// cases: with no deadlines, D2TCP's gamma-correction exponent is 1 and the
+// two senders are algorithmically identical.
+
+TEST(HotpathGolden, TracesMatchPreRefactorEngine) {
+  const auto cases = fingerprint_battery();
+  ASSERT_EQ(cases.size(), std::size(kGoldenFingerprints));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    ASSERT_EQ(cases[i].label, kGoldenFingerprints[i].label)
+        << "battery order drifted from the recorded table at index " << i;
+    const workload::ScenarioResult r = workload::run_scenario(cases[i].config);
+    EXPECT_EQ(trace_fingerprint(r), kGoldenFingerprints[i].fingerprint)
+        << "trace drift in " << cases[i].label
+        << " — the engine no longer reproduces the pre-refactor schedule";
+  }
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,109 @@
+// PacketPool recycling: field reset on reuse, bounded free list, miss
+// accounting, and prewarm semantics. The pool is thread-local and shared
+// across tests, so every test starts from an explicit drain().
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace pase::net {
+namespace {
+
+TEST(PacketPool, AcquireReusesAndResetsRecycledStorage) {
+  PacketPool& pool = PacketPool::local();
+  pool.drain();
+
+  Packet* raw = nullptr;
+  {
+    PacketPtr p = pool.acquire();
+    raw = p.get();
+    // Dirty every field a protocol touches.
+    p->type = PacketType::kArbRequest;
+    p->flow = 42;
+    p->src = 7;
+    p->dst = 9;
+    p->size_bytes = 1;
+    p->seq = 123;
+    p->ack_seq = 456;
+    p->fin = true;
+    p->ecn_capable = false;
+    p->ecn_ce = true;
+    p->ecn_echo = true;
+    p->ts = 1.5;
+    p->echo_ts = 2.5;
+    p->priority = 3;
+    p->remaining_size = 9999.0;
+    p->deadline = 1.0;
+    p->pdq.paused = true;
+    p->arb.flow_size = 5.0;
+  }  // released back into the pool
+  ASSERT_EQ(pool.available(), 1u);
+
+  PacketPtr p = pool.acquire();
+  EXPECT_EQ(p.get(), raw) << "pool should hand back the recycled packet";
+  const Packet fresh{};
+  EXPECT_EQ(p->type, fresh.type);
+  EXPECT_EQ(p->flow, fresh.flow);
+  EXPECT_EQ(p->src, fresh.src);
+  EXPECT_EQ(p->dst, fresh.dst);
+  EXPECT_EQ(p->size_bytes, fresh.size_bytes);
+  EXPECT_EQ(p->seq, fresh.seq);
+  EXPECT_EQ(p->ack_seq, fresh.ack_seq);
+  EXPECT_EQ(p->fin, fresh.fin);
+  EXPECT_EQ(p->ecn_capable, fresh.ecn_capable);
+  EXPECT_EQ(p->ecn_ce, fresh.ecn_ce);
+  EXPECT_EQ(p->ecn_echo, fresh.ecn_echo);
+  EXPECT_EQ(p->ts, fresh.ts);
+  EXPECT_EQ(p->echo_ts, fresh.echo_ts);
+  EXPECT_EQ(p->priority, fresh.priority);
+  EXPECT_EQ(p->remaining_size, fresh.remaining_size);
+  EXPECT_EQ(p->deadline, fresh.deadline);
+  EXPECT_EQ(p->pdq.paused, fresh.pdq.paused);
+  EXPECT_EQ(p->arb.flow_size, fresh.arb.flow_size);
+}
+
+TEST(PacketPool, ReleaseBeyondMaxFreeEvictsInsteadOfGrowing) {
+  PacketPool& pool = PacketPool::local();
+  pool.drain();
+  pool.prewarm(PacketPool::kMaxFree);
+  ASSERT_EQ(pool.available(), PacketPool::kMaxFree);
+
+  // One more release must free the packet, not grow past the bound.
+  { PacketPtr extra(new Packet{}); }
+  EXPECT_EQ(pool.available(), PacketPool::kMaxFree);
+
+  pool.drain();  // don't pin ~64k packets for the rest of the suite
+}
+
+TEST(PacketPool, MissesCountOnlyColdAcquires) {
+  PacketPool& pool = PacketPool::local();
+  pool.drain();
+  const std::uint64_t base = pool.misses();
+
+  PacketPtr a = pool.acquire();  // cold: allocates
+  EXPECT_EQ(pool.misses(), base + 1);
+  a.reset();  // back into the pool
+  PacketPtr b = pool.acquire();  // warm: recycles
+  EXPECT_EQ(pool.misses(), base + 1);
+
+  pool.prewarm(8);
+  for (int i = 0; i < 8; ++i) {
+    PacketPtr p = pool.acquire();
+    EXPECT_EQ(pool.misses(), base + 1) << "prewarmed acquire missed";
+  }
+}
+
+TEST(PacketPool, PrewarmFillsUpToTargetAndClamps) {
+  PacketPool& pool = PacketPool::local();
+  pool.drain();
+  pool.prewarm(100);
+  EXPECT_EQ(pool.available(), 100u);
+  pool.prewarm(50);  // never shrinks
+  EXPECT_EQ(pool.available(), 100u);
+  pool.prewarm(PacketPool::kMaxFree + 1000);  // clamped to the bound
+  EXPECT_EQ(pool.available(), PacketPool::kMaxFree);
+  pool.drain();
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+}  // namespace
+}  // namespace pase::net

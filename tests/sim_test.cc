@@ -1,7 +1,7 @@
 // Tests for the discrete-event engine: ordering, cancellation, timers, RNG.
 #include <gtest/gtest.h>
 
-#include <vector>
+#include <cstdint>\n#include <memory>\n#include <utility>\n#include <vector>
 
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -276,5 +276,110 @@ TEST(Rng, ExponentialHasRequestedMean) {
   EXPECT_NEAR(sum / n, 2.5, 0.05);
 }
 
+
+// --- Typed-event engine: raw events, inline/heap closure split, reserve ---
+
+namespace rawev {
+struct Ctx {
+  std::vector<std::pair<void*, double>>* fired;
+  Simulator* sim;
+};
+void record(void* ctx, void* arg) {
+  auto* c = static_cast<Ctx*>(ctx);
+  c->fired->push_back({arg, c->sim->now()});
+}
+}  // namespace rawev
+
+TEST(SimulatorTypedEvents, ScheduleRawPassesContextAndArg) {
+  Simulator s;
+  std::vector<std::pair<void*, double>> fired;
+  rawev::Ctx ctx{&fired, &s};
+  int token_a = 0, token_b = 0;
+  s.schedule_raw(2e-3, &rawev::record, &ctx, &token_b);
+  s.schedule_raw(1e-3, &rawev::record, &ctx, &token_a);
+  s.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].first, &token_a);
+  EXPECT_EQ(fired[0].second, 1e-3);
+  EXPECT_EQ(fired[1].first, &token_b);
+  EXPECT_EQ(fired[1].second, 2e-3);
+  EXPECT_EQ(s.heap_closure_events(), 0u);
+}
+
+TEST(SimulatorTypedEvents, RawEventsCancelLikeClosures) {
+  Simulator s;
+  std::vector<std::pair<void*, double>> fired;
+  rawev::Ctx ctx{&fired, &s};
+  const EventId id = s.schedule_raw(1e-3, &rawev::record, &ctx);
+  s.schedule_raw(2e-3, &rawev::record, &ctx);
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  s.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].second, 2e-3);
+}
+
+TEST(SimulatorTypedEvents, SmallTrivialClosuresStayInline) {
+  Simulator s;
+  // 24 bytes of trivially copyable capture: exactly at the inline limit.
+  std::uint64_t a = 1, b = 2;
+  std::uint64_t* sum = new std::uint64_t(0);
+  s.schedule(1e-3, [a, b, sum] { *sum = a + b; });
+  EXPECT_EQ(s.heap_closure_events(), 0u);
+  s.run();
+  EXPECT_EQ(*sum, 3u);
+  delete sum;
+}
+
+TEST(SimulatorTypedEvents, OversizedClosuresFallBackToHeap) {
+  Simulator s;
+  // 32 bytes of capture: one word past the 24-byte inline payload.
+  std::uint64_t a = 1, b = 2, c = 3;
+  std::uint64_t out = 0;
+  auto* po = &out;
+  s.schedule(1e-3, [a, b, c, po] { *po = a + b + c; });
+  EXPECT_EQ(s.heap_closure_events(), 1u);
+  s.run();
+  EXPECT_EQ(out, 6u);
+}
+
+TEST(SimulatorTypedEvents, NonTrivialClosuresFallBackToHeapAndAreFreedOnCancel) {
+  Simulator s;
+  auto tracer = std::make_shared<int>(7);
+  const EventId id = s.schedule(1e-3, [tracer] { (void)*tracer; });
+  EXPECT_EQ(s.heap_closure_events(), 1u);  // shared_ptr is not trivially copyable
+  EXPECT_EQ(tracer.use_count(), 2);
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(tracer.use_count(), 1) << "cancel must destroy the heap closure";
+  s.run();
+  EXPECT_EQ(tracer.use_count(), 1);
+}
+
+TEST(SimulatorTypedEvents, PendingHeapClosuresFreedByDestructor) {
+  auto tracer = std::make_shared<int>(7);
+  {
+    Simulator s;
+    s.schedule(1.0, [tracer] { (void)*tracer; });
+    EXPECT_EQ(tracer.use_count(), 2);
+  }
+  EXPECT_EQ(tracer.use_count(), 1);
+}
+
+TEST(SimulatorTypedEvents, ReservePreallocatesSlotChunks) {
+  Simulator s;
+  s.reserve(10000);
+  const std::size_t chunks = s.slot_chunks_allocated();
+  EXPECT_GE(chunks, 3u);  // 4096-slot chunks
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    s.schedule(1e-6 * (i + 1), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(s.slot_chunks_allocated(), chunks)
+      << "reserve() should cover the whole burst";
+  s.run();
+  EXPECT_EQ(fired, 10000);
+}
+
 }  // namespace
 }  // namespace pase::sim
+

@@ -1,0 +1,122 @@
+// Trace fingerprinting for the hot-path golden tests.
+//
+// A fingerprint is an FNV-1a hash over every bit of observable scenario
+// output: all flow records (times bit-cast, not rounded) plus the aggregate
+// counters. Two runs that differ anywhere — one flipped event ordering, one
+// extra retransmission — produce different hashes, so a table of recorded
+// hashes pins the engine's end-to-end behavior across refactors.
+//
+// The battery below is shared by the golden test (compares against the
+// recorded table in hotpath_golden_test.cc) and tools/record_hotpath_goldens
+// (regenerates the table; run it BEFORE a change to capture the baseline).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace pase {
+
+inline void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+}
+
+template <typename T>
+void fnv_mix_value(std::uint64_t& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  fnv_mix(h, &v, sizeof(v));
+}
+
+inline std::uint64_t trace_fingerprint(const workload::ScenarioResult& r) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  fnv_mix_value(h, r.fabric_drops);
+  fnv_mix_value(h, r.data_packets_sent);
+  fnv_mix_value(h, r.probes_sent);
+  fnv_mix_value(h, r.end_time);
+  fnv_mix_value(h, r.control.messages_sent);
+  for (const auto& rec : r.records) {
+    fnv_mix_value(h, rec.id);
+    fnv_mix_value(h, rec.size_bytes);
+    fnv_mix_value(h, rec.start);
+    fnv_mix_value(h, rec.finish);
+    fnv_mix_value(h, rec.deadline);
+    fnv_mix_value(h, rec.background);
+    fnv_mix_value(h, rec.terminated);
+  }
+  return h;
+}
+
+struct FingerprintCase {
+  std::string label;
+  workload::ScenarioConfig config;
+};
+
+// Every protocol through three structurally different scenarios: intra-rack
+// random (uniform sizes), incast with deadlines (web-search sizes), and the
+// three-tier left-right inter-rack scenario (web-search sizes). Sized so the
+// whole battery runs in a few seconds.
+inline std::vector<FingerprintCase> fingerprint_battery() {
+  using workload::Pattern;
+  using workload::Protocol;
+  using workload::ScenarioConfig;
+  using workload::SizeDistribution;
+
+  std::vector<FingerprintCase> cases;
+  const Protocol protocols[] = {Protocol::kDctcp, Protocol::kD2tcp,
+                                Protocol::kL2dct, Protocol::kPdq,
+                                Protocol::kPfabric, Protocol::kPase};
+  for (Protocol p : protocols) {
+    {
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+      cfg.rack.num_hosts = 20;
+      cfg.traffic.pattern = Pattern::kIntraRackRandom;
+      cfg.traffic.load = 0.7;
+      cfg.traffic.num_flows = 120;
+      cfg.traffic.seed = 21;
+      cases.push_back({std::string(workload::protocol_name(p)) + "/rack-random",
+                       cfg});
+    }
+    {
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+      cfg.rack.num_hosts = 16;
+      cfg.traffic.pattern = Pattern::kIncast;
+      cfg.traffic.incast_fanout = 8;
+      cfg.traffic.size_dist = SizeDistribution::kWebSearch;
+      cfg.traffic.load = 0.5;
+      cfg.traffic.num_flows = 96;
+      cfg.traffic.deadline_min = 5e-3;
+      cfg.traffic.deadline_max = 25e-3;
+      cfg.traffic.seed = 33;
+      cases.push_back(
+          {std::string(workload::protocol_name(p)) + "/incast-deadline", cfg});
+    }
+    {
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.topology = ScenarioConfig::TopologyKind::kThreeTier;
+      cfg.tree.num_tors = 4;
+      cfg.tree.hosts_per_tor = 4;
+      cfg.traffic.pattern = Pattern::kLeftRight;
+      cfg.traffic.size_dist = SizeDistribution::kWebSearch;
+      cfg.traffic.load = 0.6;
+      cfg.traffic.num_flows = 150;
+      cfg.traffic.seed = 5;
+      cases.push_back(
+          {std::string(workload::protocol_name(p)) + "/tree-leftright", cfg});
+    }
+  }
+  return cases;
+}
+
+}  // namespace pase

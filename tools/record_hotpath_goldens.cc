@@ -1,0 +1,20 @@
+// Regenerates the golden fingerprint table for tests/hotpath_golden_test.cc.
+//
+// Run it from a build of the KNOWN-GOOD tree (e.g. main before an engine
+// change), then paste the emitted table over kGoldenFingerprints. The golden
+// test then pins the refactored engine to byte-identical end-to-end traces.
+#include <cstdio>
+
+#include "../tests/trace_fingerprint.h"
+
+int main() {
+  const auto battery = pase::fingerprint_battery();
+  std::printf("constexpr GoldenFingerprint kGoldenFingerprints[] = {\n");
+  for (const auto& c : battery) {
+    const auto result = pase::workload::run_scenario(c.config);
+    std::printf("    {\"%s\", 0x%016llxull},\n", c.label.c_str(),
+                static_cast<unsigned long long>(pase::trace_fingerprint(result)));
+  }
+  std::printf("};\n");
+  return 0;
+}
