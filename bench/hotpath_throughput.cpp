@@ -17,6 +17,14 @@
 //   --quick          smaller grids, one repetition (CI smoke)
 //   --reps=N         timing repetitions per case (default 3; best-of-N)
 //   --protocols=a,b  protocol subset (default: all six)
+//   --workers=N      run every case with N parallel domains (labels gain a
+//                    "-wN" suffix; baselines resolve to the sequential entry)
+//
+// Full mode additionally records a workers ∈ {1,2,4,8} scaling series for
+// the large three-tier web-search scenario (the "dctcp/three-tier" case is
+// the 1-worker reference; "-w2/-w4/-w8" rows rerun it with that many
+// domains). Speedups are against the same sequential baseline, so the series
+// reads directly as parallel scaling — on a single-core machine expect <= 1x.
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -65,8 +73,16 @@ constexpr Baseline kBaseline[] = {
 };
 
 double baseline_for(const std::string& label) {
+  // Parallel rows ("...-wN") share the sequential entry: the PR 3 baselines
+  // are the 1-worker reference for the whole workers series.
+  std::string key = label;
+  const std::size_t w = key.rfind("-w");
+  if (w != std::string::npos &&
+      key.find_first_not_of("0123456789", w + 2) == std::string::npos) {
+    key.erase(w);
+  }
   for (const auto& b : kBaseline) {
-    if (label == b.label) return b.packets_per_sec;
+    if (key == b.label) return b.packets_per_sec;
   }
   return 0.0;
 }
@@ -78,7 +94,9 @@ std::string lower_name(Protocol p) {
 }
 
 std::vector<Case> build_cases(const std::vector<Protocol>& protocols,
-                              bool quick) {
+                              bool quick, int workers) {
+  const std::string wsuffix =
+      workers > 1 ? "-w" + std::to_string(workers) : "";
   std::vector<Case> cases;
   for (Protocol p : protocols) {
     {
@@ -91,11 +109,13 @@ std::vector<Case> build_cases(const std::vector<Protocol>& protocols,
       cfg.traffic.load = 0.7;
       cfg.traffic.num_flows = quick ? 200 : 1200;
       cfg.traffic.seed = 42;
+      cfg.workers = workers;
       char desc[96];
       std::snprintf(desc, sizeof(desc),
                     "web-search all-to-all load=0.70 hosts=%d flows=%d",
                     cfg.rack.num_hosts, cfg.traffic.num_flows);
-      cases.push_back({lower_name(p) + "/single-rack" + (quick ? "-quick" : ""),
+      cases.push_back({lower_name(p) + "/single-rack" +
+                           (quick ? "-quick" : "") + wsuffix,
                        "single-rack", desc, cfg});
     }
     {
@@ -108,13 +128,31 @@ std::vector<Case> build_cases(const std::vector<Protocol>& protocols,
       cfg.traffic.load = 0.6;
       cfg.traffic.num_flows = quick ? 150 : 800;
       cfg.traffic.seed = 42;
+      cfg.workers = workers;
       char desc[96];
       std::snprintf(desc, sizeof(desc),
                     "web-search left-right load=0.60 hosts=%d flows=%d",
                     cfg.tree.num_tors * cfg.tree.hosts_per_tor,
                     cfg.traffic.num_flows);
-      cases.push_back({lower_name(p) + "/three-tier" + (quick ? "-quick" : ""),
+      cases.push_back({lower_name(p) + "/three-tier" +
+                           (quick ? "-quick" : "") + wsuffix,
                        "three-tier", desc, cfg});
+    }
+  }
+  // Parallel scaling series: the large three-tier web-search scenario rerun
+  // at 2/4/8 domains (the plain dctcp/three-tier row above is the 1-worker
+  // point). Only in full sequential mode — an explicit --workers=N already
+  // makes every row a parallel measurement.
+  if (!quick && workers == 1) {
+    for (const Case& c : cases) {
+      if (c.label != "dctcp/three-tier") continue;
+      for (const int w : {2, 4, 8}) {
+        Case series = c;
+        series.config.workers = w;
+        series.label += "-w" + std::to_string(w);
+        cases.push_back(std::move(series));
+      }
+      break;
     }
   }
   return cases;
@@ -124,6 +162,7 @@ struct Measurement {
   std::uint64_t sim_packets = 0;
   double wall_sec_best = 0.0;
   double packets_per_sec = 0.0;
+  int workers_used = 1;
 };
 
 Measurement measure(const ScenarioConfig& cfg, int reps) {
@@ -134,6 +173,7 @@ Measurement measure(const ScenarioConfig& cfg, int reps) {
     const auto t1 = std::chrono::steady_clock::now();
     const double wall = std::chrono::duration<double>(t1 - t0).count();
     m.sim_packets = result.data_packets_sent;
+    m.workers_used = result.workers_used;
     if (r == 0 || wall < m.wall_sec_best) m.wall_sec_best = wall;
   }
   if (m.wall_sec_best > 0.0) {
@@ -148,12 +188,16 @@ Measurement measure(const ScenarioConfig& cfg, int reps) {
 int main(int argc, char** argv) {
   bool quick = false;
   int reps = 3;
+  int workers = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
       if (reps < 1) reps = 1;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+      if (workers < 1) workers = 1;
     }
   }
   if (quick) reps = 1;
@@ -162,7 +206,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {Protocol::kDctcp, Protocol::kD2tcp, Protocol::kL2dct, Protocol::kPdq,
        Protocol::kPfabric, Protocol::kPase});
-  const std::vector<Case> cases = build_cases(protocols, quick);
+  const std::vector<Case> cases = build_cases(protocols, quick, workers);
 
   std::printf("hot-path throughput (%s, best of %d)\n",
               quick ? "quick" : "full", reps);
@@ -189,12 +233,14 @@ int main(int argc, char** argv) {
         row, sizeof(row),
         "    {\"label\": \"%s\", \"protocol\": \"%s\", \"topology\": \"%s\",\n"
         "     \"workload\": \"%s\",\n"
+        "     \"workers\": %d, \"workers_used\": %d,\n"
         "     \"sim_packets\": %llu, \"wall_sec_best\": %.6f,\n"
         "     \"packets_per_sec\": %.1f, \"baseline_packets_per_sec\": %.1f,\n"
         "     \"speedup_vs_baseline\": %.4f}%s\n",
         c.label.c_str(),
         workload::protocol_name(c.config.protocol), c.topology.c_str(),
-        c.workload.c_str(), static_cast<unsigned long long>(m.sim_packets),
+        c.workload.c_str(), c.config.workers, m.workers_used,
+        static_cast<unsigned long long>(m.sim_packets),
         m.wall_sec_best, m.packets_per_sec, base, speedup,
         i + 1 < cases.size() ? "," : "");
     json += row;

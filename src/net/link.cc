@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/dcheck.h"
+#include "sim/parallel.h"
 
 namespace pase::net {
 
@@ -27,8 +28,18 @@ void Link::transmit(PacketPtr p) {
 void Link::on_tx_done(void* self, void* packet) {
   auto* link = static_cast<Link*>(self);
   // Delivery first: it must outrank (in FIFO order) anything scheduled by
-  // the idle kick below for the same instant.
-  link->sim_->schedule_raw(link->delay_, &Link::on_deliver, link, packet);
+  // the idle kick below for the same instant. On a cut link the delivery
+  // crosses domains through the mailbox; posting here (before the idle
+  // kick) consumes the same child-index slot the delivery would have taken
+  // locally, which keeps its lineage ordering exact (see
+  // Simulator::make_post_node).
+  if (link->cross_ == nullptr) [[likely]] {
+    link->sim_->schedule_raw(link->delay_, &Link::on_deliver, link, packet);
+  } else {
+    link->cross_->post(link->cross_src_, link->cross_dst_,
+                       link->sim_->now() + link->delay_, &Link::on_deliver,
+                       link, packet);
+  }
   link->busy_ = false;
   if (link->source_ != nullptr) link->source_->on_link_idle();
 }

@@ -10,6 +10,10 @@
 #include "net/queue.h"
 #include "sim/simulator.h"
 
+namespace pase::sim {
+class ParallelEngine;
+}
+
 namespace pase::net {
 
 class Link {
@@ -49,6 +53,20 @@ class Link {
   // Utilization helper: busy time accumulated so far.
   sim::Time busy_time() const { return busy_time_; }
 
+  // --- Parallel-partition wiring (setup time only) -----------------------
+  // Moves the link's event scheduling onto the domain clock of its
+  // transmitting node. Must be called before any packet is in flight.
+  void bind_domain(sim::Simulator& s) { sim_ = &s; }
+  // Marks the link as a cut edge: deliveries are posted into the destination
+  // domain's mailbox (ordered by a lineage node captured here) instead of being
+  // scheduled on the local calendar.
+  void set_cross_post(sim::ParallelEngine* engine, int src_domain,
+                      int dst_domain) {
+    cross_ = engine;
+    cross_src_ = src_domain;
+    cross_dst_ = dst_domain;
+  }
+
  private:
   // Typed-event trampolines (sim::RawFn signature).
   static void on_tx_done(void* self, void* arg);
@@ -60,6 +78,9 @@ class Link {
   std::string name_;
   Queue* source_ = nullptr;
   Node* dst_ = nullptr;
+  sim::ParallelEngine* cross_ = nullptr;  // non-null on cut links only
+  int cross_src_ = 0;
+  int cross_dst_ = 0;
   bool busy_ = false;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;

@@ -34,6 +34,10 @@ class EcnWindowProfile : public TransportProfile {
     check_mark_fits_capacity(params, Table3::kDctcpQueuePkts, name());
   }
 
+  // Pure endpoint loops over ECN-marking queues: all state is per-host, so
+  // domain-partitioned execution is safe.
+  bool parallel_safe() const override { return true; }
+
   topo::QueueFactory make_queue_factory(
       const ProfileParams& params) const override {
     const std::size_t cap_override = params.queue_capacity_pkts;

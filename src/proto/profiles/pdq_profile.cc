@@ -21,6 +21,11 @@ class PdqProfile final : public TransportProfile {
   std::string_view name() const override { return "pdq"; }
   std::string_view display_name() const override { return "PDQ"; }
 
+  // Arbitration is in the data plane: one controller per port/uplink, each
+  // touched only by packets forwarded through its own node, so controllers
+  // partition cleanly as long as each reads its node's domain clock.
+  bool parallel_safe() const override { return true; }
+
   topo::QueueFactory make_queue_factory(
       const ProfileParams& params) const override {
     const std::size_t cap_override = params.queue_capacity_pkts;
@@ -38,15 +43,17 @@ class PdqProfile final : public TransportProfile {
     // Early termination only makes sense when flows carry deadlines.
     if (!ctx.any_deadline) po.early_termination = false;
     auto cp = std::make_unique<PdqControlPlane>();
-    // Controllers on every switch output port...
+    // Controllers on every switch output port... Each controller reads the
+    // clock of its node's domain (ctx.sim_of falls back to ctx.sim in
+    // sequential runs).
     for (const auto& sw : ctx.built.topo().switches()) {
-      auto cs = transport::PdqController::attach(ctx.sim, *sw, po);
+      auto cs = transport::PdqController::attach(ctx.sim_of(sw->id()), *sw, po);
       for (auto& c : cs) cp->controllers.push_back(std::move(c));
     }
     // ...and on every host uplink.
     for (const auto& h : ctx.built.topo().hosts()) {
       auto c = std::make_unique<transport::PdqController>(
-          ctx.sim, h->id(), h->nic_rate_bps(), po);
+          ctx.sim_of(h->id()), h->id(), h->nic_rate_bps(), po);
       transport::PdqController* raw = c.get();
       h->add_send_hook([raw](net::Packet& p) { raw->process(p); });
       cp->controllers.push_back(std::move(c));

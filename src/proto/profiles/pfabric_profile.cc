@@ -15,6 +15,9 @@ class PfabricProfile final : public TransportProfile {
   std::string_view name() const override { return "pfabric"; }
   std::string_view display_name() const override { return "pFabric"; }
 
+  // Priority queues are per-port, rate control is per-host: parallel-safe.
+  bool parallel_safe() const override { return true; }
+
   topo::QueueFactory make_queue_factory(
       const ProfileParams& params) const override {
     const std::size_t cap_override = params.queue_capacity_pkts;

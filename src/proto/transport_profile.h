@@ -15,6 +15,7 @@
 // by name — the scenario harness itself never names a protocol.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -47,6 +48,16 @@ struct RunContext {
   sim::Time base_rtt = 0.0;
   bool any_deadline = false;
   ControlPlane* control = nullptr;  // set once make_control_plane returned
+
+  // Parallel runs partition the topology into per-worker domains, each with
+  // its own Simulator. Profiles that build per-node machinery (PDQ's
+  // per-port rate controllers) must place it on the owning node's domain
+  // clock; sequential runs leave the resolver empty and everything lives on
+  // `sim`.
+  std::function<sim::Simulator&(net::NodeId)> sim_resolver = {};
+  sim::Simulator& sim_of(net::NodeId node) {
+    return sim_resolver ? sim_resolver(node) : sim;
+  }
 };
 
 class TransportProfile {
@@ -63,6 +74,15 @@ class TransportProfile {
   // Rejects nonsensical knob combinations with std::invalid_argument; called
   // by the harness before anything is built.
   virtual void validate(const ProfileParams& params) const { (void)params; }
+
+  // Whether the protocol tolerates domain-partitioned parallel execution:
+  // all of its runtime state must be per-node (endpoint loops, per-port
+  // controllers), with cross-node interaction only via Link deliveries.
+  // Conservative default: profiles must opt in. PASE's arbitration plane is
+  // a process-global object whose aggregation/teardown semantics assume
+  // instantaneous global knowledge, so it stays sequential; the harness
+  // silently falls back when this returns false.
+  virtual bool parallel_safe() const { return false; }
 
   // (a) fabric.
   virtual topo::QueueFactory make_queue_factory(

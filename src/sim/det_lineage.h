@@ -1,0 +1,148 @@
+// Exact, partition-invariant event ordering for conservative-parallel runs.
+//
+// Sequentially, events at the same instant fire in scheduling (FIFO seq)
+// order. That global order is a recursive property: two same-time events
+// were scheduled either at different instants (earlier instant first), or by
+// the same parent event (the parent's scheduling order decides), or by two
+// parent events that themselves executed at the same instant — in which case
+// the parents' own order decides, recursively. A fixed-size key cannot carry
+// that recursion: synchronized workloads (incast waves ACK-clocked in lock
+// step) produce ties whose resolution lives arbitrarily deep in the
+// scheduling ancestry.
+//
+// So parallel mode materializes the ancestry. Every scheduled event appends
+// an immutable node {sigma, parent, k} to a per-domain arena:
+//   sigma  - the instant it was scheduled (its parent's execution time);
+//   parent - the node of the event that scheduled it (kNull for setup);
+//   k      - its index among that parent's schedulings (for setup-time
+//            roots, a caller-provided global index: the flow launch order).
+// less(a, b) then replays the sequential tie-break exactly:
+//   walk:  different sigma        -> earlier sigma first
+//          same parent            -> smaller k first
+//          different parents      -> recurse on the parents (both executed
+//                                    at the same instant, so their order is
+//                                    the same question one level up)
+//          root vs non-root       -> root first (setup precedes execution)
+// The walk terminates: chains are finite and converging chains are caught by
+// the same-parent test one level before they meet.
+//
+// Concurrency: arenas are append-only and single-writer (each domain's
+// worker appends only to its own arena). Readers in other domains only ever
+// follow node ids that crossed a mailbox + barrier, so every node they can
+// name — and its whole ancestor chain — was fully written before a
+// happens-before edge they are downstream of. Chunk pointers are atomic so
+// a reader's walk through old chunks never races the owner publishing a new
+// one. Nodes are 24 bytes and live until the run ends; that is the memory
+// price of exact parallel determinism, paid only when det mode is on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/dcheck.h"
+
+namespace pase::sim {
+
+using Time = double;  // mirrors simulator.h (no circular include)
+
+class DetLineage {
+ public:
+  using NodeId = std::uint64_t;
+  static constexpr NodeId kNull = ~NodeId{0};
+
+  explicit DetLineage(int domains) {
+    arenas_.reserve(static_cast<std::size_t>(domains));
+    for (int d = 0; d < domains; ++d) {
+      arenas_.emplace_back();
+      arenas_.back().chunks =
+          std::make_unique<std::atomic<Node*>[]>(kMaxChunks);
+    }
+  }
+
+  ~DetLineage() {
+    for (Arena& a : arenas_) {
+      const std::size_t used = (a.count + kChunkSize - 1) >> kChunkShift;
+      for (std::size_t c = 0; c < used; ++c) {
+        delete[] a.chunks[c].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  DetLineage(const DetLineage&) = delete;
+  DetLineage& operator=(const DetLineage&) = delete;
+
+  // Appends a node to `domain`'s arena. Must be called only by the thread
+  // running that domain.
+  NodeId add(int domain, Time sigma, NodeId parent, std::uint32_t k) {
+    Arena& a = arenas_[static_cast<std::size_t>(domain)];
+    const std::size_t i = a.count++;
+    const std::size_t c = i >> kChunkShift;
+    PASE_DCHECK(c < kMaxChunks && "lineage arena exhausted");
+    Node* chunk = a.chunks[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) [[unlikely]] {
+      chunk = new Node[kChunkSize];
+      a.chunks[c].store(chunk, std::memory_order_release);
+    }
+    chunk[i & (kChunkSize - 1)] = Node{sigma, parent, k, 0};
+    return (static_cast<NodeId>(domain) << kDomainShift) |
+           static_cast<NodeId>(i);
+  }
+
+  // Strict weak order reproducing the sequential same-instant fire order.
+  // Both ids (and hence their ancestries) must already be visible to the
+  // calling thread; see the file comment.
+  bool less(NodeId a, NodeId b) const {
+    while (true) {
+      if (a == b) return false;
+      if (a == kNull) return true;   // setup precedes all execution
+      if (b == kNull) return false;
+      const Node& na = node(a);
+      const Node& nb = node(b);
+      if (na.sigma != nb.sigma) return na.sigma < nb.sigma;
+      if (na.parent == nb.parent) return na.k < nb.k;
+      a = na.parent;
+      b = nb.parent;
+    }
+  }
+
+  // Total nodes currently interned (telemetry; owner threads quiescent).
+  std::size_t nodes() const {
+    std::size_t n = 0;
+    for (const Arena& a : arenas_) n += a.count;
+    return n;
+  }
+
+ private:
+  struct Node {
+    Time sigma;       // instant the event was scheduled
+    NodeId parent;    // scheduling event's node; kNull for setup roots
+    std::uint32_t k;  // index among the parent's schedulings
+    std::uint32_t pad_;
+  };
+
+  static constexpr std::size_t kChunkShift = 16;  // 64Ki nodes (1.5 MiB)
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 14;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr unsigned kDomainShift = 48;  // id = domain:16 | index:48
+
+  struct Arena {
+    std::unique_ptr<std::atomic<Node*>[]> chunks;  // null until allocated
+    std::size_t count = 0;                         // owner thread only
+  };
+
+  const Node& node(NodeId id) const {
+    const std::size_t d = static_cast<std::size_t>(id >> kDomainShift);
+    const std::size_t i =
+        static_cast<std::size_t>(id & ((NodeId{1} << kDomainShift) - 1));
+    const Node* chunk =
+        arenas_[d].chunks[i >> kChunkShift].load(std::memory_order_acquire);
+    return chunk[i & (kChunkSize - 1)];
+  }
+
+  std::vector<Arena> arenas_;
+};
+
+}  // namespace pase::sim

@@ -1,0 +1,127 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+
+#include "sim/dcheck.h"
+
+namespace pase::sim {
+
+ParallelEngine::ParallelEngine(int domains)
+    : lineage_(domains), start_barrier_(domains), round_barrier_(domains) {
+  PASE_DCHECK(domains >= 1);
+  sims_.reserve(static_cast<std::size_t>(domains));
+  for (int d = 0; d < domains; ++d) {
+    sims_.push_back(std::make_unique<Simulator>());
+    sims_.back()->enable_det(static_cast<std::uint32_t>(d), &lineage_);
+  }
+  mail_.resize(static_cast<std::size_t>(domains) *
+               static_cast<std::size_t>(domains));
+  for (auto& box : mail_) box.reserve(256);
+  next_t_.assign(static_cast<std::size_t>(domains), kTimeInfinity);
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (threads_started_) {
+    exit_ = true;
+    start_barrier_.arrive_and_wait([] {});
+    for (auto& t : threads_) t.join();
+  }
+  if (orphan_deleter_) {
+    for (auto& box : mail_) {
+      for (const CrossRecord& r : box) orphan_deleter_(r.fn, r.ctx, r.arg);
+      box.clear();
+    }
+  }
+}
+
+void ParallelEngine::post(int src, int dst, Time deliver_t, RawFn fn,
+                          void* ctx, void* arg) {
+  mailbox(src, dst).push_back(
+      CrossRecord{deliver_t, domain(src).make_post_node(), fn, ctx, arg});
+}
+
+std::size_t ParallelEngine::pending_events() const {
+  std::size_t n = 0;
+  for (const auto& s : sims_) n += s->pending_events();
+  for (const auto& box : mail_) n += box.size();
+  return n;
+}
+
+void ParallelEngine::start_threads() {
+  threads_started_ = true;
+  threads_.reserve(sims_.size() - 1);
+  for (int d = 1; d < num_domains(); ++d) {
+    threads_.emplace_back([this, d] { worker_main(d); });
+  }
+  if (thread_init_) thread_init_(0);
+}
+
+void ParallelEngine::worker_main(int d) {
+  if (thread_init_) thread_init_(d);
+  for (;;) {
+    start_barrier_.arrive_and_wait([] {});
+    if (exit_) return;
+    run_rounds(d);
+  }
+}
+
+void ParallelEngine::drain_inbox(int d) {
+  Simulator& sd = domain(d);
+  for (int s = 0; s < num_domains(); ++s) {
+    if (s == d) continue;
+    auto& box = mailbox(s, d);
+    for (const CrossRecord& r : box) {
+      sd.schedule_injected(r.t, r.node, r.fn, r.ctx, r.arg);
+    }
+    box.clear();
+  }
+}
+
+void ParallelEngine::run_rounds(int d) {
+  Simulator& sd = domain(d);
+  for (;;) {
+    // Mailboxes were last written during the previous run phase, sealed by
+    // the barrier that ended it; after this drain the union of all calendars
+    // is the complete global pending set, so the minimum below is the true
+    // global next event time.
+    drain_inbox(d);
+    next_t_[static_cast<std::size_t>(d)] = sd.next_event_time();
+    round_barrier_.arrive_and_wait([this] {
+      Time m = kTimeInfinity;
+      for (const Time t : next_t_) m = std::min(m, t);
+      if (m + lookahead_ > target_) {
+        // Every remaining event <= target is safe: deliveries it generates
+        // land at >= m + lookahead > target, i.e. in a later chunk.
+        round_ = Round::kFinish;
+      } else {
+        round_ = Round::kWindow;
+        horizon_ = m + lookahead_;
+      }
+    });
+    if (round_ == Round::kFinish) {
+      sd.run(target_);  // inclusive; also advances the clock to target
+      round_barrier_.arrive_and_wait([] {});
+      return;
+    }
+    sd.run_before(horizon_);
+    // Seals this round's mailbox appends before anyone drains them.
+    round_barrier_.arrive_and_wait([] {});
+  }
+}
+
+void ParallelEngine::run_until(Time target) {
+  PASE_DCHECK(lookahead_ > 0.0 && "parallel run requires positive lookahead");
+  if (num_domains() == 1) {
+    // Degenerate single-domain engine: plain sequential execution.
+    domain(0).run(target);
+    now_ = target;
+    return;
+  }
+  if (!threads_started_) start_threads();
+  target_ = target;
+  start_barrier_.arrive_and_wait([] {});
+  run_rounds(0);
+  now_ = target;
+}
+
+}  // namespace pase::sim

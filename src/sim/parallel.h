@@ -1,0 +1,158 @@
+// Conservative barrier-synchronous parallel execution of one simulation.
+//
+// The network is partitioned into domains, one Simulator (and one worker
+// thread) each. Every cross-domain interaction is a Link delivery whose
+// propagation delay is at least the partition lookahead L, so the classic
+// conservative-PDES window applies: with m = min over domains of the next
+// pending event time, every event in [m, m + L) can run without hearing
+// from any other domain — a delivery generated at tau >= m arrives at
+// tau + L_edge >= m + L. Each round therefore
+//   (1) drains the per-pair mailboxes into the destination calendars,
+//   (2) agrees on the horizon H = m + L at a barrier,
+//   (3) runs every domain up to (exclusive) H, posting new cross-domain
+//       deliveries into the mailboxes for the next round's drain.
+// Rounds repeat until H passes the caller's target, at which point every
+// domain runs inclusively to the target and sets its clock there — exactly
+// the semantics of Simulator::run(target), so the chunked scenario driver
+// behaves identically to its sequential form.
+//
+// Determinism: no decision depends on thread scheduling. The horizon is
+// computed by whichever thread arrives last from published per-domain next
+// event times; mailbox records carry DetLineage nodes interned in the
+// source domain, so injected deliveries sort against local events exactly
+// where the sequential FIFO order would place them (see det_lineage.h). All
+// mailbox access is separated by barriers: producers append only during run
+// phases, consumers drain only between them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace pase::sim {
+
+class ParallelEngine {
+ public:
+  // Creates `domains` Simulators. Worker threads (one per domain beyond the
+  // caller's, which executes domain 0) start lazily on the first run_until.
+  explicit ParallelEngine(int domains);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int num_domains() const { return static_cast<int>(sims_.size()); }
+  Simulator& domain(int d) { return *sims_[static_cast<std::size_t>(d)]; }
+  // The shared lineage arena (every domain runs in det mode); exposed so
+  // callers can order out-of-band records (e.g. deferred completion
+  // callbacks) exactly as the sequential run would have fired them.
+  DetLineage& lineage() { return lineage_; }
+
+  // Minimum propagation delay over all cut links; must be positive and set
+  // before the first run_until.
+  void set_lookahead(Time lookahead) { lookahead_ = lookahead; }
+  Time lookahead() const { return lookahead_; }
+
+  // Runs once on each worker thread before its first round (and once on the
+  // caller's thread for domain 0): thread-local warmup such as packet-pool
+  // prewarming.
+  void set_thread_init(std::function<void(int domain)> fn) {
+    thread_init_ = std::move(fn);
+  }
+
+  // Frees the payload of records still in flight at destruction (a run may
+  // end with cross-domain deliveries pending). The engine does not know what
+  // `arg` owns; the network layer does.
+  void set_orphan_deleter(std::function<void(RawFn, void*, void*)> fn) {
+    orphan_deleter_ = std::move(fn);
+  }
+
+  // Posts a cross-domain event: fires at `deliver_t` in `dst`, ordered by a
+  // lineage node captured from `src`'s executing event right now. Must be
+  // called from the thread running domain `src`, during a run phase.
+  void post(int src, int dst, Time deliver_t, RawFn fn, void* ctx, void* arg);
+
+  // Advances every domain clock to exactly `target` (monotonically
+  // increasing across calls), executing all events at times <= target.
+  void run_until(Time target);
+
+  // Clock reached by run_until so far (all domains agree at return).
+  Time now() const { return now_; }
+
+  // Sum of pending events across domains plus undelivered mailbox records;
+  // only meaningful between run_until calls.
+  std::size_t pending_events() const;
+
+ private:
+  struct CrossRecord {
+    Time t;
+    DetLineage::NodeId node;
+    RawFn fn;
+    void* ctx;
+    void* arg;
+  };
+
+  // Sense-reversing spin barrier; the last arriver runs `leader_fn` before
+  // releasing the others, which gives every shared decision a happens-before
+  // edge to every waiter (acq_rel RMW chain into the release store).
+  class Barrier {
+   public:
+    explicit Barrier(int n) : n_(n) {}
+    template <typename Fn>
+    void arrive_and_wait(Fn&& leader_fn) {
+      const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+        leader_fn();
+        arrived_.store(0, std::memory_order_relaxed);
+        epoch_.store(e + 1, std::memory_order_release);
+      } else {
+        while (epoch_.load(std::memory_order_acquire) == e) {
+          std::this_thread::yield();
+        }
+      }
+    }
+
+   private:
+    const int n_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+  };
+
+  std::vector<CrossRecord>& mailbox(int src, int dst) {
+    return mail_[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(num_domains()) +
+                 static_cast<std::size_t>(dst)];
+  }
+
+  void start_threads();
+  void worker_main(int d);
+  void run_rounds(int d);
+  void drain_inbox(int d);
+
+  DetLineage lineage_;  // before sims_: domains intern nodes into it
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::vector<CrossRecord>> mail_;  // [src * W + dst]
+  std::vector<Time> next_t_;                    // published per round
+  Time lookahead_ = 0.0;
+  Time now_ = 0.0;
+
+  // Command state, written by the caller before the start barrier.
+  Time target_ = 0.0;
+  bool exit_ = false;
+  // Round decision, written by the barrier leader.
+  enum class Round { kWindow, kFinish } round_ = Round::kWindow;
+  Time horizon_ = 0.0;
+
+  Barrier start_barrier_;
+  Barrier round_barrier_;
+  std::vector<std::thread> threads_;
+  bool threads_started_ = false;
+  std::function<void(int)> thread_init_;
+  std::function<void(RawFn, void*, void*)> orphan_deleter_;
+};
+
+}  // namespace pase::sim

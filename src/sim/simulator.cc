@@ -289,6 +289,12 @@ bool Simulator::step(Time until) {
   }
   now_ = t;
   ++executed_;
+  if (det_) [[unlikely]] {
+    // Everything this callback schedules (or posts cross-domain) becomes a
+    // child of the firing event's lineage node, numbered from zero.
+    cur_node_ = det_nodes_[slot];
+    cur_k_ = 0;
+  }
   switch (kind) {
     case Kind::kRaw: {
       RawPayload rp;
@@ -314,6 +320,34 @@ void Simulator::run(Time until) {
   while (!stopped_ && step(until)) {
   }
   if (until != kTimeInfinity && now_ < until && !stopped_) now_ = until;
+}
+
+void Simulator::enable_det(std::uint32_t domain_id, DetLineage* lineage) {
+  PASE_DCHECK(lineage != nullptr);
+  PASE_DCHECK(pending_events() == 0 && executed_ == 0 &&
+              "det mode must be enabled before any scheduling");
+  det_ = true;
+  domain_id_ = domain_id;
+  lineage_ = lineage;
+  det_nodes_.resize(slot_chunks_.size() << kSlotChunkShift);
+}
+
+Time Simulator::next_event_time() {
+  if (staged_list_ != kNil || top_count_ == 0) {
+    if (!locate_top()) return kTimeInfinity;
+  }
+  return top_cache_[0].t;
+}
+
+void Simulator::run_before(Time bound) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (staged_list_ != kNil || top_count_ == 0) {
+      if (!locate_top()) return;
+    }
+    if (top_cache_[0].t >= bound) return;
+    step(kTimeInfinity);
+  }
 }
 
 }  // namespace pase::sim

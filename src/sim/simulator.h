@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "sim/dcheck.h"
+#include "sim/det_lineage.h"
 
 namespace pase::sim {
 
@@ -146,6 +147,54 @@ class Simulator {
 
   // Makes run() return after the current event completes.
   void stop() { stopped_ = true; }
+
+  // --- Conservative-parallel execution support ----------------------------
+  //
+  // A parallel run partitions the network into domains, one Simulator each,
+  // and executes them in barrier-synchronized windows (see sim/parallel.h).
+  // Sequential runs break same-instant ties with the FIFO sequence number;
+  // per-domain counters cannot reproduce that global order, so in det mode
+  // every scheduled event interns a lineage node {sigma, parent, k} in a
+  // shared DetLineage and same-time ties compare by walking the ancestry —
+  // which replays the sequential order exactly, at any tie depth (see
+  // sim/det_lineage.h). Cross-domain link deliveries carry their node
+  // through the mailbox (make_post_node consumes the k slot the delivery
+  // would have taken locally) and are re-injected with schedule_injected.
+
+  // Turns on lineage tracking for this domain. Must be called before any
+  // event is scheduled into this simulator. Sequential runs never call this
+  // and pay only a predictable not-taken branch per schedule/step.
+  void enable_det(std::uint32_t domain_id, DetLineage* lineage);
+  bool det_enabled() const { return det_; }
+  // Global index for the NEXT setup-time scheduling (e.g. the flow launch
+  // order), so setup roots order identically across partitionings. Only
+  // meaningful outside event execution.
+  void set_setup_index(std::uint32_t k) {
+    PASE_DCHECK(cur_node_ == DetLineage::kNull);
+    cur_k_ = k;
+  }
+  // Lineage node for a cross-domain post (or any out-of-band record) made by
+  // the currently executing event: takes the child slot `k` the event would
+  // have consumed scheduling it locally, keeping sibling order exact.
+  DetLineage::NodeId make_post_node() {
+    PASE_DCHECK(det_);
+    return lineage_->add(static_cast<int>(domain_id_), now_, cur_node_,
+                         cur_k_++);
+  }
+  // Injects a cross-domain event carrying a node captured in the source
+  // domain.
+  EventId schedule_injected(Time t, DetLineage::NodeId node, RawFn fn,
+                            void* ctx,
+                            void* arg = nullptr);  // defined after the class
+
+  // Time of the earliest pending event (kTimeInfinity when none): the
+  // per-domain input to the safe-horizon computation.
+  Time next_event_time();
+  // Runs events strictly before `bound` (exclusive, unlike run()): a
+  // conservative window [now, bound) may not execute events at the horizon
+  // itself, since a cross-domain delivery can still arrive exactly there.
+  // Does not advance the clock to `bound`.
+  void run_before(Time bound);
 
   std::size_t pending_events() const {
     return finite_entries_ + inf_count_ + staged_count_;
@@ -319,19 +368,25 @@ class Simulator {
   TopEntry top_cache_[kTopCacheSize];
   std::uint32_t top_count_ = 0;
 
-  static bool entry_before(Time t, std::uint64_t seq, const TopEntry& e) {
-    return t < e.t || (t == e.t && seq < e.seq);
+  // Same-time ties fall back to the FIFO seq sequentially, or to the
+  // partition-invariant lineage order when det mode is on (the slot indices
+  // locate the nodes). Time-distinct comparisons never touch the lineage.
+  bool entry_before(Time t, std::uint64_t seq, std::uint32_t slot,
+                    const TopEntry& e) const {
+    if (t != e.t) return t < e.t;
+    if (!det_) return seq < e.seq;
+    return lineage_->less(det_nodes_[slot], det_nodes_[e.slot]);
   }
   // Inserts into the sorted cache if (t, seq) beats the tail (or there is
   // room to grow the prefix during a scan); drops the overflow.
   void top_insert(Time t, std::uint64_t seq, std::uint32_t slot) {
     std::uint32_t n = top_count_;
     if (n == kTopCacheSize) {
-      if (!entry_before(t, seq, top_cache_[n - 1])) return;
+      if (!entry_before(t, seq, slot, top_cache_[n - 1])) return;
       --n;  // tail falls out
     }
     std::uint32_t i = n;
-    while (i > 0 && entry_before(t, seq, top_cache_[i - 1])) {
+    while (i > 0 && entry_before(t, seq, slot, top_cache_[i - 1])) {
       top_cache_[i] = top_cache_[i - 1];
       --i;
     }
@@ -362,6 +417,7 @@ class Simulator {
     Slot& s = slot_at(slot);
     s.seq = next_seq_++;
     s.t = t;
+    if (det_) [[unlikely]] record_det_node(slot);
     // Steady state: link straight into the calendar — everything lands on the
     // slot line just written plus one bucket head, and the memo update inside
     // link() usually keeps the next pop O(1).
@@ -388,6 +444,24 @@ class Simulator {
   }
 
 
+  // Interns the lineage node of a freshly committed event from the execution
+  // context: scheduled now, by the event currently firing, as its next child.
+  // An injected event instead adopts the node carried from its source domain
+  // (set by schedule_injected) — and it must be in place here, before link()
+  // runs top-cache comparisons against it.
+  void record_det_node(std::uint32_t slot) {
+    if (slot >= det_nodes_.size()) {
+      det_nodes_.resize(slot_chunks_.size() << kSlotChunkShift);
+    }
+    if (injected_node_ != DetLineage::kNull) {
+      det_nodes_[slot] = injected_node_;
+      injected_node_ = DetLineage::kNull;
+    } else {
+      det_nodes_[slot] = lineage_->add(static_cast<int>(domain_id_), now_,
+                                       cur_node_, cur_k_++);
+    }
+  }
+
   void link(std::uint32_t slot_index, Slot& s) {
     const std::uint64_t day = day_of(s.t);
     std::uint32_t& head =
@@ -402,14 +476,15 @@ class Simulator {
       ++finite_entries_;
     }
     if (top_count_ > 0 &&
-        entry_before(s.t, s.seq, top_cache_[top_count_ - 1])) {
+        entry_before(s.t, s.seq, slot_index, top_cache_[top_count_ - 1])) {
       // The new event lands inside the cached prefix; insert it (dropping the
       // overflow — still a valid, shorter prefix). Events past the cached tail
       // must be skipped, not appended: pending events outside the cache may
       // sort between the tail and the newcomer. If the newcomer preempts the
       // cached top, rewind the calendar cursor so the next walk starts no
       // later than its day.
-      if (entry_before(s.t, s.seq, top_cache_[0]) && day < cur_day_) {
+      if (entry_before(s.t, s.seq, slot_index, top_cache_[0]) &&
+          day < cur_day_) {
         cur_day_ = day;
       }
       top_insert(s.t, s.seq, slot_index);
@@ -428,6 +503,17 @@ class Simulator {
   std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
   std::uint32_t num_slots_ = 0;
   std::vector<std::uint32_t> free_slots_;
+
+  // Parallel-mode ordering state (see the det section above). det_nodes_ is
+  // a slot-indexed side table so the 64-byte Slot stays untouched; it is
+  // only consulted on exact time ties.
+  std::vector<DetLineage::NodeId> det_nodes_;
+  DetLineage* lineage_ = nullptr;
+  DetLineage::NodeId cur_node_ = DetLineage::kNull;  // executing event's node
+  DetLineage::NodeId injected_node_ = DetLineage::kNull;  // pending adoption
+  std::uint32_t cur_k_ = 0;  // its next child index
+  std::uint32_t domain_id_ = 0;
+  bool det_ = false;
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
@@ -449,6 +535,17 @@ inline EventId Simulator::schedule_raw_at(Time t, RawFn fn, void* ctx, void* arg
   std::memcpy(s.payload, &rp, sizeof(rp));
   s.kind = Kind::kRaw;
   return commit_slot(slot, t);
+}
+
+inline EventId Simulator::schedule_injected(Time t, DetLineage::NodeId node,
+                                            RawFn fn, void* ctx, void* arg) {
+  PASE_DCHECK(det_ && "schedule_injected requires det mode");
+  PASE_DCHECK(node != DetLineage::kNull);
+  // Ordering uses the carried node, interned when the source domain posted
+  // the event; record_det_node adopts it during commit so every comparison
+  // made while linking already sees the right key.
+  injected_node_ = node;
+  return schedule_raw_at(t, fn, ctx, arg);
 }
 
 }  // namespace pase::sim

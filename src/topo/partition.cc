@@ -1,0 +1,92 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+
+#include "sim/dcheck.h"
+
+namespace pase::topo {
+
+Partition partition_topology(const Topology& topo, int domains) {
+  const auto& hosts = topo.hosts();
+  const auto& switches = topo.switches();
+  const std::size_t num_nodes = hosts.size() + switches.size();
+
+  Partition part;
+  part.domains = std::max(
+      1, std::min(domains, static_cast<int>(hosts.size())));
+  part.domain_of.assign(num_nodes, -1);
+  if (part.domains <= 1) {
+    std::fill(part.domain_of.begin(), part.domain_of.end(), 0);
+    return part;
+  }
+
+  // Hosts: contiguous blocks by creation index, sizes differing by at most
+  // one. Host i of H goes to floor(i * D / H).
+  const std::size_t h_count = hosts.size();
+  for (std::size_t i = 0; i < h_count; ++i) {
+    const int d = static_cast<int>(
+        i * static_cast<std::size_t>(part.domains) / h_count);
+    part.domain_of[static_cast<std::size_t>(hosts[i]->id())] = d;
+  }
+
+  // Undirected neighbor sets from the link graph (host uplinks plus switch
+  // ports; downlinks mirror uplinks, so each adjacency appears from both
+  // sides anyway).
+  std::vector<std::vector<net::NodeId>> adj(num_nodes);
+  const auto add_edge = [&](net::NodeId a, net::NodeId b) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  };
+  for (const auto& h : hosts) add_edge(h->id(), h->uplink().destination()->id());
+  for (const auto& sw : switches) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      add_edge(sw->id(), sw->port_neighbor(p)->id());
+    }
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // Switches join the domain of their lowest-id assigned neighbor; repeat
+  // until stable (a pass per tree tier suffices, but the loop is general).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& sw : switches) {
+      const std::size_t id = static_cast<std::size_t>(sw->id());
+      if (part.domain_of[id] != -1) continue;
+      for (const net::NodeId n : adj[id]) {
+        const int nd = part.domain_of[static_cast<std::size_t>(n)];
+        if (nd != -1) {
+          part.domain_of[id] = nd;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  // Disconnected switches (none in the built topologies) default to 0.
+  for (auto& d : part.domain_of) {
+    if (d == -1) d = 0;
+  }
+
+  // Cut links, from the transmitting side: host uplinks and switch ports.
+  const auto consider = [&](net::Link& l, net::NodeId src) {
+    const int sd = part.domain_of[static_cast<std::size_t>(src)];
+    const int dd =
+        part.domain_of[static_cast<std::size_t>(l.destination()->id())];
+    if (sd == dd) return;
+    part.cut_links.push_back(Partition::CutLink{&l, sd, dd});
+    part.lookahead = std::min(part.lookahead, l.prop_delay());
+  };
+  for (const auto& h : hosts) consider(h->uplink(), h->id());
+  for (const auto& sw : switches) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      consider(sw->port_link(p), sw->id());
+    }
+  }
+  return part;
+}
+
+}  // namespace pase::topo

@@ -1,0 +1,45 @@
+// Deterministic topology partitioner for the conservative parallel engine.
+//
+// Hosts are split into contiguous equal blocks by creation index (hosts
+// under the same ToR are created together, so racks stay intact whenever
+// the domain count divides them); each switch then joins the domain of its
+// lowest-id already-assigned neighbor, which pulls a ToR into the domain of
+// its first host and aggregation/core switches toward the leftmost subtree
+// below them. Every link whose endpoints land in different domains is a cut
+// link; the minimum propagation delay over the cuts is the engine's
+// lookahead. A partition with a zero-delay cut link (or a single domain) is
+// unusable and the scenario harness falls back to sequential execution.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace pase::topo {
+
+struct Partition {
+  int domains = 1;
+  std::vector<int> domain_of;  // indexed by NodeId
+  struct CutLink {
+    net::Link* link;
+    int src_domain;  // domain of the node that transmits on the link
+    int dst_domain;
+  };
+  std::vector<CutLink> cut_links;
+  // min prop delay over cut links; infinity when there are no cuts.
+  sim::Time lookahead = sim::kTimeInfinity;
+
+  // True when the conservative engine can run this partition: more than one
+  // domain and strictly positive lookahead on every cut edge.
+  bool usable() const { return domains > 1 && lookahead > 0.0; }
+
+  int domain_of_node(net::NodeId id) const {
+    return domain_of[static_cast<std::size_t>(id)];
+  }
+};
+
+// Splits `topo` into at most `domains` domains (clamped to the host count).
+// Deterministic: depends only on the topology's creation order.
+Partition partition_topology(const Topology& topo, int domains);
+
+}  // namespace pase::topo

@@ -1,7 +1,9 @@
 #include "workload/scenario.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -10,7 +12,9 @@
 #include "net/packet.h"
 #include "proto/registry.h"
 #include "proto/transport_profile.h"
+#include "sim/parallel.h"
 #include "topo/builder.h"
+#include "topo/partition.h"
 
 namespace pase::workload {
 
@@ -141,6 +145,237 @@ void launch_flow(Run& run, const proto::TransportProfile& profile,
   run.receivers.push_back(std::move(receiver));
 }
 
+// --- Conservative-parallel driver ------------------------------------------
+//
+// Same run, partitioned: one Simulator per domain under a
+// sim::ParallelEngine, every link rebound to its transmitting node's domain,
+// cut links posting deliveries through the engine's mailboxes. Bit-identity
+// with the sequential path rests on three things:
+//
+//   (1) every cross-domain interaction is a Link delivery, and injected
+//       deliveries carry lineage nodes that sort them against local events
+//       exactly where the sequential FIFO would have placed them
+//       (sim/det_lineage.h);
+//   (2) endpoints are constructed and registered up front instead of inside
+//       a launch event — constructors and register_flow are passive for
+//       every parallel-safe profile, so only the sender->start() call needs
+//       an event, whose setup index is the flow index to replicate the
+//       sequential launch ordering;
+//   (3) completion callbacks do not touch shared state from worker threads:
+//       they append {node, time} records to per-domain lists, which the
+//       main thread merges in lineage order at each chunk boundary,
+//       replaying the sequential first-wins guards.
+//
+// Returns nullopt when the partition is unusable (fewer than two domains or
+// a zero-delay cut link); the caller then runs the sequential body.
+std::optional<ScenarioResult> try_run_parallel(
+    const ScenarioConfig& cfg, const std::vector<transport::Flow>& flow_list,
+    const proto::TransportProfile& profile) {
+  // The engine is declared first so it is destroyed last: sender, receiver
+  // and control-plane destructors cancel timers on their domain simulators.
+  sim::ParallelEngine engine(cfg.workers);
+  const int n_dom = engine.num_domains();
+
+  std::unique_ptr<topo::BuiltTopology> built_ptr =
+      topology_builder(cfg)->build(engine.domain(0),
+                                   profile.make_queue_factory(cfg));
+  topo::BuiltTopology& built = *built_ptr;
+  topo::Topology& topo = built.topo();
+
+  const topo::Partition part = partition_topology(topo, cfg.workers);
+  if (!part.usable()) return std::nullopt;
+  engine.set_lookahead(part.lookahead);
+
+  // Every link schedules on the clock of the node that transmits into it;
+  // cut links post into the destination domain instead.
+  const auto domain_sim = [&engine, &part](net::NodeId id) -> sim::Simulator& {
+    return engine.domain(part.domain_of_node(id));
+  };
+  for (const auto& h : topo.hosts()) {
+    h->uplink().bind_domain(domain_sim(h->id()));
+  }
+  for (const auto& sw : topo.switches()) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      sw->port_link(p).bind_domain(domain_sim(sw->id()));
+    }
+  }
+  for (const auto& c : part.cut_links) {
+    c.link->set_cross_post(&engine, c.src_domain, c.dst_domain);
+  }
+  // A run can end with deliveries still in a mailbox; their payload is a
+  // released Packet that must go back to a pool.
+  engine.set_orphan_deleter([](sim::RawFn, void*, void* arg) {
+    net::PacketPtr(static_cast<net::Packet*>(arg));
+  });
+
+  proto::RunContext ctx0{engine.domain(0), built,
+                         static_cast<const proto::ProfileParams&>(cfg)};
+  ctx0.base_rtt = proto::estimate_base_rtt(topo, built.host_rate_bps());
+  for (const auto& f : flow_list) {
+    ctx0.any_deadline = ctx0.any_deadline || f.has_deadline();
+  }
+  ctx0.sim_resolver = domain_sim;
+  std::unique_ptr<proto::ControlPlane> control =
+      profile.make_control_plane(ctx0);
+  ctx0.control = control.get();
+
+  // Per-domain contexts so endpoint factories place each agent on its own
+  // node's clock (ctx.sim is what sender/receiver constructors capture).
+  std::vector<proto::RunContext> dctx;
+  dctx.reserve(static_cast<std::size_t>(n_dom));
+  for (int d = 0; d < n_dom; ++d) {
+    dctx.push_back(proto::RunContext{engine.domain(d), built, ctx0.params});
+    dctx.back().base_rtt = ctx0.base_rtt;
+    dctx.back().any_deadline = ctx0.any_deadline;
+    dctx.back().control = ctx0.control;
+    dctx.back().sim_resolver = ctx0.sim_resolver;
+  }
+
+  // Pre-size each domain's calendar and packet pool like the sequential path
+  // does, scaled to the domain's share of hosts and launches.
+  std::vector<std::size_t> dom_hosts(static_cast<std::size_t>(n_dom), 0);
+  for (const auto& h : topo.hosts()) {
+    ++dom_hosts[static_cast<std::size_t>(part.domain_of_node(h->id()))];
+  }
+  engine.set_thread_init([&dom_hosts](int d) {
+    net::PacketPool::local().prewarm(
+        dom_hosts[static_cast<std::size_t>(d)] * 16 + 256);
+  });
+
+  // Flow table, records and endpoints. record index == flow index.
+  std::vector<transport::Flow> flows = flow_list;
+  std::vector<stats::FlowRecord> records;
+  records.reserve(flows.size());
+  std::size_t outstanding = 0;
+  std::vector<std::size_t> dom_flows(static_cast<std::size_t>(n_dom), 0);
+  for (auto& f : flows) {
+    f.src = topo.host(static_cast<std::size_t>(f.src))->id();
+    f.dst = topo.host(static_cast<std::size_t>(f.dst))->id();
+    ++dom_flows[static_cast<std::size_t>(part.domain_of_node(f.src))];
+    stats::FlowRecord rec;
+    rec.id = f.id;
+    rec.size_bytes = f.size_bytes;
+    rec.start = f.start_time;
+    rec.deadline = f.deadline;
+    rec.background = f.background;
+    records.push_back(rec);
+    if (!f.background) ++outstanding;
+  }
+  for (int d = 0; d < n_dom; ++d) {
+    engine.domain(d).reserve(dom_flows[static_cast<std::size_t>(d)] +
+                             dom_hosts[static_cast<std::size_t>(d)] * 8 + 64);
+  }
+
+  // Completion records deferred to chunk boundaries. Worker threads only
+  // ever touch their own domain's list; the main thread merges between
+  // run_until calls, with the barriers providing the happens-before edges.
+  struct Completion {
+    sim::DetLineage::NodeId node;
+    sim::Time time;
+    std::size_t rec_idx;
+    bool receiver_done;  // receiver completion vs sender early termination
+  };
+  std::vector<std::vector<Completion>> deferred(
+      static_cast<std::size_t>(n_dom));
+
+  std::vector<std::unique_ptr<transport::Sender>> senders;
+  std::vector<std::unique_ptr<transport::Receiver>> receivers;
+  senders.reserve(flows.size());
+  receivers.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const transport::Flow& f = flows[i];
+    const std::size_t sd =
+        static_cast<std::size_t>(part.domain_of_node(f.src));
+    const std::size_t dd =
+        static_cast<std::size_t>(part.domain_of_node(f.dst));
+    net::Host* src = static_cast<net::Host*>(topo.node(f.src));
+    net::Host* dst = static_cast<net::Host*>(topo.node(f.dst));
+    assert(src && dst);
+
+    auto receiver = profile.make_receiver(dctx[dd], f, *dst);
+    auto sender = profile.make_sender(dctx[sd], f, *src);
+
+    std::vector<Completion>* rlist = &deferred[dd];
+    sim::Simulator* rsim = &engine.domain(static_cast<int>(dd));
+    receiver->on_complete = [rlist, rsim, i](transport::Receiver& r) {
+      rlist->push_back({rsim->make_post_node(), r.completion_time(), i, true});
+    };
+    std::vector<Completion>* slist = &deferred[sd];
+    sim::Simulator* ssim = &engine.domain(static_cast<int>(sd));
+    sender->on_complete = [slist, ssim, i](transport::Sender& s) {
+      if (s.terminated()) {
+        slist->push_back({ssim->make_post_node(), 0.0, i, false});
+      }
+    };
+
+    profile.before_flow_start(dctx[sd], *sender, *receiver);
+    src->register_flow(f.id, sender.get());
+    dst->register_flow(f.id, receiver.get());
+    // The start event becomes a lineage root with k = flow index, which is
+    // exactly how the sequential global seq breaks same-instant launch ties.
+    engine.domain(static_cast<int>(sd))
+        .set_setup_index(static_cast<std::uint32_t>(i));
+    engine.domain(static_cast<int>(sd))
+        .schedule_at(f.start_time, [s = sender.get()] { s->start(); });
+    senders.push_back(std::move(sender));
+    receivers.push_back(std::move(receiver));
+  }
+
+  // Merge deferred completions in deterministic order and replay the
+  // sequential guards (first of {receiver completion, early termination}
+  // wins; background flows never count against `outstanding`).
+  std::vector<Completion> merged;
+  const auto apply_completions = [&] {
+    merged.clear();
+    for (auto& dl : deferred) {
+      merged.insert(merged.end(), dl.begin(), dl.end());
+      dl.clear();
+    }
+    std::sort(merged.begin(), merged.end(),
+              [&engine](const Completion& a, const Completion& b) {
+                return engine.lineage().less(a.node, b.node);
+              });
+    for (const auto& c : merged) {
+      stats::FlowRecord& rec = records[c.rec_idx];
+      if (rec.finish >= 0.0 || rec.terminated) continue;
+      if (c.receiver_done) {
+        rec.finish = c.time;
+      } else {
+        rec.terminated = true;
+      }
+      if (!rec.background && outstanding > 0) --outstanding;
+    }
+  };
+
+  // Same chunk targets as the sequential driver: the clock lands on the same
+  // multiple of `step` when the last short flow finishes, so end_time (which
+  // is fingerprinted) matches bit for bit.
+  const sim::Time step = 10e-3;
+  while (outstanding > 0 && engine.now() < cfg.max_duration) {
+    engine.run_until(std::min(cfg.max_duration, engine.now() + step));
+    apply_completions();
+  }
+
+  ScenarioResult result;
+  result.records = std::move(records);
+  result.end_time = engine.now();
+  result.fabric_drops = topo.total_drops();
+  for (const auto& s : senders) {
+    result.data_packets_sent += s->data_packets_sent();
+    result.probes_sent += s->probes_sent();
+  }
+  if (control) {
+    if (const core::ControlPlaneStats* st = control->stats()) {
+      result.control = *st;
+    }
+  }
+  for (int d = 0; d < n_dom; ++d) {
+    result.heap_closure_events += engine.domain(d).heap_closure_events();
+  }
+  result.workers_used = part.domains;
+  return result;
+}
+
 }  // namespace
 
 void validate_config(const ScenarioConfig& cfg) {
@@ -164,6 +399,16 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   const proto::TransportProfile& profile = resolve_profile(cfg);
   validate_generic(cfg);
   profile.validate(cfg);
+
+  if (cfg.workers < 1) bad_config("workers must be at least 1");
+  if (cfg.workers > 1 && profile.parallel_safe()) {
+    if (std::optional<ScenarioResult> r =
+            try_run_parallel(cfg, flows, profile)) {
+      return std::move(*r);
+    }
+    // Unusable partition (zero-lookahead cut or degenerate domain count):
+    // fall through to the sequential body.
+  }
 
   Run run;
   run.flows = std::move(flows);
@@ -239,6 +484,8 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
       result.control = *st;
     }
   }
+  result.heap_closure_events = run.sim.heap_closure_events();
+  result.workers_used = 1;
   return result;
 }
 

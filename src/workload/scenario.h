@@ -46,6 +46,16 @@ struct ScenarioConfig : proto::ProfileParams {
   WorkloadConfig traffic;  // host counts/rates are filled in from the topology
 
   sim::Time max_duration = 30.0;  // hard stop for the simulation clock
+
+  // Conservative-parallel execution: partition the topology into this many
+  // domains, one worker thread each, synchronized on the minimum
+  // cross-partition link propagation delay. Results are bit-identical to
+  // workers == 1 at any count. Falls back to sequential execution (and
+  // reports workers_used == 1) when the profile is not parallel-safe, a cut
+  // link has zero propagation delay, or the topology has fewer hosts than
+  // domains. Composes with exp::SweepRunner: each sweep thread runs its own
+  // engine.
+  int workers = 1;
 };
 
 struct ScenarioResult {
@@ -55,6 +65,13 @@ struct ScenarioResult {
   std::uint64_t probes_sent = 0;
   sim::Time end_time = 0.0;
   core::ControlPlaneStats control;
+  // Events whose closure spilled to the heap (summed over all domains in a
+  // parallel run). The steady state of every built-in profile is zero; the
+  // alloc-free tests pin that.
+  std::uint64_t heap_closure_events = 0;
+  // Actual domain count the run executed with: cfg.workers unless the
+  // harness fell back to sequential execution (then 1).
+  int workers_used = 1;
 
   double afct() const { return stats::afct(records); }
   double fct_p99() const { return stats::fct_percentile(records, 99.0); }

@@ -18,6 +18,7 @@
 #include "net/host.h"
 #include "net/link.h"
 #include "sim/simulator.h"
+#include "workload/scenario.h"
 
 namespace pase::net {
 namespace {
@@ -100,6 +101,33 @@ TEST(AllocFreeSteadyState, WarmedPingPongAllocatesNothing) {
   EXPECT_EQ(sim.heap_closure_events(), 0u);
   // Sanity: the pool did have to allocate during the cold start.
   EXPECT_GE(misses, cold_misses);
+}
+
+// The ping-pong harness above pins the engine; this pins the protocols. A
+// full scenario run — setup, flow launches, sender/receiver timers, control
+// plane, teardown — must never spill a closure to the heap, for every one of
+// the six profiles. ScenarioResult::heap_closure_events surfaces the engine
+// counter so the assertion needs no access to simulator internals.
+TEST(AllocFreeSteadyState, EveryProtocolProfileRunsWithoutHeapClosures) {
+  const proto::Protocol protocols[] = {
+      proto::Protocol::kDctcp,   proto::Protocol::kD2tcp,
+      proto::Protocol::kL2dct,   proto::Protocol::kPdq,
+      proto::Protocol::kPfabric, proto::Protocol::kPase};
+  for (const proto::Protocol p : protocols) {
+    workload::ScenarioConfig cfg;
+    cfg.protocol = p;
+    cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+    cfg.rack.num_hosts = 12;
+    cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+    cfg.traffic.load = 0.6;
+    cfg.traffic.num_flows = 60;
+    cfg.traffic.seed = 7;
+    const workload::ScenarioResult r = workload::run_scenario(cfg);
+    EXPECT_EQ(r.heap_closure_events, 0u)
+        << "profile " << static_cast<int>(p)
+        << " scheduled a heap-allocated closure";
+    EXPECT_GT(r.records.size(), 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+// Conservative parallel execution must be bit-identical to sequential.
+//
+// The same 18-case battery the hot-path golden test pins is re-run here at
+// workers = 2, 4 and 8 and every trace fingerprint must equal the
+// sequential run's — not "statistically close": identical. Any divergence
+// means an event ordering decision leaked a dependence on thread scheduling
+// or the lineage merge order diverged from the sequential FIFO.
+//
+// PASE is not parallel-safe (its arbitration plane is process-global), so
+// its cases double as fallback coverage: the harness must silently run them
+// sequentially and report workers_used == 1.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/droptail_queue.h"
+#include "sim/simulator.h"
+#include "topo/builder.h"
+#include "topo/partition.h"
+#include "trace_fingerprint.h"
+
+namespace pase {
+namespace {
+
+// Sequential fingerprints computed once and shared by all worker counts.
+const std::vector<std::uint64_t>& sequential_fingerprints() {
+  static const std::vector<std::uint64_t> fps = [] {
+    std::vector<std::uint64_t> v;
+    for (const auto& c : fingerprint_battery()) {
+      v.push_back(trace_fingerprint(workload::run_scenario(c.config)));
+    }
+    return v;
+  }();
+  return fps;
+}
+
+void expect_bit_identical(int workers) {
+  const auto cases = fingerprint_battery();
+  const auto& seq = sequential_fingerprints();
+  ASSERT_EQ(cases.size(), seq.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    workload::ScenarioConfig cfg = cases[i].config;
+    cfg.workers = workers;
+    const workload::ScenarioResult r = workload::run_scenario(cfg);
+    EXPECT_EQ(trace_fingerprint(r), seq[i])
+        << cases[i].label << " diverged from the sequential trace at workers="
+        << workers;
+    if (cfg.protocol == workload::Protocol::kPase) {
+      EXPECT_EQ(r.workers_used, 1)
+          << "PASE is not parallel-safe and must fall back";
+    } else {
+      EXPECT_GT(r.workers_used, 1)
+          << cases[i].label << " unexpectedly fell back to sequential";
+    }
+  }
+}
+
+TEST(ParallelGolden, BitIdenticalAtTwoWorkers) { expect_bit_identical(2); }
+TEST(ParallelGolden, BitIdenticalAtFourWorkers) { expect_bit_identical(4); }
+TEST(ParallelGolden, BitIdenticalAtEightWorkers) { expect_bit_identical(8); }
+
+// A zero-delay cut link gives zero lookahead: the conservative window is
+// empty and the harness must fall back to sequential execution (and still
+// produce the sequential trace).
+TEST(ParallelEngine, ZeroLookaheadFallsBackToSequential) {
+  workload::ScenarioConfig cfg;
+  cfg.protocol = workload::Protocol::kDctcp;
+  cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 8;
+  cfg.rack.per_link_delay = 0.0;
+  cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+  cfg.traffic.load = 0.5;
+  cfg.traffic.num_flows = 40;
+  cfg.traffic.seed = 7;
+
+  const workload::ScenarioResult seq = workload::run_scenario(cfg);
+  cfg.workers = 4;
+  const workload::ScenarioResult par = workload::run_scenario(cfg);
+  EXPECT_EQ(par.workers_used, 1);
+  EXPECT_EQ(trace_fingerprint(par), trace_fingerprint(seq));
+}
+
+// --- Partitioner ------------------------------------------------------------
+
+TEST(TopologyPartition, RacksStayIntactAndCutsCarryLookahead) {
+  sim::Simulator sim;
+  topo::ThreeTierConfig cfg;
+  cfg.num_tors = 4;
+  cfg.hosts_per_tor = 4;
+  topo::ThreeTierBuilder builder(cfg);
+  auto built = builder.build(sim, [](double) {
+    return std::make_unique<net::DropTailQueue>(100);
+  });
+  ASSERT_NE(built, nullptr);
+  topo::Topology& topo = built->topo();
+
+  const topo::Partition part = topo::partition_topology(topo, 4);
+  EXPECT_EQ(part.domains, 4);
+  EXPECT_TRUE(part.usable());
+  // Hosts split into contiguous quarters, so each rack (4 hosts) lands whole
+  // in one domain, and its ToR follows its first host.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(part.domain_of_node(topo.host(static_cast<std::size_t>(i))->id()),
+              i / 4)
+        << "host " << i;
+  }
+  // Cut links exist (racks talk through agg/core) and the lookahead is the
+  // uniform per-link propagation delay.
+  EXPECT_FALSE(part.cut_links.empty());
+  EXPECT_DOUBLE_EQ(part.lookahead, cfg.per_link_delay);
+  for (const auto& c : part.cut_links) {
+    EXPECT_NE(c.src_domain, c.dst_domain);
+    EXPECT_DOUBLE_EQ(c.link->prop_delay(), cfg.per_link_delay);
+  }
+}
+
+TEST(TopologyPartition, ClampsDomainsToHostCount) {
+  sim::Simulator sim;
+  topo::SingleRackConfig cfg;
+  cfg.num_hosts = 3;
+  topo::SingleRackBuilder builder(cfg);
+  auto built = builder.build(
+      sim, [](double) { return std::make_unique<net::DropTailQueue>(100); });
+  const topo::Partition part =
+      topo::partition_topology(built->topo(), 16);
+  EXPECT_EQ(part.domains, 3);
+  for (int d : part.domain_of) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 3);
+  }
+}
+
+TEST(TopologyPartition, SingleDomainIsUnusable) {
+  sim::Simulator sim;
+  topo::SingleRackConfig cfg;
+  cfg.num_hosts = 4;
+  topo::SingleRackBuilder builder(cfg);
+  auto built = builder.build(
+      sim, [](double) { return std::make_unique<net::DropTailQueue>(100); });
+  const topo::Partition part = topo::partition_topology(built->topo(), 1);
+  EXPECT_EQ(part.domains, 1);
+  EXPECT_FALSE(part.usable());
+  EXPECT_TRUE(part.cut_links.empty());
+}
+
+}  // namespace
+}  // namespace pase
