@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "exp/sweep.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
 #include "workload/scenario.h"
 
 namespace pase::bench {
@@ -86,6 +88,47 @@ inline std::vector<Protocol> protocols_from_cli(
   return chosen;
 }
 
+// Structured-trace request parsed from a bench's argv:
+//   --trace=<path>              enable tracing, write the merged trace there
+//   --trace-filter=<categories> comma list (flow,packet,arb,endpoint,queue,
+//                               engine) or "all"; default all
+// A path ending in ".chrome.json" selects the Chrome trace_event sink
+// (openable in chrome://tracing); anything else gets schema-versioned JSONL.
+struct TraceOptions {
+  std::string path;  // empty = tracing off
+  std::uint32_t categories = obs::kAllCategories;
+  bool enabled() const { return !path.empty(); }
+};
+
+inline TraceOptions trace_from_cli(int argc, char** argv) {
+  TraceOptions t;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace=", 8) == 0) {
+      t.path = a + 8;
+    } else if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
+      t.path = argv[++i];
+    } else if (std::strncmp(a, "--trace-filter=", 15) == 0) {
+      filter = a + 15;
+    } else if (std::strcmp(a, "--trace-filter") == 0 && i + 1 < argc) {
+      filter = argv[++i];
+    }
+  }
+  if (!filter.empty()) t.categories = obs::parse_categories(filter);
+  return t;
+}
+
+// Writes a result's merged trace in the format the path's suffix selects.
+inline bool write_trace_file(const ScenarioResult& r, const std::string& path) {
+  if (!r.trace) return false;
+  static constexpr const char* kChromeSuffix = ".chrome.json";
+  const std::size_t n = std::strlen(kChromeSuffix);
+  const bool chrome =
+      path.size() >= n && path.compare(path.size() - n, n, kChromeSuffix) == 0;
+  return chrome ? r.trace->write_chrome_json(path) : r.trace->write_jsonl(path);
+}
+
 // Column headers matching a protocol list, for print_header.
 inline std::vector<std::string> protocol_columns(
     const std::vector<Protocol>& protocols) {
@@ -113,6 +156,28 @@ class Sweep {
   std::size_t add(std::string label, ScenarioConfig cfg) {
     cases_.push_back({std::move(label), std::move(cfg)});
     return cases_.size() - 1;
+  }
+
+  // Standard bench entry: honors --threads plus the tracing flags. Tracing
+  // applies to the grid's first cell (figures order cells per protocol, so
+  // pass --protocols=<one> to pick which run is traced).
+  const std::vector<ScenarioResult>& run(int argc, char** argv) {
+    const TraceOptions trace = trace_from_cli(argc, argv);
+    if (trace.enabled() && !cases_.empty()) {
+      cases_[0].config.trace.enabled = true;
+      cases_[0].config.trace.categories = trace.categories;
+    }
+    run(parse_threads(argc, argv));
+    if (trace.enabled() && !results_.empty()) {
+      if (write_trace_file(results_[0], trace.path)) {
+        std::fprintf(stderr, "trace for '%s' written to %s\n",
+                     cases_[0].label.c_str(), trace.path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not write trace to %s\n",
+                     trace.path.c_str());
+      }
+    }
+    return results_;
   }
 
   const std::vector<ScenarioResult>& run(unsigned threads = 0) {

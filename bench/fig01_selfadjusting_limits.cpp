@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
                 intra_rack_20(p, load, /*deadlines=*/true));
     }
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 1: application throughput (fraction of deadlines met)",
                protocol_columns(protocols));

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       sweep.add(case_label(p, load), intra_rack_20(p, load, false));
     }
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 2: AFCT (ms), PDQ vs DCTCP",
                protocol_columns(protocols));

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     cfg.traffic.num_background_flows = 0;
     sweep.add(case_label(Protocol::kPfabric, load), cfg);
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 4: pFabric loss rate (%), worker->aggregator",
                {"loss", "AFCT(ms)"});

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
       sweep.add(case_label(p, load), left_right(p, load));
     }
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 9(a): AFCT (ms), left-right inter-rack",
                protocol_columns(protocols));

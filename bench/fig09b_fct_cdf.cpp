@@ -7,7 +7,7 @@ int main(int argc, char** argv) {
       argc, argv, {Protocol::kPase, Protocol::kL2dct, Protocol::kDctcp});
   Sweep sweep("fig09b");
   for (auto p : protocols) sweep.add(case_label(p, 0.7), left_right(p, 0.7));
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   std::printf("Figure 9(b): FCT CDF at 70%% load, left-right inter-rack\n");
   std::printf("%-12s", "fraction");

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
       sweep.add(case_label(p, load), intra_rack_20(p, load, true));
     }
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 9(c): application throughput (deadlines met)",
                protocol_columns(protocols));

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
     sweep.add(case_label(Protocol::kPfabric, load),
               left_right(Protocol::kPfabric, load));
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 10(a): 99th percentile FCT (ms), left-right",
                {"PASE", "pFabric", "PASE-afct", "pFab-afct"});

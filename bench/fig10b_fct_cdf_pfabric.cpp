@@ -8,7 +8,7 @@ int main(int argc, char** argv) {
             left_right(Protocol::kPase, 0.7));
   sweep.add(case_label(Protocol::kPfabric, 0.7),
             left_right(Protocol::kPfabric, 0.7));
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   std::printf("Figure 10(b): FCT CDF at 70%% load, PASE vs pFabric\n");
   std::printf("%-12s%16s%16s\n", "fraction", "PASE(ms)", "pFabric(ms)");

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
     sweep.add(case_label(Protocol::kPfabric, load),
               all_to_all_40(Protocol::kPfabric, load));
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 10(c): AFCT (ms), all-to-all intra-rack",
                {"PASE", "pFabric", "improv(%)"});

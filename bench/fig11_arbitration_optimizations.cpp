@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
     sweep.add(case_label(Protocol::kPase, load) + " optimized",
               left_right(Protocol::kPase, load));
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   std::printf(
       "Figure 11: early pruning + delegation, left-right inter-rack\n");

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     sweep.add(case_label(Protocol::kPase, load) + " e2e",
               left_right(Protocol::kPase, load));
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   std::printf("Figure 12(a): local vs end-to-end arbitration, left-right\n");
   std::printf("%-10s%14s%14s%14s%14s%14s%14s\n", "load(%)", "local-afct",

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
                 cfg);
     }
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 12(b): AFCT (ms) vs number of priority queues",
                {"3 queues", "4 queues", "6 queues", "8 queues"});

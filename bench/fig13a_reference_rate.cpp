@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
     cfg.pase.use_reference_rate = false;
     sweep.add(case_label(Protocol::kPase, load) + " no-rref", cfg);
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 13(a): AFCT (ms), PASE vs PASE-DCTCP",
                {"PASE", "PASE-DCTCP", "improv(%)"});

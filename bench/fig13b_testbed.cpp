@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     sweep.add(case_label(Protocol::kDctcp, load),
               testbed(Protocol::kDctcp, load));
   }
-  sweep.run(parse_threads(argc, argv));
+  sweep.run(argc, argv);
 
   print_header("Figure 13(b): testbed-like AFCT (ms), PASE vs DCTCP",
                {"PASE", "DCTCP", "improv(%)"});

@@ -19,6 +19,12 @@
 //   --protocols=a,b  protocol subset (default: all six)
 //   --workers=N      run every case with N parallel domains (labels gain a
 //                    "-wN" suffix; baselines resolve to the sequential entry)
+//   --trace=<path>   after the timing loop, rerun the first case once with
+//                    tracing enabled and write the merged trace (JSONL, or
+//                    Chrome trace_event when the path ends ".chrome.json");
+//                    the timed measurements themselves always run untraced
+//   --trace-filter=<categories>  comma list: flow,packet,arb,endpoint,queue,
+//                    engine (default all)
 //
 // Full mode additionally records a workers ∈ {1,2,4,8} scaling series for
 // the large three-tier web-search scenario (the "dctcp/three-tier" case is
@@ -246,6 +252,21 @@ int main(int argc, char** argv) {
     json += row;
   }
   json += "  ]\n}\n";
+
+  const bench::TraceOptions trace = bench::trace_from_cli(argc, argv);
+  if (trace.enabled() && !cases.empty()) {
+    ScenarioConfig cfg = cases[0].config;
+    cfg.trace.enabled = true;
+    cfg.trace.categories = trace.categories;
+    const auto traced = workload::run_scenario(cfg);
+    if (bench::write_trace_file(traced, trace.path)) {
+      std::printf("trace for '%s' written to %s\n", cases[0].label.c_str(),
+                  trace.path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   trace.path.c_str());
+    }
+  }
 
   std::FILE* f = std::fopen("BENCH_hotpath.json", "w");
   if (f == nullptr) {

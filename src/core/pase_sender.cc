@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pase::core {
 
 PaseSender::PaseSender(sim::Simulator& sim, net::Host& host,
@@ -70,6 +72,11 @@ void PaseSender::refresh_arbitration() {
       plane_->source_arbitrate(flow(), remaining_bytes(), current_demand());
   sender_prio_ = local.prio_queue;
   sender_rate_ = local.ref_rate;
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    tb->emit(obs::kArbCat, obs::EventType::kArbDecision, flow().id,
+             local.ref_rate, 0.0, static_cast<std::uint32_t>(local.prio_queue),
+             /*b=*/0);
+  }
   apply_queue_transition(old_prio);
   arb_timer_.restart(cfg().arbitration_period);
   try_send();
@@ -86,6 +93,11 @@ void PaseSender::arbitration_update(int prio_queue, double ref_rate,
   } else {
     sender_prio_ = prio_queue;
     sender_rate_ = ref_rate;
+  }
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    tb->emit(obs::kArbCat, obs::EventType::kArbDecision, flow().id, ref_rate,
+             0.0, static_cast<std::uint32_t>(prio_queue),
+             receiver_half ? 1u : 0u);
   }
   apply_queue_transition(old_prio);
   try_send();

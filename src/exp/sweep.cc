@@ -163,6 +163,14 @@ std::string sweep_to_json(
            std::to_string(r.control.messages_sent);
     out += ", ";
     append_field(out, "end_time_s", r.end_time);
+    out += ", \"metrics\": {";
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      if (m > 0) out += ", ";
+      append_string(out, r.metrics[m].name);
+      out += ": ";
+      append_number(out, r.metrics[m].value);
+    }
+    out += '}';
     out += '}';
     if (i + 1 < cases.size()) out += ',';
     out += '\n';

@@ -6,7 +6,7 @@ namespace pase::net {
 
 bool DropTailQueue::do_enqueue(PacketPtr p) {
   if (q_.size() >= capacity_) {
-    count_drop();
+    count_drop(*p);
     return false;
   }
   bytes_ += p->size_bytes;

@@ -30,13 +30,13 @@ bool PfabricQueue::do_enqueue(PacketPtr p) {
     }
     if (worse(p->remaining_size, arrival, buf_[worst].remaining,
               buf_[worst].arrival)) {
-      count_drop();
+      count_drop(*p);
       return false;  // arriving packet is the worst: drop it
     }
     // Push out the buffered worst to admit the arrival.
     bytes_ -= buf_[worst].pkt->size_bytes;
+    count_drop(*buf_[worst].pkt);
     buf_.erase(buf_.begin() + static_cast<std::ptrdiff_t>(worst));
-    count_drop();
   }
   bytes_ += p->size_bytes;
   const double remaining = p->remaining_size;

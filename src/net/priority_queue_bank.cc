@@ -19,14 +19,14 @@ PriorityQueueBank::PriorityQueueBank(int num_classes,
 
 bool PriorityQueueBank::do_enqueue(PacketPtr p) {
   if (total_pkts_ >= capacity_) {
-    count_drop();
+    count_drop(*p);
     return false;
   }
   const int cls = std::clamp(p->priority, 0, num_classes() - 1);
   auto& q = classes_[static_cast<std::size_t>(cls)];
   if (q.size() >= threshold_ && p->ecn_capable) {
     p->ecn_ce = true;
-    count_mark();
+    count_mark(*p);
   }
   total_bytes_ += p->size_bytes;
   ++total_pkts_;

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "net/packet.h"
+#include "obs/trace.h"
 
 namespace pase::net {
 
@@ -38,14 +39,35 @@ class Queue {
   std::uint64_t marks() const { return marks_; }
   std::uint64_t enqueues() const { return enqueues_; }
 
+  // Stable identity for trace records ("which queue dropped this packet").
+  // Assigned during harness/telemetry setup (stats::label_fabric_queues);
+  // queues outside a labeled topology keep id 0.
+  void set_trace_id(std::uint32_t id) { trace_id_ = id; }
+  std::uint32_t trace_id() const { return trace_id_; }
+
  protected:
   // Returns false if the packet was dropped (implementation disposes of it).
   virtual bool do_enqueue(PacketPtr p) = 0;
   // Must return non-null iff len_packets() > 0.
   virtual PacketPtr do_dequeue() = 0;
 
-  void count_drop() { ++drops_; }
-  void count_mark() { ++marks_; }
+  // Disciplines report every drop/mark with the victim packet so traced
+  // runs capture flow, sequence and queue identity. Without an installed
+  // tracer these cost one thread-local load beyond the counter bump.
+  void count_drop(const Packet& p) {
+    ++drops_;
+    if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+      tb->emit(obs::kPacketCat, obs::EventType::kPktDrop, p.flow,
+               static_cast<double>(p.size_bytes), 0.0, p.seq, trace_id_);
+    }
+  }
+  void count_mark(const Packet& p) {
+    ++marks_;
+    if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+      tb->emit(obs::kPacketCat, obs::EventType::kPktEcnMark, p.flow,
+               static_cast<double>(p.size_bytes), 0.0, p.seq, trace_id_);
+    }
+  }
 
  private:
   void try_send();
@@ -54,6 +76,7 @@ class Queue {
   std::uint64_t drops_ = 0;
   std::uint64_t marks_ = 0;
   std::uint64_t enqueues_ = 0;
+  std::uint32_t trace_id_ = 0;
 };
 
 }  // namespace pase::net

@@ -6,12 +6,12 @@ namespace pase::net {
 
 bool RedEcnQueue::do_enqueue(PacketPtr p) {
   if (q_.size() >= capacity_) {
-    count_drop();
+    count_drop(*p);
     return false;
   }
   if (q_.size() >= threshold_ && p->ecn_capable) {
     p->ecn_ce = true;
-    count_mark();
+    count_mark(*p);
   }
   bytes_ += p->size_bytes;
   q_.push_back(std::move(p));

@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace pase::obs {
+
+namespace {
+
+template <typename EntryPtr>
+EntryPtr find_entry(const std::vector<EntryPtr>& entries,
+                    const std::string& name) {
+  for (EntryPtr e : entries) {
+    if (e->name == name) return e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto* e : counters_) delete e;
+  for (auto* e : gauges_) delete e;
+  for (auto* e : series_) delete e;
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  if (auto* e = find_entry(counters_, name)) return e->value;
+  counters_.push_back(new Entry<std::uint64_t>{name, 0});
+  return counters_.back()->value;
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  if (auto* e = find_entry(gauges_, name)) return e->value;
+  gauges_.push_back(new Entry<double>{name, 0.0});
+  return gauges_.back()->value;
+}
+
+std::vector<double>& MetricsRegistry::series(const std::string& name) {
+  if (auto* e = find_entry(series_, name)) return e->value;
+  series_.push_back(new Entry<std::vector<double>>{name, {}});
+  return series_.back()->value;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  if (auto* e = find_entry(counters_, name)) return e->value;
+  return 0;
+}
+
+const std::vector<double>* MetricsRegistry::find_series(
+    const std::string& name) const {
+  if (auto* e = find_entry(series_, name)) return &e->value;
+  return nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.reserve(counters_.size() + gauges_.size() + series_.size() * 3);
+  for (const auto* e : counters_) {
+    out.push_back({e->name, static_cast<double>(e->value)});
+  }
+  for (const auto* e : gauges_) out.push_back({e->name, e->value});
+  for (const auto* e : series_) {
+    const std::vector<double>& v = e->value;
+    double max = 0.0, sum = 0.0;
+    for (const double x : v) {
+      max = std::max(max, x);
+      sum += x;
+    }
+    out.push_back({e->name + ".count", static_cast<double>(v.size())});
+    out.push_back({e->name + ".max", max});
+    out.push_back(
+        {e->name + ".mean", v.empty() ? 0.0 : sum / static_cast<double>(v.size())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace pase::obs

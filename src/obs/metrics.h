@@ -1,0 +1,65 @@
+// Named counters, gauges and sampled series.
+//
+// A MetricsRegistry is a cheap bag of named scalars owned by whoever wants
+// aggregate numbers without the event-level detail of a trace: the scenario
+// harness folds one into ScenarioResult (and sweep_to_json serializes it),
+// and FabricTelemetry records per-queue occupancy series plus drop/mark
+// counters through one. Everything here is simulation-domain data — event
+// counts, sim-time series — never wall-clock, so snapshots are deterministic
+// for a fixed configuration.
+//
+// Like the rest of obs/, this header depends only on the standard library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pase::obs {
+
+// One exported value. Snapshot order is sorted by name, so serializations
+// are stable regardless of registration order.
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+using MetricsSnapshot = std::vector<MetricSample>;
+
+class MetricsRegistry {
+ public:
+  // Monotonic counter. Creating is idempotent; the returned reference is
+  // stable for the registry's lifetime.
+  std::uint64_t& counter(const std::string& name);
+  // Last-write-wins scalar.
+  double& gauge(const std::string& name);
+  // Appendable sample series (e.g. a queue's occupancy over time).
+  std::vector<double>& series(const std::string& name);
+
+  std::uint64_t counter_value(const std::string& name) const;
+  const std::vector<double>* find_series(const std::string& name) const;
+
+  // Flattens everything into name-sorted samples. Counters and gauges
+  // export verbatim; a series exports "<name>.count", "<name>.max" and
+  // "<name>.mean" summaries.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    T value{};
+  };
+  // Linear storage: registries hold tens of entries and stable references
+  // matter more than lookup speed (deque-like growth via index search).
+  std::vector<Entry<std::uint64_t>*> counters_;
+  std::vector<Entry<double>*> gauges_;
+  std::vector<Entry<std::vector<double>>*> series_;
+
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+};
+
+}  // namespace pase::obs

@@ -1,0 +1,60 @@
+// Merged trace container and serialization sinks.
+//
+// A run produces one TraceBuffer per execution domain; merge_buffers folds
+// them into a single Trace in deterministic order: records sort by time,
+// with same-time ties broken by the lineage order key each record carries
+// (the executing event's DetLineage node). Sequential runs have no lineage
+// (order == kNoOrder on every record) and a single buffer already in
+// execution order, which IS the (time, lineage) order a parallel run
+// replays — so the merged trace of a 4-worker run is byte-identical to the
+// sequential one. The comparator is injected as a plain function pointer so
+// this layer stays independent of sim/.
+//
+// Two sinks:
+//   - JSONL: schema-versioned, one event per line, first line is a header
+//     object ({"schema":"pase-trace","version":1,...}). Validated by
+//     tools/check_trace_schema.py.
+//   - Chrome trace_event JSON for chrome://tracing / about://tracing:
+//     flow lifetimes as async b/e pairs, drops and marks as instants,
+//     cwnd/rate/occupancy as counter series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pase::obs {
+
+inline constexpr const char* kTraceSchemaName = "pase-trace";
+inline constexpr int kTraceSchemaVersion = 1;
+
+// Strict-weak "before" for lineage order keys; ctx is the caller's lineage
+// arena. Only consulted for same-time records that both carry real keys.
+using OrderLessFn = bool (*)(const void* ctx, std::uint64_t a,
+                             std::uint64_t b);
+
+struct Trace {
+  std::vector<TraceEvent> events;  // merged, deterministic order
+  // Queue trace_id -> human-readable name (e.g. "h0.up", "tor->h2");
+  // resolved by the sinks. Records referencing an id outside this table
+  // serialize as "q<id>".
+  std::vector<std::string> queue_names;
+  std::uint32_t categories = kAllCategories;
+  std::uint64_t dropped = 0;  // records lost to ring wrap, summed
+
+  // Serialized forms; deterministic (shortest round-trip doubles, fixed
+  // field order).
+  std::string to_jsonl() const;
+  std::string to_chrome_json() const;
+  bool write_jsonl(const std::string& path) const;
+  bool write_chrome_json(const std::string& path) const;
+};
+
+// Merges per-domain buffers. `less` may be null (sequential run: records
+// keep concatenation order within equal times, which is execution order).
+Trace merge_buffers(const std::vector<const TraceBuffer*>& buffers,
+                    OrderLessFn less, const void* less_ctx);
+
+}  // namespace pase::obs

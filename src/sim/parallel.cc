@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/dcheck.h"
 
 namespace pase::sim {
@@ -38,6 +39,7 @@ void ParallelEngine::post(int src, int dst, Time deliver_t, RawFn fn,
                           void* ctx, void* arg) {
   mailbox(src, dst).push_back(
       CrossRecord{deliver_t, domain(src).make_post_node(), fn, ctx, arg});
+  cross_posts_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t ParallelEngine::pending_events() const {
@@ -87,6 +89,7 @@ void ParallelEngine::run_rounds(int d) {
     drain_inbox(d);
     next_t_[static_cast<std::size_t>(d)] = sd.next_event_time();
     round_barrier_.arrive_and_wait([this] {
+      ++rounds_;  // leader-only write; the barrier serializes it
       Time m = kTimeInfinity;
       for (const Time t : next_t_) m = std::min(m, t);
       if (m + lookahead_ > target_) {
@@ -118,10 +121,20 @@ void ParallelEngine::run_until(Time target) {
     return;
   }
   if (!threads_started_) start_threads();
+  const std::uint64_t rounds_before = rounds_;
+  const std::uint64_t posts_before = cross_posts();
   target_ = target;
   start_barrier_.arrive_and_wait([] {});
   run_rounds(0);
   now_ = target;
+  ++windows_;
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    // Engine self-profiling is inherently worker-count dependent; it lives
+    // in its own category so determinism tests can filter it out.
+    tb->emit_at(target, obs::kEngineCat, obs::EventType::kParallelRound, 0,
+                0.0, 0.0, static_cast<std::uint32_t>(rounds_ - rounds_before),
+                static_cast<std::uint32_t>(cross_posts() - posts_before));
+  }
 }
 
 }  // namespace pase::sim

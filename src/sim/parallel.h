@@ -87,6 +87,17 @@ class ParallelEngine {
   // only meaningful between run_until calls.
   std::size_t pending_events() const;
 
+  // --- Self-profiling (read between run_until calls) ----------------------
+  // Barrier-synchronized rounds executed so far (each round is one drain +
+  // horizon agreement + run phase; the terminal finish round included).
+  std::uint64_t rounds_executed() const { return rounds_; }
+  // run_until windows completed.
+  std::uint64_t windows_executed() const { return windows_; }
+  // Cross-domain mailbox records posted (mailbox traffic).
+  std::uint64_t cross_posts() const {
+    return cross_posts_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct CrossRecord {
     Time t;
@@ -146,6 +157,14 @@ class ParallelEngine {
   // Round decision, written by the barrier leader.
   enum class Round { kWindow, kFinish } round_ = Round::kWindow;
   Time horizon_ = 0.0;
+
+  // Self-profiling. rounds_ is written only by the round-barrier leader
+  // (serialized by the barrier itself); cross_posts_ is bumped concurrently
+  // from run phases, hence atomic (relaxed: it is a statistic, ordered for
+  // readers by the barriers that end each window).
+  std::uint64_t rounds_ = 0;
+  std::uint64_t windows_ = 0;
+  std::atomic<std::uint64_t> cross_posts_{0};
 
   Barrier start_barrier_;
   Barrier round_barrier_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace pase::sim {
 
 double Simulator::preferred_width(Time lo, Time hi, std::size_t n) const {
@@ -294,6 +296,12 @@ bool Simulator::step(Time until) {
     // child of the firing event's lineage node, numbered from zero.
     cur_node_ = det_nodes_[slot];
     cur_k_ = 0;
+  }
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    // Stamp the tracing context once per dispatch: everything the callback
+    // emits (queue drops, cwnd samples, ...) inherits this event's time and
+    // lineage order key, so emit sites need neither a clock nor the engine.
+    tb->begin_event(t, det_ ? det_nodes_[slot] : obs::kNoOrder);
   }
   switch (kind) {
     case Kind::kRaw: {

@@ -1,12 +1,19 @@
 // Fabric telemetry: periodic sampling of queue occupancy and link
 // utilization over a topology. Useful for diagnosing experiments (where does
 // the backlog live? is the bottleneck saturated?) and for the examples.
+//
+// FabricTelemetry samples on the typed raw-event path (no heap closures) and
+// can fold its observations into an obs::MetricsRegistry: one gauge series
+// per queue (occupancy) plus per-queue drop / ECN-mark counters.
 #pragma once
 
 #include <algorithm>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/dcheck.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
 
@@ -30,6 +37,24 @@ struct QueueSampleSeries {
   }
 };
 
+// Canonical queue order and names for a topology: host uplinks first, then
+// every switch port, matching Topology::for_each_queue. Also stamps each
+// queue's trace id with its index so packet drop/mark trace events can be
+// attributed to a named queue.
+inline std::vector<std::string> label_fabric_queues(topo::Topology& topo) {
+  std::vector<std::string> names;
+  for (const auto& h : topo.hosts()) names.push_back(h->name() + ".up");
+  for (const auto& sw : topo.switches()) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      names.push_back(sw->port_link(p).name());
+    }
+  }
+  std::uint32_t i = 0;
+  topo.for_each_queue([&i](net::Queue& q) { q.set_trace_id(i++); });
+  PASE_DCHECK(i == names.size() && "queue walk disagrees with labels");
+  return names;
+}
+
 // Samples every queue in a topology at a fixed period while the simulation
 // runs. Construct before sim.run(); read the series afterwards.
 class FabricTelemetry {
@@ -37,19 +62,9 @@ class FabricTelemetry {
   FabricTelemetry(sim::Simulator& sim, topo::Topology& topo,
                   sim::Time period = 100e-6)
       : sim_(&sim), topo_(&topo), period_(period) {
-    // One series per host uplink and switch port, in visit order.
-    std::size_t count = 0;
-    topo_->for_each_queue([&count](net::Queue&) { ++count; });
-    series_.resize(count);
-    std::size_t i = 0;
-    for (const auto& h : topo_->hosts()) {
-      series_[i++].name = h->name() + ".up";
-    }
-    for (const auto& sw : topo_->switches()) {
-      for (int p = 0; p < sw->num_ports(); ++p) {
-        series_[i++].name = sw->port_link(p).name();
-      }
-    }
+    const auto names = label_fabric_queues(topo);
+    series_.resize(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) series_[i].name = names[i];
     schedule_next();
   }
 
@@ -76,19 +91,57 @@ class FabricTelemetry {
     return best;
   }
 
- private:
-  void schedule_next() {
-    sim_->schedule(period_, [this] {
-      if (stopped_) return;
-      take_sample();
-      schedule_next();
+  // Exports everything observed so far into a metrics registry:
+  //   fabric.queue.<name>.occupancy   gauge series (packets per tick)
+  //   fabric.queue.<name>.drops       counter
+  //   fabric.queue.<name>.marks       counter
+  //   fabric.drops / fabric.marks / fabric.enqueues   aggregate counters
+  void fold_into(obs::MetricsRegistry& reg) const {
+    std::uint64_t drops = 0, marks = 0, enqueues = 0;
+    std::size_t i = 0;
+    topo_->for_each_queue([&](net::Queue& q) {
+      const auto& s = series_[i++];
+      auto& occ = reg.series("fabric.queue." + s.name + ".occupancy");
+      occ.assign(s.occupancy_pkts.begin(), s.occupancy_pkts.end());
+      reg.counter("fabric.queue." + s.name + ".drops") = q.drops();
+      reg.counter("fabric.queue." + s.name + ".marks") = q.marks();
+      drops += q.drops();
+      marks += q.marks();
+      enqueues += q.enqueues();
     });
+    reg.counter("fabric.drops") = drops;
+    reg.counter("fabric.marks") = marks;
+    reg.counter("fabric.enqueues") = enqueues;
+  }
+
+ private:
+  // Sampling rides the allocation-free raw-event path: a fn-pointer trampoline
+  // instead of a std::function closure, so telemetry never perturbs the
+  // engine's heap-closure count.
+  static void on_tick(void* ctx, void*) {
+    auto* self = static_cast<FabricTelemetry*>(ctx);
+    if (self->stopped_) return;
+    self->take_sample();
+    self->schedule_next();
+  }
+
+  void schedule_next() {
+    sim_->schedule_raw(period_, &FabricTelemetry::on_tick, this);
   }
 
   void take_sample() {
     std::size_t i = 0;
-    topo_->for_each_queue([this, &i](net::Queue& q) {
-      series_[i++].occupancy_pkts.push_back(q.len_packets());
+    obs::TraceBuffer* tb = obs::tracer();
+    topo_->for_each_queue([this, &i, tb](net::Queue& q) {
+      series_[i].occupancy_pkts.push_back(q.len_packets());
+      if (tb != nullptr) [[unlikely]] {
+        tb->emit(obs::kQueueCat, obs::EventType::kQueueSample, 0,
+                 static_cast<double>(q.drops()),
+                 static_cast<double>(q.marks()),
+                 static_cast<std::uint32_t>(i),
+                 static_cast<std::uint32_t>(q.len_packets()));
+      }
+      ++i;
     });
     ++samples_;
   }
@@ -113,7 +166,11 @@ struct UtilizationProbe {
   double utilization(sim::Time now) const {
     const sim::Time elapsed = now - t0;
     if (elapsed <= 0) return 0.0;
-    return (link->busy_time() - busy0) / elapsed;
+    const sim::Time busy = link->busy_time() - busy0;
+    PASE_DCHECK(busy >= 0 && "link busy_time went backwards");
+    // busy_time can exceed elapsed by one in-flight serialization; report a
+    // physically meaningful fraction.
+    return std::clamp(busy / elapsed, 0.0, 1.0);
   }
 };
 

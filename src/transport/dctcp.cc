@@ -1,5 +1,7 @@
 #include "transport/dctcp.h"
 
+#include "obs/trace.h"
+
 namespace pase::transport {
 
 DctcpSender::DctcpSender(sim::Simulator& sim, net::Host& host, Flow flow,
@@ -32,6 +34,10 @@ void DctcpSender::end_of_window_update() {
           ? static_cast<double>(marked_in_window_) / acks_in_window_
           : 0.0;
   alpha_ = (1.0 - dopts_.g) * alpha_ + dopts_.g * frac;
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    tb->emit(obs::kEndpointCat, obs::EventType::kAlphaSample, flow().id,
+             alpha_, frac);
+  }
   if (marked_in_window_ > 0) {
     set_cwnd(cwnd() * (1.0 - ecn_decrease_factor()));
     ssthresh_ = cwnd();  // marks end slow start

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace pase::transport {
 
 // ---------------------------------------------------------------------------
@@ -199,6 +201,10 @@ void PdqSender::fill_pdq(net::Packet& p) {
 }
 
 void PdqSender::start() {
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    tb->emit(obs::kFlowCat, obs::EventType::kFlowStart, flow().id,
+             static_cast<double>(flow().size_bytes), flow().deadline);
+  }
   // 1-RTT setup: a SYN-like probe fetches the initial rate before any data
   // moves — the flow-switching cost arbitration-only designs pay.
   send_probe();
@@ -225,6 +231,10 @@ void PdqSender::apply_feedback(const net::PdqHeader& h) {
   known_pauser_ = h.paused ? h.pauser : net::kInvalidNode;
   const double new_rate = h.paused || !std::isfinite(h.rate) ? 0.0 : h.rate;
   rate_ = new_rate;
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    tb->emit(obs::kEndpointCat, obs::EventType::kRateSample, flow().id, rate_,
+             0.0, h.paused ? 1u : 0u);
+  }
   if (rate_ > 0.0) {
     probe_timer_.cancel();
     if (!pacing_scheduled_ && next_to_send_ < total_) {

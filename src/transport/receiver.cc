@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace pase::transport {
 
 Receiver::Receiver(sim::Simulator& sim, net::Host& host, Flow flow)
@@ -29,11 +31,24 @@ void Receiver::deliver(net::PacketPtr p) {
   if (p->seq < total_ && !received_[p->seq]) {
     received_[p->seq] = true;
     ++received_count_;
+    if (received_count_ == 1) {
+      if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+        tb->emit(obs::kFlowCat, obs::EventType::kFlowFirstByte, flow_.id);
+      }
+    }
     while (next_expected_ < total_ && received_[next_expected_]) {
       ++next_expected_;
     }
     if (received_count_ == total_) {
       completion_time_ = sim_->now();
+      if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+        tb->emit(obs::kFlowCat, obs::EventType::kFlowComplete, flow_.id,
+                 completion_time_ - flow_.start_time);
+        if (flow_.has_deadline() && completion_time_ > flow_.deadline) {
+          tb->emit(obs::kFlowCat, obs::EventType::kFlowDeadlineMiss, flow_.id,
+                   completion_time_ - flow_.deadline);
+        }
+      }
       if (on_complete) on_complete(*this);
     }
   } else {

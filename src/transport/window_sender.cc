@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace pase::transport {
 
 WindowSender::WindowSender(sim::Simulator& sim, net::Host& host, Flow flow,
@@ -21,6 +23,10 @@ WindowSender::WindowSender(sim::Simulator& sim, net::Host& host, Flow flow,
 }
 
 void WindowSender::start() {
+  if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+    tb->emit(obs::kFlowCat, obs::EventType::kFlowStart, flow().id,
+             static_cast<double>(flow().size_bytes), flow().deadline);
+  }
   on_start();
   try_send();
 }
@@ -99,6 +105,10 @@ void WindowSender::process_ack(const net::Packet& ack) {
       }
     }
     on_ack(ack);
+    if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
+      tb->emit(obs::kEndpointCat, obs::EventType::kCwndSample, flow().id,
+               cwnd_, srtt_);
+    }
     restart_rto();
   } else if (ack.ack_seq == snd_una_ && in_flight() > 0) {
     ++dupacks_;

@@ -10,15 +10,49 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
 #include "proto/registry.h"
 #include "proto/transport_profile.h"
 #include "sim/parallel.h"
+#include "stats/counters.h"
 #include "topo/builder.h"
 #include "topo/partition.h"
 
 namespace pase::workload {
 
 namespace {
+
+// Adapts DetLineage::less to the plain-function comparator obs:: expects
+// (the obs layer cannot include sim/).
+bool lineage_less(const void* ctx, std::uint64_t a, std::uint64_t b) {
+  return static_cast<const sim::DetLineage*>(ctx)->less(a, b);
+}
+
+// Aggregate counters every run exports, independent of execution mode.
+void fold_common_metrics(obs::MetricsRegistry& reg, const ScenarioResult& r,
+                         const topo::Topology& topo) {
+  std::uint64_t drops = 0, marks = 0, enqueues = 0;
+  topo.for_each_queue([&](net::Queue& q) {
+    drops += q.drops();
+    marks += q.marks();
+    enqueues += q.enqueues();
+  });
+  reg.counter("fabric.drops") = drops;
+  reg.counter("fabric.marks") = marks;
+  reg.counter("fabric.enqueues") = enqueues;
+  reg.counter("flows.total") = r.records.size();
+  reg.counter("flows.unfinished") = r.unfinished();
+  reg.counter("packets.data_sent") = r.data_packets_sent;
+  reg.counter("packets.probes_sent") = r.probes_sent;
+  reg.counter("control.messages_sent") = r.control.messages_sent;
+  reg.counter("control.arbitrations") = r.control.arbitrations;
+  reg.counter("engine.heap_closure_events") = r.heap_closure_events;
+  reg.gauge("engine.workers") = r.workers_used;
+  reg.gauge("time.end") = r.end_time;
+  if (r.trace) reg.counter("trace.dropped") = r.trace->dropped;
+}
 
 const proto::TransportProfile& resolve_profile(const ScenarioConfig& cfg) {
   if (!cfg.profile_name.empty()) {
@@ -171,6 +205,11 @@ void launch_flow(Run& run, const proto::TransportProfile& profile,
 std::optional<ScenarioResult> try_run_parallel(
     const ScenarioConfig& cfg, const std::vector<transport::Flow>& flow_list,
     const proto::TransportProfile& profile) {
+  // Trace buffers are declared before the engine so they are destroyed
+  // after it — worker threads hold thread-local pointers into them until
+  // the engine joins its pool.
+  std::vector<std::unique_ptr<obs::TraceBuffer>> tbufs;
+  std::vector<std::string> queue_names;
   // The engine is declared first so it is destroyed last: sender, receiver
   // and control-plane destructors cancel timers on their domain simulators.
   sim::ParallelEngine engine(cfg.workers);
@@ -237,9 +276,23 @@ std::optional<ScenarioResult> try_run_parallel(
   for (const auto& h : topo.hosts()) {
     ++dom_hosts[static_cast<std::size_t>(part.domain_of_node(h->id()))];
   }
-  engine.set_thread_init([&dom_hosts](int d) {
+  // One trace ring per domain, installed on whichever thread runs that
+  // domain (the caller thread for domain 0). Lineage keys stamped on every
+  // record let the buffers merge back into sequential emission order.
+  if (cfg.trace.enabled) {
+    queue_names = stats::label_fabric_queues(topo);
+    tbufs.reserve(static_cast<std::size_t>(n_dom));
+    for (int d = 0; d < n_dom; ++d) {
+      tbufs.push_back(std::make_unique<obs::TraceBuffer>(
+          cfg.trace.buffer_capacity, cfg.trace.categories));
+    }
+  }
+  engine.set_thread_init([&dom_hosts, &tbufs](int d) {
     net::PacketPool::local().prewarm(
         dom_hosts[static_cast<std::size_t>(d)] * 16 + 256);
+    if (!tbufs.empty()) {
+      obs::install_tracer(tbufs[static_cast<std::size_t>(d)].get());
+    }
   });
 
   // Flow table, records and endpoints. record index == flow index.
@@ -369,10 +422,40 @@ std::optional<ScenarioResult> try_run_parallel(
       result.control = *st;
     }
   }
+  std::uint64_t executed = 0, rebuilds = 0;
   for (int d = 0; d < n_dom; ++d) {
     result.heap_closure_events += engine.domain(d).heap_closure_events();
+    executed += engine.domain(d).executed_events();
+    rebuilds += engine.domain(d).calendar_rebuilds();
   }
   result.workers_used = part.domains;
+
+  if (!tbufs.empty()) {
+    obs::install_tracer(nullptr);  // caller thread ran domain 0
+    for (int d = 0; d < n_dom; ++d) {
+      tbufs[static_cast<std::size_t>(d)]->emit_at(
+          result.end_time, obs::kEngineCat, obs::EventType::kEngineSample, 0,
+          static_cast<double>(engine.domain(d).executed_events()),
+          static_cast<double>(engine.domain(d).heap_closure_events()),
+          static_cast<std::uint32_t>(d));
+    }
+    std::vector<const obs::TraceBuffer*> ptrs;
+    ptrs.reserve(tbufs.size());
+    for (const auto& b : tbufs) ptrs.push_back(b.get());
+    auto trace = std::make_shared<obs::Trace>(
+        obs::merge_buffers(ptrs, &lineage_less, &engine.lineage()));
+    trace->queue_names = std::move(queue_names);
+    result.trace = std::move(trace);
+  }
+
+  obs::MetricsRegistry reg;
+  fold_common_metrics(reg, result, topo);
+  reg.counter("engine.executed_events") = executed;
+  reg.counter("engine.calendar_rebuilds") = rebuilds;
+  reg.counter("parallel.rounds") = engine.rounds_executed();
+  reg.counter("parallel.windows") = engine.windows_executed();
+  reg.counter("parallel.cross_posts") = engine.cross_posts();
+  result.metrics = reg.snapshot();
   return result;
 }
 
@@ -439,6 +522,18 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   run.sim.reserve(run.flows.size() + num_hosts * 8 + 64);
   net::PacketPool::local().prewarm(num_hosts * 16 + 256);
 
+  // Tracing: one preallocated ring for the whole (single-domain) run,
+  // installed for the duration of the event loop. When disabled nothing is
+  // allocated and the thread-local stays null.
+  std::unique_ptr<obs::TraceBuffer> tbuf;
+  std::vector<std::string> queue_names;
+  if (cfg.trace.enabled) {
+    queue_names = stats::label_fabric_queues(built.topo());
+    tbuf = std::make_unique<obs::TraceBuffer>(cfg.trace.buffer_capacity,
+                                              cfg.trace.categories);
+  }
+  obs::ScopedTracer scoped_tracer(tbuf.get());
+
   // Map generator host indices onto node ids and set up records.
   run.records.reserve(run.flows.size());
   for (auto& f : run.flows) {
@@ -486,6 +581,24 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   }
   result.heap_closure_events = run.sim.heap_closure_events();
   result.workers_used = 1;
+
+  if (tbuf) {
+    tbuf->emit_at(result.end_time, obs::kEngineCat,
+                  obs::EventType::kEngineSample, 0,
+                  static_cast<double>(run.sim.executed_events()),
+                  static_cast<double>(run.sim.heap_closure_events()),
+                  /*a=*/0);
+    auto trace = std::make_shared<obs::Trace>(
+        obs::merge_buffers({tbuf.get()}, nullptr, nullptr));
+    trace->queue_names = std::move(queue_names);
+    result.trace = std::move(trace);
+  }
+
+  obs::MetricsRegistry reg;
+  fold_common_metrics(reg, result, built.topo());
+  reg.counter("engine.executed_events") = run.sim.executed_events();
+  reg.counter("engine.calendar_rebuilds") = run.sim.calendar_rebuilds();
+  result.metrics = reg.snapshot();
   return result;
 }
 

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/control_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/profile_params.h"
 #include "proto/protocol.h"
 #include "stats/flow_stats.h"
@@ -19,6 +22,10 @@
 #include "topo/single_rack.h"
 #include "topo/three_tier.h"
 #include "workload/flow_generator.h"
+
+namespace pase::obs {
+struct Trace;  // trace_sink.h; results only carry a pointer
+}
 
 namespace pase::workload {
 
@@ -56,6 +63,15 @@ struct ScenarioConfig : proto::ProfileParams {
   // domains. Composes with exp::SweepRunner: each sweep thread runs its own
   // engine.
   int workers = 1;
+
+  // Structured tracing (src/obs/). Off by default: the harness then never
+  // allocates a buffer and the simulation takes the exact same event path
+  // (the 18 golden fingerprints pin this). When enabled, one ring buffer
+  // per execution domain records events in the selected categories and the
+  // merged trace lands in ScenarioResult::trace — byte-identical for any
+  // worker count (modulo the engine category, which is worker-dependent by
+  // nature).
+  obs::TraceConfig trace;
 };
 
 struct ScenarioResult {
@@ -72,6 +88,12 @@ struct ScenarioResult {
   // Actual domain count the run executed with: cfg.workers unless the
   // harness fell back to sequential execution (then 1).
   int workers_used = 1;
+  // Merged trace when cfg.trace.enabled, else null. Shared so results stay
+  // copyable (exp::SweepRunner copies them into its grid).
+  std::shared_ptr<const obs::Trace> trace;
+  // Aggregate run metrics (fabric drop/mark totals, engine event counts,
+  // parallel round statistics), name-sorted. sweep_to_json serializes this.
+  obs::MetricsSnapshot metrics;
 
   double afct() const { return stats::afct(records); }
   double fct_p99() const { return stats::fct_percentile(records, 99.0); }

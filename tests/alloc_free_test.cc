@@ -17,6 +17,7 @@
 #include "net/droptail_queue.h"
 #include "net/host.h"
 #include "net/link.h"
+#include "obs/trace_sink.h"
 #include "sim/simulator.h"
 #include "workload/scenario.h"
 
@@ -128,6 +129,26 @@ TEST(AllocFreeSteadyState, EveryProtocolProfileRunsWithoutHeapClosures) {
         << " scheduled a heap-allocated closure";
     EXPECT_GT(r.records.size(), 0u);
   }
+}
+
+// Tracing must preserve the allocation story: the ring is preallocated at
+// install time and every emit writes in place, so a traced run's steady
+// state stays as heap-closure-free as an untraced one.
+TEST(AllocFreeSteadyState, TracingEnabledKeepsHeapClosuresAtZero) {
+  workload::ScenarioConfig cfg;
+  cfg.protocol = proto::Protocol::kPase;
+  cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+  cfg.rack.num_hosts = 12;
+  cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+  cfg.traffic.load = 0.6;
+  cfg.traffic.num_flows = 60;
+  cfg.traffic.seed = 7;
+  cfg.trace.enabled = true;
+  const workload::ScenarioResult r = workload::run_scenario(cfg);
+  EXPECT_EQ(r.heap_closure_events, 0u)
+      << "a trace emit site scheduled a heap-allocated closure";
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_GT(r.trace->events.size(), 0u);
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 // FabricTelemetry and UtilizationProbe tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
 #include "stats/counters.h"
 #include "test_util.h"
 #include "transport/dctcp.h"
@@ -82,6 +87,81 @@ TEST(UtilizationProbe, IdleLinkIsZero) {
   n->sim.schedule(1e-3, [] {});
   n->sim.run();
   EXPECT_DOUBLE_EQ(probe.utilization(n->sim.now()), 0.0);
+}
+
+TEST(UtilizationProbe, NeverReportsMoreThanFullyBusy) {
+  auto n = test::make_mini_net(2);
+  auto flow = test::make_flow(*n, 0, 1, 100 * net::kMss);
+  transport::WindowSenderOptions o;
+  o.init_cwnd = 50;
+  transport::WindowSender s(n->sim, n->host(0), flow, o);
+  auto recv = test::wire_flow(*n, s, flow);
+  s.start();
+  n->sim.run(1e-3);
+  // Probe over a window much shorter than one packet serialization: the
+  // link's busy_time can exceed the elapsed window, but utilization is a
+  // fraction and must clamp to [0, 1].
+  UtilizationProbe probe(n->host(0).uplink(), n->sim.now());
+  n->sim.run(n->sim.now() + 1e-9);
+  const double u = probe.utilization(n->sim.now());
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+  n->sim.run(1.0);
+}
+
+TEST(FabricTelemetry, FoldsIntoMetricsRegistry) {
+  auto n = test::make_mini_net(3);
+  auto f1 = test::make_flow(*n, 0, 2, 400 * net::kMss);
+  f1.id = 1;
+  auto f2 = test::make_flow(*n, 1, 2, 400 * net::kMss);
+  f2.id = 2;
+  transport::WindowSenderOptions o;
+  o.init_cwnd = 40;
+  transport::DctcpSender s1(n->sim, n->host(0), f1, o);
+  transport::DctcpSender s2(n->sim, n->host(1), f2, o);
+  auto r1 = test::wire_flow(*n, s1, f1);
+  auto r2 = test::wire_flow(*n, s2, f2);
+  FabricTelemetry tel(n->sim, n->topo(), 50e-6);
+  s1.start();
+  s2.start();
+  n->sim.run(2e-3);
+  tel.stop();
+
+  obs::MetricsRegistry reg;
+  tel.fold_into(reg);
+  // One occupancy series per queue, exported with the telemetry's names.
+  const auto* series = reg.find_series("fabric.queue.tor->h2.occupancy");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), tel.num_samples());
+  EXPECT_GT(*std::max_element(series->begin(), series->end()), 10.0);
+  // Per-queue and aggregate enqueue/drop/mark counters are present.
+  EXPECT_GT(reg.counter_value("fabric.enqueues"), 0u);
+  EXPECT_EQ(reg.counter_value("fabric.queue.h0.up.drops") +
+                reg.counter_value("fabric.queue.h0.up.marks"),
+            n->host(0).uplink_queue().drops() +
+                n->host(0).uplink_queue().marks());
+  n->sim.run(1.0);
+}
+
+TEST(FabricTelemetry, LabelsQueuesWithTraceIds) {
+  auto n = test::make_mini_net(4);
+  const std::vector<std::string> names = label_fabric_queues(n->topo());
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "h0.up");
+  // Trace ids follow the same walk, so drop records can resolve the name.
+  EXPECT_EQ(n->host(0).uplink_queue().trace_id(), 0u);
+  EXPECT_EQ(n->host(3).uplink_queue().trace_id(), 3u);
+}
+
+TEST(FabricTelemetry, SamplesOnRawEventPath) {
+  auto n = test::make_mini_net(2);
+  const std::uint64_t before = n->sim.heap_closure_events();
+  FabricTelemetry tel(n->sim, n->topo(), 1e-3);
+  n->sim.run(10.5e-3);
+  EXPECT_EQ(tel.num_samples(), 10u);
+  EXPECT_EQ(n->sim.heap_closure_events(), before)
+      << "telemetry sampling spilled a closure to the heap";
+  tel.stop();
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ class FaultQueue : public net::Queue {
  protected:
   bool do_enqueue(net::PacketPtr p) override {
     if (should_drop_ && should_drop_(*p)) {
-      count_drop();
+      count_drop(*p);
       return false;
     }
     // Delegate through the public entry so inner stats stay consistent, but

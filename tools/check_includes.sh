@@ -60,6 +60,14 @@ hits=$(scan '(transport/|core/|proto/|workload/)' src/sim src/net src/topo)
   "lower layers (sim/net/topo) must not include upper layers" \
   "$hits"
 
+# 1f. The obs layer is the bottom of the tree (sim and net emit into it), so
+#     it must stay standard-library-pure: no includes from any other layer.
+hits=$(scan '(sim/|net/|topo/|transport/|core/|proto/|workload/|stats/|exp/)' \
+  src/obs)
+[ -n "$hits" ] && fail \
+  "src/obs must depend only on the standard library (it sits below sim/net)" \
+  "$hits"
+
 # 1e. scenario.h itself: the refactor's headline. Only the interfaces it
 #     actually re-exports are allowed.
 hits=$(grep -nE '^#include "(transport|net)/' src/workload/scenario.h)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validates a pase-trace JSONL file (the --trace=<path> output).
+
+Standard library only, so it runs anywhere the benches do:
+
+    python3 tools/check_trace_schema.py trace.jsonl
+
+Checks:
+  * line 1 is a header object with schema == "pase-trace", a supported
+    version, a category list, and event/dropped counts;
+  * the event count in the header matches the number of event lines;
+  * every event line is a JSON object with a finite numeric "t" and a known
+    "type", carrying exactly the fields that type promises;
+  * timestamps never decrease (the sinks serialize in merged order).
+
+Exit status 0 on success; 1 with a message naming the first offending line
+otherwise.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA_NAME = "pase-trace"
+SUPPORTED_VERSIONS = {1}
+
+KNOWN_CATEGORIES = {"flow", "packet", "arb", "endpoint", "queue", "engine"}
+
+# type -> required fields beyond {"t", "type"}; extra fields are an error so
+# the schema stays deliberate.
+EVENT_FIELDS = {
+    "flow.start": {"flow", "size", "deadline"},
+    "flow.first_byte": {"flow"},
+    "flow.complete": {"flow", "fct"},
+    "flow.deadline_miss": {"flow", "late_by"},
+    "pkt.drop": {"flow", "seq", "queue", "bytes"},
+    "pkt.ecn_mark": {"flow", "seq", "queue", "bytes"},
+    "arb.decision": {"flow", "prio", "half", "rref"},
+    "ep.cwnd": {"flow", "cwnd", "srtt"},
+    "ep.alpha": {"flow", "alpha", "frac"},
+    "ep.rate": {"flow", "rate", "paused"},
+    "queue.sample": {"queue", "occupancy", "drops", "marks"},
+    "engine.sample": {"domain", "events", "heap_closures"},
+    "engine.round": {"rounds", "posts"},
+}
+
+
+def fail(lineno, message):
+    print(f"check_trace_schema: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_header(line):
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as e:
+        fail(1, f"header is not valid JSON: {e}")
+    if not isinstance(header, dict):
+        fail(1, "header must be a JSON object")
+    if header.get("schema") != SCHEMA_NAME:
+        fail(1, f"schema is {header.get('schema')!r}, expected {SCHEMA_NAME!r}")
+    if header.get("version") not in SUPPORTED_VERSIONS:
+        fail(1, f"unsupported version {header.get('version')!r}")
+    cats = header.get("categories")
+    if not isinstance(cats, str):
+        fail(1, "header is missing the categories string")
+    for cat in filter(None, cats.split(",")):
+        if cat not in KNOWN_CATEGORIES:
+            fail(1, f"unknown category {cat!r}")
+    for key in ("events", "dropped"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            fail(1, f"header {key!r} must be a non-negative integer")
+    return header
+
+
+def check_event(lineno, line, last_t):
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as e:
+        fail(lineno, f"event is not valid JSON: {e}")
+    if not isinstance(event, dict):
+        fail(lineno, "event must be a JSON object")
+    t = event.get("t")
+    if not isinstance(t, (int, float)) or isinstance(t, bool) or not math.isfinite(t):
+        fail(lineno, f"event 't' must be a finite number, got {t!r}")
+    if last_t is not None and t < last_t:
+        fail(lineno, f"timestamps went backwards ({t} after {last_t})")
+    etype = event.get("type")
+    if etype not in EVENT_FIELDS:
+        fail(lineno, f"unknown event type {etype!r}")
+    fields = set(event) - {"t", "type"}
+    expected = EVENT_FIELDS[etype]
+    if fields != expected:
+        missing = sorted(expected - fields)
+        extra = sorted(fields - expected)
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"unexpected {extra}")
+        fail(lineno, f"{etype} fields wrong: {', '.join(detail)}")
+    return t
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_trace_schema: {e}", file=sys.stderr)
+        return 1
+    if not lines:
+        fail(1, "empty file (expected a header line)")
+    header = check_header(lines[0])
+    events = lines[1:]
+    if header["events"] != len(events):
+        fail(1, f"header says {header['events']} events, file has {len(events)}")
+    last_t = None
+    for i, line in enumerate(events, start=2):
+        last_t = check_event(i, line, last_t)
+    print(
+        f"check_trace_schema: OK — {len(events)} events, "
+        f"{header['dropped']} dropped, categories [{header['categories']}]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
