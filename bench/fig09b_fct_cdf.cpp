@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
   std::vector<std::vector<pase::stats::CdfPoint>> cdfs;
   for (std::size_t i = 0; i < protocols.size(); ++i) {
-    cdfs.push_back(pase::stats::fct_cdf(sweep[i].records, 20));
+    cdfs.push_back(sweep[i].fct_cdf(20));
   }
   for (std::size_t i = 0; i < cdfs[0].size(); ++i) {
     std::printf("%-12.2f", cdfs[0][i].fraction);

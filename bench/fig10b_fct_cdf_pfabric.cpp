@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 10(b): FCT CDF at 70%% load, PASE vs pFabric\n");
   std::printf("%-12s%16s%16s\n", "fraction", "PASE(ms)", "pFabric(ms)");
-  auto c1 = pase::stats::fct_cdf(sweep[0].records, 20);
-  auto c2 = pase::stats::fct_cdf(sweep[1].records, 20);
+  auto c1 = sweep[0].fct_cdf(20);
+  auto c2 = sweep[1].fct_cdf(20);
   for (std::size_t i = 0; i < c1.size(); ++i) {
     std::printf("%-12.2f%16.3f%16.3f\n", c1[i].fraction, c1[i].x * 1e3,
                 c2[i].x * 1e3);

@@ -155,7 +155,7 @@ std::string sweep_to_json(
     out += ", ";
     append_field(out, "loss_rate", r.loss_rate());
     out += ", \"unfinished\": " + std::to_string(r.unfinished());
-    out += ", \"flows\": " + std::to_string(r.records.size());
+    out += ", \"flows\": " + std::to_string(r.total_flows());
     out += ", \"fabric_drops\": " + std::to_string(r.fabric_drops);
     out += ", \"data_packets_sent\": " + std::to_string(r.data_packets_sent);
     out += ", \"probes_sent\": " + std::to_string(r.probes_sent);

@@ -59,6 +59,18 @@ class FlowDemux {
     sparse_erase(id);
   }
 
+  // Pre-grows the dense table to cover ids up to `max_id` (clamped to the
+  // dense range), so steady-state insert never resizes. Sizing matches
+  // insert()'s doubling schedule, so a prewarmed demux is indistinguishable
+  // from an organically grown one.
+  void reserve_dense(FlowId max_id) {
+    if (max_id >= kDenseLimit) max_id = kDenseLimit - 1;
+    if (max_id < dense_.size()) return;
+    std::size_t want = dense_.empty() ? 64 : dense_.size();
+    while (want <= max_id) want *= 2;
+    dense_.resize(want, nullptr);
+  }
+
   // Number of registered flows.
   std::size_t size() const { return count_; }
 

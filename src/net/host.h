@@ -38,6 +38,9 @@ class Host : public Node {
   // (see FlowDemux).
   void register_flow(FlowId flow, PacketSink* sink) { flows_.insert(flow, sink); }
   void unregister_flow(FlowId flow) { flows_.erase(flow); }
+  // Pre-grows the demux's dense table for ids up to `max_id`, making
+  // steady-state registration allocation-free (see FlowDemux::reserve_dense).
+  void reserve_flows(FlowId max_id) { flows_.reserve_dense(max_id); }
 
   using ControlHandler = std::function<void(PacketPtr)>;
   void set_control_handler(ControlHandler h) { control_ = std::move(h); }

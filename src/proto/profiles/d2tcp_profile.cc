@@ -20,6 +20,18 @@ class D2tcpProfile final : public EcnWindowProfile {
     return std::make_unique<transport::D2tcpSender>(ctx.sim, src, flow,
                                                     window_options(ctx));
   }
+
+  EndpointLayout endpoint_layout() const override {
+    return {.sender_size = sizeof(transport::D2tcpSender),
+            .sender_align = alignof(transport::D2tcpSender)};
+  }
+
+  transport::Sender* construct_sender(void* mem, RunContext& ctx,
+                                      const transport::Flow& flow,
+                                      net::Host& src) const override {
+    return new (mem)
+        transport::D2tcpSender(ctx.sim, src, flow, window_options(ctx));
+  }
 };
 
 }  // namespace

@@ -20,6 +20,18 @@ class DctcpProfile final : public EcnWindowProfile {
     return std::make_unique<transport::DctcpSender>(ctx.sim, src, flow,
                                                     window_options(ctx));
   }
+
+  EndpointLayout endpoint_layout() const override {
+    return {.sender_size = sizeof(transport::DctcpSender),
+            .sender_align = alignof(transport::DctcpSender)};
+  }
+
+  transport::Sender* construct_sender(void* mem, RunContext& ctx,
+                                      const transport::Flow& flow,
+                                      net::Host& src) const override {
+    return new (mem)
+        transport::DctcpSender(ctx.sim, src, flow, window_options(ctx));
+  }
 };
 
 }  // namespace

@@ -20,6 +20,18 @@ class L2dctProfile final : public EcnWindowProfile {
     return std::make_unique<transport::L2dctSender>(ctx.sim, src, flow,
                                                     window_options(ctx));
   }
+
+  EndpointLayout endpoint_layout() const override {
+    return {.sender_size = sizeof(transport::L2dctSender),
+            .sender_align = alignof(transport::L2dctSender)};
+  }
+
+  transport::Sender* construct_sender(void* mem, RunContext& ctx,
+                                      const transport::Flow& flow,
+                                      net::Host& src) const override {
+    return new (mem)
+        transport::L2dctSender(ctx.sim, src, flow, window_options(ctx));
+  }
 };
 
 }  // namespace

@@ -76,6 +76,17 @@ class PaseProfile final : public TransportProfile {
                                               plane_of(ctx));
   }
 
+  EndpointLayout endpoint_layout() const override {
+    return {.sender_size = sizeof(core::PaseSender),
+            .sender_align = alignof(core::PaseSender)};
+  }
+
+  transport::Sender* construct_sender(void* mem, RunContext& ctx,
+                                      const transport::Flow& flow,
+                                      net::Host& src) const override {
+    return new (mem) core::PaseSender(ctx.sim, src, flow, plane_of(ctx));
+  }
+
   void before_flow_start(RunContext& ctx, transport::Sender&,
                          transport::Receiver& receiver) const override {
     plane_of(ctx).attach_receiver(receiver);

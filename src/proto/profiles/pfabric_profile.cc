@@ -36,6 +36,20 @@ class PfabricProfile final : public TransportProfile {
     w.initial_rtt = ctx.base_rtt;
     return std::make_unique<transport::PfabricSender>(ctx.sim, src, flow, w);
   }
+
+  EndpointLayout endpoint_layout() const override {
+    return {.sender_size = sizeof(transport::PfabricSender),
+            .sender_align = alignof(transport::PfabricSender)};
+  }
+
+  transport::Sender* construct_sender(void* mem, RunContext& ctx,
+                                      const transport::Flow& flow,
+                                      net::Host& src) const override {
+    transport::WindowSenderOptions w =
+        transport::PfabricSender::default_window_options();
+    w.initial_rtt = ctx.base_rtt;
+    return new (mem) transport::PfabricSender(ctx.sim, src, flow, w);
+  }
 };
 
 }  // namespace

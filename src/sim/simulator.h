@@ -167,10 +167,13 @@ class Simulator {
   void enable_det(std::uint32_t domain_id, DetLineage* lineage);
   bool det_enabled() const { return det_; }
   // Global index for the NEXT setup-time scheduling (e.g. the flow launch
-  // order), so setup roots order identically across partitionings. Only
-  // meaningful outside event execution.
+  // order), so setup roots order identically across partitionings. Must be
+  // called from outside event execution (between chunks); it re-enters the
+  // setup context — cur_node_ still points at the chunk's last executed
+  // event, and a harness staging flows lazily at a barrier needs its
+  // schedulings interned as setup roots, not as that event's children.
   void set_setup_index(std::uint32_t k) {
-    PASE_DCHECK(cur_node_ == DetLineage::kNull);
+    cur_node_ = DetLineage::kNull;
     cur_k_ = k;
   }
   // Lineage node for a cross-domain post (or any out-of-band record) made by
@@ -457,7 +460,13 @@ class Simulator {
       det_nodes_[slot] = injected_node_;
       injected_node_ = DetLineage::kNull;
     } else {
-      det_nodes_[slot] = lineage_->add(static_cast<int>(domain_id_), now_,
+      // Out-of-event schedulings are setup roots no matter when they happen
+      // on the wall clock: the harness may stage them lazily at a chunk
+      // barrier, but sequentially every one of them was scheduled before the
+      // run began, so their sigma must compare as "before all execution"
+      // (0), leaving the caller-provided setup index as the tie-break.
+      const Time sigma = cur_node_ == DetLineage::kNull ? 0.0 : now_;
+      det_nodes_[slot] = lineage_->add(static_cast<int>(domain_id_), sigma,
                                        cur_node_, cur_k_++);
     }
   }

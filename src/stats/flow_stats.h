@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "net/packet.h"
+#include "sim/dcheck.h"
 #include "sim/simulator.h"
 
 namespace pase::stats {
@@ -18,10 +19,21 @@ struct FlowRecord {
   bool terminated = false;   // killed early (PDQ early termination)
 
   bool completed() const { return finish >= 0.0; }
-  sim::Time fct() const { return finish - start; }
-  bool met_deadline() const {
-    return deadline <= 0.0 || (completed() && finish <= deadline);
+  // Completion time; only meaningful for completed flows. Asking for the FCT
+  // of a never-finished flow used to silently return a negative duration —
+  // now it trips a debug check so the bug surfaces at the call site.
+  sim::Time fct() const {
+    PASE_DCHECK(completed() && "fct() on a flow that never finished");
+    return finish - start;
   }
+  // A deadline-carrying flow meets its deadline only by completing in time:
+  // flows that never finished — including PDQ-terminated ones — count as
+  // missed, explicitly, not just via completed() falling through.
+  bool met_deadline() const {
+    if (deadline <= 0.0) return true;  // no deadline to miss
+    return completed() && finish <= deadline;
+  }
+  bool missed_deadline() const { return deadline > 0.0 && !met_deadline(); }
 };
 
 }  // namespace pase::stats

@@ -12,14 +12,22 @@ double mean(const std::vector<double>& xs) {
          static_cast<double>(xs.size());
 }
 
-double percentile(std::vector<double> xs, double p) {
+double percentile(std::span<double> xs, double p) {
   if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  // Partial selection instead of a full sort: place the lo-th order
+  // statistic, then the interpolation partner is the minimum of the tail.
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo),
+                   xs.end());
+  const double v_lo = xs[lo];
+  const double v_hi =
+      hi == lo ? v_lo
+               : *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                                   xs.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 std::vector<double> fcts(const std::vector<FlowRecord>& records) {
@@ -36,7 +44,8 @@ double afct(const std::vector<FlowRecord>& records) {
 }
 
 double fct_percentile(const std::vector<FlowRecord>& records, double p) {
-  return percentile(fcts(records), p);
+  std::vector<double> xs = fcts(records);
+  return percentile(xs, p);
 }
 
 double application_throughput(const std::vector<FlowRecord>& records) {

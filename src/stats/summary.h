@@ -2,6 +2,7 @@
 // deadline-based application throughput — the paper's evaluation metrics.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "stats/flow_stats.h"
@@ -10,8 +11,11 @@ namespace pase::stats {
 
 // Generic order statistics.
 double mean(const std::vector<double>& xs);
-// p in [0, 100]; nearest-rank percentile.
-double percentile(std::vector<double> xs, double p);
+// p in [0, 100]; interpolated percentile. Takes the values by span and
+// partially sorts them IN PLACE (nth_element) — O(n) instead of the full
+// sort-of-a-copy this function used to do, which copied the entire FCT
+// vector on every tail-percentile call.
+double percentile(std::span<double> xs, double p);
 
 // Completed, non-background flow completion times (seconds).
 std::vector<double> fcts(const std::vector<FlowRecord>& records);

@@ -1,0 +1,46 @@
+// Struct-of-arrays columns for the hot per-flow transport scalars.
+//
+// Every observer that used to poke into scattered heap-allocated sender
+// objects (stats probes, tracing, capacity benches scanning live flows) now
+// reads four dense double columns indexed by endpoint-table slot. Senders
+// publish into their bound row from the ack path; a scan over live flows is
+// a linear walk instead of a pointer chase through arena slots of varying
+// concrete types.
+//
+// Rows are recycled with their slot: the workload resets a row on activation
+// and nothing reads a row whose slot is free. Columns grow only when the
+// live-slot table grows (never per flow), and in parallel runs growth happens
+// only at barriers while domains are quiescent — concurrent senders then
+// write disjoint rows, which is race-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pase::transport {
+
+struct FlowStateColumns {
+  std::vector<double> cwnd;        // packets; 0 for rate-based senders (PDQ)
+  std::vector<double> srtt;        // seconds; 0 until the first RTT sample
+  std::vector<double> bytes_left;  // bytes not yet cumulatively acked
+  std::vector<double> deadline;    // absolute deadline (s), 0 = none
+
+  std::size_t size() const { return cwnd.size(); }
+
+  void resize(std::size_t n) {
+    cwnd.resize(n, 0.0);
+    srtt.resize(n, 0.0);
+    bytes_left.resize(n, 0.0);
+    deadline.resize(n, 0.0);
+  }
+
+  // Re-initializes a recycled row for a newly activated flow.
+  void reset_row(std::size_t row, double flow_bytes, double abs_deadline) {
+    cwnd[row] = 0.0;
+    srtt[row] = 0.0;
+    bytes_left[row] = flow_bytes;
+    deadline[row] = abs_deadline;
+  }
+};
+
+}  // namespace pase::transport

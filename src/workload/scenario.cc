@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
 #include "net/packet.h"
@@ -19,10 +20,17 @@
 #include "stats/counters.h"
 #include "topo/builder.h"
 #include "topo/partition.h"
+#include "workload/endpoint_table.h"
 
 namespace pase::workload {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 // Adapts DetLineage::less to the plain-function comparator obs:: expects
 // (the obs layer cannot include sim/).
@@ -42,15 +50,19 @@ void fold_common_metrics(obs::MetricsRegistry& reg, const ScenarioResult& r,
   reg.counter("fabric.drops") = drops;
   reg.counter("fabric.marks") = marks;
   reg.counter("fabric.enqueues") = enqueues;
-  reg.counter("flows.total") = r.records.size();
+  reg.counter("flows.total") = r.total_flows();
   reg.counter("flows.unfinished") = r.unfinished();
   reg.counter("packets.data_sent") = r.data_packets_sent;
   reg.counter("packets.probes_sent") = r.probes_sent;
   reg.counter("control.messages_sent") = r.control.messages_sent;
   reg.counter("control.arbitrations") = r.control.arbitrations;
   reg.counter("engine.heap_closure_events") = r.heap_closure_events;
+  reg.counter("endpoint.slab_grow_events") = r.slab_grow_events;
+  reg.counter("endpoint.peak_live_flows") = r.peak_live_flows;
   reg.gauge("engine.workers") = r.workers_used;
   reg.gauge("time.end") = r.end_time;
+  // setup_wall_sec intentionally stays out of the registry: the metrics
+  // snapshot is serialized into sweep JSON, which must be deterministic.
   if (r.trace) reg.counter("trace.dropped") = r.trace->dropped;
 }
 
@@ -128,58 +140,168 @@ void validate_generic(const ScenarioConfig& cfg) {
   }
 }
 
+stats::FlowRecord record_from(const transport::Flow& f) {
+  stats::FlowRecord rec;
+  rec.id = f.id;
+  rec.size_bytes = f.size_bytes;
+  rec.start = f.start_time;
+  rec.deadline = f.deadline;
+  rec.background = f.background;
+  return rec;
+}
+
+// The dense demux table on every host grows by doubling as flow ids climb;
+// pre-growing it to the workload's id ceiling makes steady-state
+// registration allocation-free (the sparse spillover above kDenseLimit
+// still churns, but only for ids past 65k on a single host).
+void prewarm_demux(topo::Topology& topo,
+                   const std::vector<transport::Flow>& flows) {
+  net::FlowId max_id = 0;
+  for (const auto& f : flows) max_id = std::max(max_id, f.id);
+  for (const auto& h : topo.hosts()) h->reserve_flows(max_id);
+}
+
+// --- Sequential driver -------------------------------------------------------
+//
+// Flows exist in three forms over their life:
+//   pending    — a compact descriptor in Run::flows plus one inline launch
+//                event; no endpoints, no demux entries, no per-flow heap.
+//   live       — an EndpointSlot: sender/receiver placement-constructed into
+//                the profile's slab arenas, SoA row bound, demux registered.
+//   retired    — after sender finish + receiver completion (or termination),
+//                one full 10 ms chunk of quarantine (longer than any
+//                in-flight packet's remaining life: path delays are
+//                microseconds and finished senders cancel their timers),
+//                then the endpoints are destroyed and the slot recycled.
+// Packet counters are accumulated into the run at retirement — sums are
+// commutative, so totals match the old everything-lives-forever driver bit
+// for bit, as the golden fingerprints verify.
+
 struct Run {
   sim::Simulator sim;
   std::unique_ptr<topo::BuiltTopology> built;
   std::unique_ptr<proto::ControlPlane> control;
-  std::vector<std::unique_ptr<transport::Sender>> senders;
-  std::vector<std::unique_ptr<transport::Receiver>> receivers;
-  std::vector<stats::FlowRecord> records;
-  std::unordered_map<net::FlowId, std::size_t> record_of;
+  // Declared after `control` so endpoints are destroyed before the control
+  // plane (PASE receivers hold callbacks into it), and before `sim` falls
+  // out of scope via the struct's own teardown order.
+  EndpointTable table;
+  std::vector<stats::FlowRecord> records;  // exact mode: index == flow index
+  std::unique_ptr<stats::StreamingFlowStats> streaming;  // streaming mode
+  std::vector<bool> activated;  // flow index -> launch event ran
+  std::vector<std::uint32_t> retire_pending;  // done this chunk
+  std::vector<std::uint32_t> retire_ready;    // quarantined one full chunk
   std::size_t outstanding = 0;  // short flows not yet finished
   // Flow table plus profile/context pointers, so a launch event captures
   // only {&run, index} — 16 bytes, inside the simulator's inline payload.
   std::vector<transport::Flow> flows;
   const proto::TransportProfile* profile = nullptr;
   proto::RunContext* ctx = nullptr;
+  bool recycle = true;
+  // Accumulated at slot retirement; live slots are folded in at run end.
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t probes_sent = 0;
 };
 
-void launch_flow(Run& run, const proto::TransportProfile& profile,
-                 proto::RunContext& ctx, const transport::Flow& flow) {
-  topo::Topology& topo = ctx.built.topo();
+stats::FlowRecord& record_for(Run& run, EndpointSlot& sl) {
+  return run.streaming ? sl.record : run.records[sl.flow_index];
+}
+
+void maybe_queue_retire(Run& run, std::uint32_t s) {
+  if (!run.recycle) return;
+  EndpointSlot& sl = run.table.slot(s);
+  if (sl.queued_retire || !sl.done) return;
+  if (!sl.sender->finished()) return;
+  if (!sl.receiver_done && !sl.sender->terminated()) return;
+  sl.queued_retire = true;
+  run.retire_pending.push_back(s);
+}
+
+// Destroys a retired (or end-of-run live) slot after folding its counters
+// and, in streaming mode, its record.
+void retire_now(Run& run, std::uint32_t s) {
+  EndpointSlot& sl = run.table.slot(s);
+  run.data_packets_sent += sl.sender->data_packets_sent();
+  run.probes_sent += sl.sender->probes_sent();
+  sl.src->unregister_flow(sl.flow_id);
+  sl.dst->unregister_flow(sl.flow_id);
+  if (run.streaming) run.streaming->add(sl.record);
+  run.table.destroy(s);
+  run.table.release(s);
+}
+
+// Chunk-boundary recycling: slots queued during the chunk just executed go
+// into quarantine; slots that have sat out a full chunk are reclaimed.
+void recycle_tick(Run& run) {
+  for (std::uint32_t s : run.retire_ready) retire_now(run, s);
+  run.retire_ready.clear();
+  std::swap(run.retire_ready, run.retire_pending);
+}
+
+void launch_flow(Run& run, std::size_t i) {
+  const transport::Flow& flow = run.flows[i];
+  topo::Topology& topo = run.ctx->built.topo();
   net::Host* src = static_cast<net::Host*>(topo.node(flow.src));
   net::Host* dst = static_cast<net::Host*>(topo.node(flow.dst));
   assert(src && dst);
+  run.activated[i] = true;
 
-  auto receiver = profile.make_receiver(ctx, flow, *dst);
-  auto sender = profile.make_sender(ctx, flow, *src);
+  const std::uint32_t s = run.table.acquire();
+  EndpointSlot& slot = run.table.slot(s);
+  slot.flow_index = static_cast<std::uint32_t>(i);
+  if (run.streaming) slot.record = record_from(flow);
+  run.table.construct(s, *run.profile, *run.ctx, *run.ctx, flow, *src, *dst);
 
-  const std::size_t rec_idx = run.record_of.at(flow.id);
-  receiver->on_complete = [&run, rec_idx](transport::Receiver& r) {
-    auto& rec = run.records[rec_idx];
+  slot.receiver->on_complete = [&run, s](transport::Receiver& r) {
+    EndpointSlot& sl = run.table.slot(s);
+    sl.receiver_done = true;
+    stats::FlowRecord& rec = record_for(run, sl);
     if (rec.finish < 0.0 && !rec.terminated) {
       rec.finish = r.completion_time();
+      sl.done = true;
       if (!rec.background && run.outstanding > 0) --run.outstanding;
     }
+    maybe_queue_retire(run, s);
   };
-  sender->on_complete = [&run, rec_idx](transport::Sender& s) {
-    auto& rec = run.records[rec_idx];
-    if (s.terminated() && rec.finish < 0.0 && !rec.terminated) {
+  slot.sender->on_complete = [&run, s](transport::Sender& snd) {
+    EndpointSlot& sl = run.table.slot(s);
+    stats::FlowRecord& rec = record_for(run, sl);
+    if (snd.terminated() && rec.finish < 0.0 && !rec.terminated) {
       rec.terminated = true;
+      sl.done = true;
       if (!rec.background && run.outstanding > 0) --run.outstanding;
     }
+    maybe_queue_retire(run, s);
   };
 
-  profile.before_flow_start(ctx, *sender, *receiver);
-  src->register_flow(flow.id, sender.get());
-  dst->register_flow(flow.id, receiver.get());
-  sender->start();
-
-  run.senders.push_back(std::move(sender));
-  run.receivers.push_back(std::move(receiver));
+  run.profile->before_flow_start(*run.ctx, *slot.sender, *slot.receiver);
+  src->register_flow(flow.id, slot.sender);
+  dst->register_flow(flow.id, slot.receiver);
+  slot.sender->start();
 }
 
-// --- Conservative-parallel driver ------------------------------------------
+// End-of-run folding shared by both stats modes: flush quarantine, fold
+// still-live slots (unfinished and background flows), and in streaming mode
+// account for descriptors whose launch event never ran.
+void finalize_flows(Run& run) {
+  for (std::uint32_t s : run.retire_ready) retire_now(run, s);
+  run.retire_ready.clear();
+  for (std::uint32_t s : run.retire_pending) retire_now(run, s);
+  run.retire_pending.clear();
+  for (std::uint32_t s = 0; s < run.table.size(); ++s) {
+    EndpointSlot& sl = run.table.slot(s);
+    if (!sl.in_use || sl.sender == nullptr) continue;
+    run.data_packets_sent += sl.sender->data_packets_sent();
+    run.probes_sent += sl.sender->probes_sent();
+    if (run.streaming) run.streaming->add(record_for(run, sl));
+  }
+  if (run.streaming) {
+    for (std::size_t i = 0; i < run.flows.size(); ++i) {
+      if (!run.activated[i]) run.streaming->add(record_from(run.flows[i]));
+    }
+  }
+}
+
+// --- Conservative-parallel driver --------------------------------------------
 //
 // Same run, partitioned: one Simulator per domain under a
 // sim::ParallelEngine, every link rebound to its transmitting node's domain,
@@ -190,21 +312,24 @@ void launch_flow(Run& run, const proto::TransportProfile& profile,
 //       deliveries carry lineage nodes that sort them against local events
 //       exactly where the sequential FIFO would have placed them
 //       (sim/det_lineage.h);
-//   (2) endpoints are constructed and registered up front instead of inside
-//       a launch event — constructors and register_flow are passive for
-//       every parallel-safe profile, so only the sender->start() call needs
-//       an event, whose setup index is the flow index to replicate the
-//       sequential launch ordering;
+//   (2) endpoints materialize lazily at chunk barriers (construction and
+//       register_flow are passive for every parallel-safe profile), and the
+//       sender->start() event's setup index is the flow index — lineage
+//       roots depend on that index alone, so the staged schedule replays the
+//       sequential launch ordering no matter when construction happened;
 //   (3) completion callbacks do not touch shared state from worker threads:
 //       they append {node, time} records to per-domain lists, which the
 //       main thread merges in lineage order at each chunk boundary,
-//       replaying the sequential first-wins guards.
+//       replaying the sequential first-wins guards. Slot retirement and
+//       recycling likewise run only at barriers, while every domain is
+//       quiescent.
 //
 // Returns nullopt when the partition is unusable (fewer than two domains or
 // a zero-delay cut link); the caller then runs the sequential body.
 std::optional<ScenarioResult> try_run_parallel(
     const ScenarioConfig& cfg, const std::vector<transport::Flow>& flow_list,
     const proto::TransportProfile& profile) {
+  const Clock::time_point setup_t0 = Clock::now();
   // Trace buffers are declared before the engine so they are destroyed
   // after it — worker threads hold thread-local pointers into them until
   // the engine joins its pool.
@@ -258,6 +383,11 @@ std::optional<ScenarioResult> try_run_parallel(
       profile.make_control_plane(ctx0);
   ctx0.control = control.get();
 
+  // Endpoint storage, declared after the control plane so receivers (whose
+  // callbacks may point into it) are destroyed first.
+  EndpointTable table;
+  table.init(profile);
+
   // Per-domain contexts so endpoint factories place each agent on its own
   // node's clock (ctx.sim is what sender/receiver constructors capture).
   std::vector<proto::RunContext> dctx;
@@ -295,29 +425,37 @@ std::optional<ScenarioResult> try_run_parallel(
     }
   });
 
-  // Flow table, records and endpoints. record index == flow index.
+  // Pending descriptors, records and bookkeeping. record index == flow
+  // index; activation order is start-time order (stable on flow index for
+  // simultaneous arrivals, which is exactly the sequential tie-break).
+  const bool exact = cfg.stats_mode == ScenarioConfig::StatsMode::kExact;
+  std::unique_ptr<stats::StreamingFlowStats> streaming;
+  if (!exact) streaming = std::make_unique<stats::StreamingFlowStats>();
   std::vector<transport::Flow> flows = flow_list;
   std::vector<stats::FlowRecord> records;
-  records.reserve(flows.size());
+  if (exact) records.reserve(flows.size());
   std::size_t outstanding = 0;
   std::vector<std::size_t> dom_flows(static_cast<std::size_t>(n_dom), 0);
   for (auto& f : flows) {
     f.src = topo.host(static_cast<std::size_t>(f.src))->id();
     f.dst = topo.host(static_cast<std::size_t>(f.dst))->id();
     ++dom_flows[static_cast<std::size_t>(part.domain_of_node(f.src))];
-    stats::FlowRecord rec;
-    rec.id = f.id;
-    rec.size_bytes = f.size_bytes;
-    rec.start = f.start_time;
-    rec.deadline = f.deadline;
-    rec.background = f.background;
-    records.push_back(rec);
+    if (exact) records.push_back(record_from(f));
     if (!f.background) ++outstanding;
   }
   for (int d = 0; d < n_dom; ++d) {
     engine.domain(d).reserve(dom_flows[static_cast<std::size_t>(d)] +
                              dom_hosts[static_cast<std::size_t>(d)] * 8 + 64);
   }
+  prewarm_demux(topo, flows);
+
+  std::vector<std::uint32_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&flows](std::uint32_t a, std::uint32_t b) {
+                     return flows[a].start_time < flows[b].start_time;
+                   });
+  std::size_t next_pending = 0;
 
   // Completion records deferred to chunk boundaries. Worker threads only
   // ever touch their own domain's list; the main thread merges between
@@ -325,54 +463,79 @@ std::optional<ScenarioResult> try_run_parallel(
   struct Completion {
     sim::DetLineage::NodeId node;
     sim::Time time;
-    std::size_t rec_idx;
+    std::uint32_t slot;
     bool receiver_done;  // receiver completion vs sender early termination
   };
   std::vector<std::vector<Completion>> deferred(
       static_cast<std::size_t>(n_dom));
 
-  std::vector<std::unique_ptr<transport::Sender>> senders;
-  std::vector<std::unique_ptr<transport::Receiver>> receivers;
-  senders.reserve(flows.size());
-  receivers.reserve(flows.size());
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    const transport::Flow& f = flows[i];
-    const std::size_t sd =
-        static_cast<std::size_t>(part.domain_of_node(f.src));
-    const std::size_t dd =
-        static_cast<std::size_t>(part.domain_of_node(f.dst));
-    net::Host* src = static_cast<net::Host*>(topo.node(f.src));
-    net::Host* dst = static_cast<net::Host*>(topo.node(f.dst));
-    assert(src && dst);
+  // Done slots whose sender has not yet processed its final ack; polled at
+  // each barrier (domains quiescent) until retire-eligible.
+  std::vector<std::uint32_t> awaiting;
+  std::vector<std::uint32_t> retire_pending, retire_ready;
+  std::uint64_t data_packets_sent = 0, probes_sent = 0;
+  const bool recycle = cfg.recycle_endpoints;
 
-    auto receiver = profile.make_receiver(dctx[dd], f, *dst);
-    auto sender = profile.make_sender(dctx[sd], f, *src);
+  const auto retire_slot = [&](std::uint32_t s) {
+    EndpointSlot& sl = table.slot(s);
+    data_packets_sent += sl.sender->data_packets_sent();
+    probes_sent += sl.sender->probes_sent();
+    sl.src->unregister_flow(sl.flow_id);
+    sl.dst->unregister_flow(sl.flow_id);
+    if (streaming) streaming->add(sl.record);
+    table.destroy(s);
+    table.release(s);
+  };
 
-    std::vector<Completion>* rlist = &deferred[dd];
-    sim::Simulator* rsim = &engine.domain(static_cast<int>(dd));
-    receiver->on_complete = [rlist, rsim, i](transport::Receiver& r) {
-      rlist->push_back({rsim->make_post_node(), r.completion_time(), i, true});
-    };
-    std::vector<Completion>* slist = &deferred[sd];
-    sim::Simulator* ssim = &engine.domain(static_cast<int>(sd));
-    sender->on_complete = [slist, ssim, i](transport::Sender& s) {
-      if (s.terminated()) {
-        slist->push_back({ssim->make_post_node(), 0.0, i, false});
-      }
-    };
+  // Materializes pending flows whose start falls inside the next chunk:
+  // construct into the slabs, wire deferred-completion callbacks, register
+  // with the demux, and schedule the start event under setup lineage.
+  const auto stage_until = [&](sim::Time horizon) {
+    while (next_pending < order.size()) {
+      const std::uint32_t i = order[next_pending];
+      const transport::Flow& f = flows[i];
+      if (f.start_time > horizon) break;
+      ++next_pending;
 
-    profile.before_flow_start(dctx[sd], *sender, *receiver);
-    src->register_flow(f.id, sender.get());
-    dst->register_flow(f.id, receiver.get());
-    // The start event becomes a lineage root with k = flow index, which is
-    // exactly how the sequential global seq breaks same-instant launch ties.
-    engine.domain(static_cast<int>(sd))
-        .set_setup_index(static_cast<std::uint32_t>(i));
-    engine.domain(static_cast<int>(sd))
-        .schedule_at(f.start_time, [s = sender.get()] { s->start(); });
-    senders.push_back(std::move(sender));
-    receivers.push_back(std::move(receiver));
-  }
+      const std::size_t sd =
+          static_cast<std::size_t>(part.domain_of_node(f.src));
+      const std::size_t dd =
+          static_cast<std::size_t>(part.domain_of_node(f.dst));
+      net::Host* src = static_cast<net::Host*>(topo.node(f.src));
+      net::Host* dst = static_cast<net::Host*>(topo.node(f.dst));
+      assert(src && dst);
+
+      const std::uint32_t s = table.acquire();
+      EndpointSlot& slot = table.slot(s);
+      slot.flow_index = i;
+      if (streaming) slot.record = record_from(f);
+      table.construct(s, profile, dctx[sd], dctx[dd], f, *src, *dst);
+
+      std::vector<Completion>* rlist = &deferred[dd];
+      sim::Simulator* rsim = &engine.domain(static_cast<int>(dd));
+      slot.receiver->on_complete = [rlist, rsim, s](transport::Receiver& r) {
+        rlist->push_back(
+            {rsim->make_post_node(), r.completion_time(), s, true});
+      };
+      std::vector<Completion>* slist = &deferred[sd];
+      sim::Simulator* ssim = &engine.domain(static_cast<int>(sd));
+      slot.sender->on_complete = [slist, ssim, s](transport::Sender& snd) {
+        if (snd.terminated()) {
+          slist->push_back({ssim->make_post_node(), 0.0, s, false});
+        }
+      };
+
+      profile.before_flow_start(dctx[sd], *slot.sender, *slot.receiver);
+      src->register_flow(f.id, slot.sender);
+      dst->register_flow(f.id, slot.receiver);
+      // The start event becomes a lineage root with k = flow index, which is
+      // exactly how the sequential global seq breaks same-instant launch
+      // ties — independent of when this staging pass ran.
+      engine.domain(static_cast<int>(sd)).set_setup_index(i);
+      engine.domain(static_cast<int>(sd))
+          .schedule_at(f.start_time, [snd = slot.sender] { snd->start(); });
+    }
+  };
 
   // Merge deferred completions in deterministic order and replay the
   // sequential guards (first of {receiver completion, early termination}
@@ -389,34 +552,84 @@ std::optional<ScenarioResult> try_run_parallel(
                 return engine.lineage().less(a.node, b.node);
               });
     for (const auto& c : merged) {
-      stats::FlowRecord& rec = records[c.rec_idx];
+      EndpointSlot& sl = table.slot(c.slot);
+      if (c.receiver_done) sl.receiver_done = true;
+      stats::FlowRecord& rec = streaming ? sl.record : records[sl.flow_index];
       if (rec.finish >= 0.0 || rec.terminated) continue;
       if (c.receiver_done) {
         rec.finish = c.time;
       } else {
         rec.terminated = true;
       }
+      sl.done = true;
+      if (recycle) awaiting.push_back(c.slot);
       if (!rec.background && outstanding > 0) --outstanding;
     }
   };
+
+  // Barrier-side retirement: move done slots whose sender has finished into
+  // quarantine, reclaim slots that quarantined a full chunk.
+  const auto recycle_at_barrier = [&] {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < awaiting.size(); ++r) {
+      const std::uint32_t s = awaiting[r];
+      EndpointSlot& sl = table.slot(s);
+      if (sl.sender->finished() &&
+          (sl.receiver_done || sl.sender->terminated())) {
+        sl.queued_retire = true;
+        retire_pending.push_back(s);
+      } else {
+        awaiting[w++] = s;
+      }
+    }
+    awaiting.resize(w);
+    for (std::uint32_t s : retire_ready) retire_slot(s);
+    retire_ready.clear();
+    std::swap(retire_ready, retire_pending);
+  };
+
+  ScenarioResult result;
+  result.setup_wall_sec = seconds_since(setup_t0);
 
   // Same chunk targets as the sequential driver: the clock lands on the same
   // multiple of `step` when the last short flow finishes, so end_time (which
   // is fingerprinted) matches bit for bit.
   const sim::Time step = 10e-3;
   while (outstanding > 0 && engine.now() < cfg.max_duration) {
-    engine.run_until(std::min(cfg.max_duration, engine.now() + step));
+    const sim::Time target = std::min(cfg.max_duration, engine.now() + step);
+    stage_until(target);
+    engine.run_until(target);
     apply_completions();
+    recycle_at_barrier();
   }
 
-  ScenarioResult result;
+  // Flush the quarantine, fold still-live slots, and account for
+  // descriptors that never activated (run ended first).
+  for (std::uint32_t s : retire_ready) retire_slot(s);
+  retire_ready.clear();
+  for (std::uint32_t s : retire_pending) retire_slot(s);
+  retire_pending.clear();
+  for (std::uint32_t s = 0; s < table.size(); ++s) {
+    EndpointSlot& sl = table.slot(s);
+    if (!sl.in_use || sl.sender == nullptr) continue;
+    data_packets_sent += sl.sender->data_packets_sent();
+    probes_sent += sl.sender->probes_sent();
+    if (streaming) streaming->add(sl.record);
+  }
+  if (streaming) {
+    for (std::size_t p = next_pending; p < order.size(); ++p) {
+      streaming->add(record_from(flows[order[p]]));
+    }
+  }
+
   result.records = std::move(records);
   result.end_time = engine.now();
   result.fabric_drops = topo.total_drops();
-  for (const auto& s : senders) {
-    result.data_packets_sent += s->data_packets_sent();
-    result.probes_sent += s->probes_sent();
-  }
+  result.data_packets_sent = data_packets_sent;
+  result.probes_sent = probes_sent;
+  result.slab_grow_events = table.slab_grow_events();
+  result.peak_live_flows = table.peak_live();
+  if (streaming) result.streaming = std::move(streaming);
   if (control) {
     if (const core::ControlPlaneStats* st = control->stats()) {
       result.control = *st;
@@ -493,9 +706,14 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
     // fall through to the sequential body.
   }
 
+  const Clock::time_point setup_t0 = Clock::now();
   Run run;
   run.flows = std::move(flows);
   run.profile = &profile;
+  run.recycle = cfg.recycle_endpoints;
+  if (cfg.stats_mode == ScenarioConfig::StatsMode::kStreaming) {
+    run.streaming = std::make_unique<stats::StreamingFlowStats>();
+  }
   run.built =
       topology_builder(cfg)->build(run.sim, profile.make_queue_factory(cfg));
   topo::BuiltTopology& built = *run.built;
@@ -511,6 +729,7 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
 
   run.control = profile.make_control_plane(ctx);
   ctx.control = run.control.get();
+  run.table.init(profile);
 
   // Pre-size the engine and the packet pool from the workload: every launch
   // event is staged up front (one pending event per flow), and the in-flight
@@ -534,46 +753,49 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   }
   obs::ScopedTracer scoped_tracer(tbuf.get());
 
-  // Map generator host indices onto node ids and set up records.
-  run.records.reserve(run.flows.size());
+  // Map generator host indices onto node ids; in exact mode pre-create the
+  // records (flows that never launch keep finish = -1, as always).
+  run.activated.assign(run.flows.size(), false);
+  if (!run.streaming) run.records.reserve(run.flows.size());
   for (auto& f : run.flows) {
     f.src = built.topo().host(static_cast<std::size_t>(f.src))->id();
     f.dst = built.topo().host(static_cast<std::size_t>(f.dst))->id();
-    stats::FlowRecord rec;
-    rec.id = f.id;
-    rec.size_bytes = f.size_bytes;
-    rec.start = f.start_time;
-    rec.deadline = f.deadline;
-    rec.background = f.background;
-    run.record_of[f.id] = run.records.size();
-    run.records.push_back(rec);
+    if (!run.streaming) run.records.push_back(record_from(f));
     if (!f.background) ++run.outstanding;
   }
+  prewarm_demux(built.topo(), run.flows);
 
   // Schedule flow launches. The closure fits the simulator's inline event
-  // payload, so even the launch burst allocates nothing per event.
+  // payload, so even the launch burst allocates nothing per event; the
+  // endpoints themselves materialize inside the event, at start time.
   for (std::size_t i = 0; i < run.flows.size(); ++i) {
-    run.sim.schedule_at(run.flows[i].start_time, [&run, i] {
-      launch_flow(run, *run.profile, *run.ctx, run.flows[i]);
-    });
+    run.sim.schedule_at(run.flows[i].start_time,
+                        [&run, i] { launch_flow(run, i); });
   }
 
-  // Run until every short flow completes (or the hard cap).
+  ScenarioResult result;
+  result.setup_wall_sec = seconds_since(setup_t0);
+
+  // Run until every short flow completes (or the hard cap), reclaiming
+  // quarantined endpoint slots at every chunk boundary.
   const sim::Time step = 10e-3;
   while (run.outstanding > 0 && run.sim.now() < cfg.max_duration) {
     const sim::Time before = run.sim.now();
     run.sim.run(std::min(cfg.max_duration, run.sim.now() + step));
+    recycle_tick(run);
     if (run.sim.now() == before && run.sim.pending_events() == 0) break;
   }
 
-  ScenarioResult result;
+  finalize_flows(run);
+
   result.records = std::move(run.records);
   result.end_time = run.sim.now();
   result.fabric_drops = built.topo().total_drops();
-  for (const auto& s : run.senders) {
-    result.data_packets_sent += s->data_packets_sent();
-    result.probes_sent += s->probes_sent();
-  }
+  result.data_packets_sent = run.data_packets_sent;
+  result.probes_sent = run.probes_sent;
+  result.slab_grow_events = run.table.slab_grow_events();
+  result.peak_live_flows = run.table.peak_live();
+  if (run.streaming) result.streaming = std::move(run.streaming);
   if (run.control) {
     if (const core::ControlPlaneStats* st = run.control->stats()) {
       result.control = *st;

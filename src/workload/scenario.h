@@ -18,6 +18,7 @@
 #include "proto/profile_params.h"
 #include "proto/protocol.h"
 #include "stats/flow_stats.h"
+#include "stats/streaming.h"
 #include "stats/summary.h"
 #include "topo/single_rack.h"
 #include "topo/three_tier.h"
@@ -64,6 +65,32 @@ struct ScenarioConfig : proto::ProfileParams {
   // engine.
   int workers = 1;
 
+  // How per-flow outcomes are aggregated.
+  //   kExact     — keep every FlowRecord in ScenarioResult::records; metrics
+  //                are computed over the full vector (the historical
+  //                behavior, and what the golden-fingerprint tests consume).
+  //   kStreaming — fold each record into O(1)-memory estimators
+  //                (stats/streaming.h: running mean, P² quantiles, a
+  //                log-bucketed histogram) as flows retire and keep NO
+  //                per-flow records. Million-flow runs then carry no
+  //                O(flows) stats state; percentiles are accurate to within
+  //                one histogram bucket (~5% width by default).
+  // The simulation event path is identical in both modes — only the
+  // aggregation differs.
+  enum class StatsMode { kExact, kStreaming };
+  StatsMode stats_mode = StatsMode::kExact;
+
+  // Recycle endpoint slots: when a flow's sender has finished and its
+  // receiver completed (or the flow was terminated), its sender/receiver are
+  // destroyed after a one-chunk (>= 10 ms simulated) quarantine and their
+  // slab slots are reused for future arrivals, so live endpoint memory
+  // tracks concurrency instead of total flow count. The quarantine exceeds
+  // any in-flight packet lifetime (path delays are microseconds, min RTO is
+  // 10 ms and sender timers are canceled on finish), so recycling is
+  // event-path invisible — the golden fingerprints pin that. Off keeps every
+  // endpoint alive to the end of the run (the historical behavior).
+  bool recycle_endpoints = true;
+
   // Structured tracing (src/obs/). Off by default: the harness then never
   // allocates a buffer and the simulation takes the exact same event path
   // (the 18 golden fingerprints pin this). When enabled, one ring buffer
@@ -75,7 +102,12 @@ struct ScenarioConfig : proto::ProfileParams {
 };
 
 struct ScenarioResult {
+  // Per-flow outcomes in flow-arrival order. Empty in streaming-stats mode
+  // (use the metric methods below, which dispatch to `streaming`).
   std::vector<stats::FlowRecord> records;
+  // Constant-memory aggregation; set iff the run used StatsMode::kStreaming.
+  // Shared so results stay copyable.
+  std::shared_ptr<const stats::StreamingFlowStats> streaming;
   std::uint64_t fabric_drops = 0;
   std::uint64_t data_packets_sent = 0;
   std::uint64_t probes_sent = 0;
@@ -85,6 +117,17 @@ struct ScenarioResult {
   // parallel run). The steady state of every built-in profile is zero; the
   // alloc-free tests pin that.
   std::uint64_t heap_closure_events = 0;
+  // Endpoint-slab chunk allocations (proto/endpoint_arena.h). Constant after
+  // warmup when endpoint recycling is on: an arrival reuses a retired slot
+  // instead of growing a slab.
+  std::uint64_t slab_grow_events = 0;
+  // High-water mark of concurrently live endpoint pairs — what endpoint
+  // memory actually scales with under recycling.
+  std::size_t peak_live_flows = 0;
+  // Wall-clock seconds from harness entry until the event loop started:
+  // topology build, control plane, record/descriptor setup. O(pending
+  // descriptors), not O(endpoints) — endpoints are constructed lazily.
+  double setup_wall_sec = 0.0;
   // Actual domain count the run executed with: cfg.workers unless the
   // harness fell back to sequential execution (then 1).
   int workers_used = 1;
@@ -95,12 +138,38 @@ struct ScenarioResult {
   // parallel round statistics), name-sorted. sweep_to_json serializes this.
   obs::MetricsSnapshot metrics;
 
-  double afct() const { return stats::afct(records); }
-  double fct_p99() const { return stats::fct_percentile(records, 99.0); }
-  double app_throughput() const {
-    return stats::application_throughput(records);
+  // Metric accessors dispatch on the aggregation the run used: exact
+  // (records) or streaming (histogram/counter-backed, see stats/streaming.h).
+  // Consumers — summary printers, sweep JSON, figure benches — use these and
+  // never care which representation is underneath.
+  double afct() const {
+    return streaming ? streaming->afct() : stats::afct(records);
   }
-  std::size_t unfinished() const { return stats::unfinished(records); }
+  double fct_p99() const {
+    return streaming ? streaming->fct_percentile(99.0)
+                     : stats::fct_percentile(records, 99.0);
+  }
+  double fct_percentile(double p) const {
+    return streaming ? streaming->fct_percentile(p)
+                     : stats::fct_percentile(records, p);
+  }
+  double app_throughput() const {
+    return streaming ? streaming->application_throughput()
+                     : stats::application_throughput(records);
+  }
+  std::size_t unfinished() const {
+    return streaming ? streaming->unfinished() : stats::unfinished(records);
+  }
+  // Total flows the run covered (records.size() in exact mode; streaming
+  // keeps no records, only the count).
+  std::size_t total_flows() const {
+    return streaming ? static_cast<std::size_t>(streaming->total_flows())
+                     : records.size();
+  }
+  std::vector<stats::CdfPoint> fct_cdf(int num_points = 50) const {
+    return streaming ? streaming->fct_cdf(num_points)
+                     : stats::fct_cdf(records, num_points);
+  }
   // Fraction of transmitted data packets dropped inside the fabric.
   double loss_rate() const {
     return data_packets_sent == 0

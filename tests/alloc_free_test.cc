@@ -131,6 +131,37 @@ TEST(AllocFreeSteadyState, EveryProtocolProfileRunsWithoutHeapClosures) {
   }
 }
 
+// Lazy activation's allocation story: endpoints materialize at flow start
+// from slab slots and retire back into them, so once the slabs reach the
+// workload's stationary concurrency they stop growing — running 4x as many
+// flows through the same arrival process allocates not one more chunk. The
+// closure side must stay at zero too: launch events and recycle bookkeeping
+// ride the inline path.
+TEST(AllocFreeSteadyState, LazyActivationChurnKeepsSlabsAndClosuresFrozen) {
+  auto config = [](int num_flows) {
+    workload::ScenarioConfig cfg;
+    cfg.protocol = proto::Protocol::kDctcp;
+    cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
+    cfg.rack.num_hosts = 16;
+    cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+    cfg.traffic.load = 0.6;
+    cfg.traffic.num_flows = num_flows;
+    cfg.traffic.seed = 13;
+    cfg.recycle_endpoints = true;
+    cfg.stats_mode = workload::ScenarioConfig::StatsMode::kStreaming;
+    return cfg;
+  };
+  const workload::ScenarioResult warm = workload::run_scenario(config(2000));
+  const workload::ScenarioResult churn = workload::run_scenario(config(8000));
+  ASSERT_GT(warm.slab_grow_events, 0u);  // the slabs are actually in play
+  EXPECT_EQ(churn.slab_grow_events, warm.slab_grow_events)
+      << "slabs grew with total flow count: an arrival allocated instead of "
+         "reusing a retired slot";
+  EXPECT_EQ(churn.heap_closure_events, 0u)
+      << "a launch or recycle event spilled a closure to the heap";
+  EXPECT_LT(churn.peak_live_flows, 8000u);
+}
+
 // Tracing must preserve the allocation story: the ring is preallocated at
 // install time and every emit writes in place, so a traced run's steady
 // state stays as heap-closure-free as an untraced one.

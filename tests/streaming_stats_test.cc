@@ -1,0 +1,308 @@
+// Streaming statistics: P² estimators, the log-bucketed histogram, and the
+// exact-vs-streaming tolerance contract.
+//
+// StatsMode::kStreaming replaces the per-flow record vector with O(1)-memory
+// estimators (stats/streaming.h). The contract these tests pin:
+//   - AFCT is a running mean over the same completions, so it matches the
+//     exact pipeline to within summation-order rounding (<< 0.1%),
+//   - histogram percentiles land within one bucket of the exact order
+//     statistic (the geometry guarantees this by construction),
+//   - the counting metrics (unfinished, total flows, application
+//     throughput) are exactly equal — they are integer counters either way,
+// for every one of the six protocol profiles on the same-seed scenario.
+//
+// Also here: FlowRecord deadline/FCT accounting regressions — met_deadline()
+// on never-finished and PDQ-terminated flows, the cases that used to fall
+// through completed() silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stats/flow_stats.h"
+#include "stats/streaming.h"
+#include "stats/summary.h"
+#include "workload/scenario.h"
+
+namespace pase::stats {
+namespace {
+
+// Deterministic xorshift so distribution tests need no <random> seeding
+// subtleties.
+struct Rng {
+  std::uint64_t s;
+  double next01() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<double>(s >> 11) * 0x1.0p-53;
+  }
+};
+
+// --- P² quantile estimator ---------------------------------------------------
+
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  P2Quantile q(0.5);
+  const double xs[] = {9.0, 1.0, 7.0, 3.0, 5.0};
+  for (double x : xs) q.add(x);
+  // With exactly five samples the markers are the sorted sample; the median
+  // marker is the true median.
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+  EXPECT_EQ(q.count(), 5u);
+}
+
+TEST(P2Quantile, TracksUniformMedian) {
+  P2Quantile q(0.5);
+  Rng rng{42};
+  for (int i = 0; i < 20000; ++i) q.add(rng.next01());
+  // True median of U(0,1) is 0.5; P² is heuristic but converges well on
+  // smooth distributions.
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TracksExponentialTail) {
+  P2Quantile q(0.99);
+  Rng rng{7};
+  for (int i = 0; i < 50000; ++i) {
+    q.add(-std::log(1.0 - rng.next01()));
+  }
+  // p99 of Exp(1) is -ln(0.01) ~= 4.605.
+  EXPECT_NEAR(q.value(), 4.605, 0.25);
+}
+
+// --- log-bucketed histogram --------------------------------------------------
+
+TEST(LogHistogram, PercentileWithinOneBucketOfExactOrderStatistic) {
+  LogHistogram h;
+  std::vector<double> xs;
+  Rng rng{99};
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over [1e-4, 1e1): five decades, every bucket regime.
+    const double x = std::pow(10.0, -4.0 + 5.0 * rng.next01());
+    xs.push_back(x);
+    h.add(x);
+  }
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    std::vector<double> copy = xs;
+    const double exact = percentile(copy, p);
+    const double reported = h.percentile(p);
+    // "Within one bucket": the reported midpoint's bucket and the exact
+    // value's bucket are the same or adjacent.
+    EXPECT_LE(std::abs(h.bucket_of(reported) - h.bucket_of(exact)), 1)
+        << "p" << p << ": exact " << exact << " reported " << reported;
+  }
+}
+
+TEST(LogHistogram, GeometryIsOrderIndependent) {
+  std::vector<double> xs;
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) xs.push_back(1e-6 + rng.next01());
+  LogHistogram fwd;
+  for (double x : xs) fwd.add(x);
+  std::reverse(xs.begin(), xs.end());
+  LogHistogram rev;
+  for (double x : xs) rev.add(x);
+  ASSERT_EQ(fwd.num_buckets(), rev.num_buckets());
+  for (std::size_t b = 0; b < fwd.num_buckets(); ++b) {
+    ASSERT_EQ(fwd.bucket_count(static_cast<int>(b)),
+              rev.bucket_count(static_cast<int>(b)));
+  }
+  EXPECT_DOUBLE_EQ(fwd.percentile(99.0), rev.percentile(99.0));
+}
+
+TEST(LogHistogram, ClampsOutOfRangeValues) {
+  LogHistogram h(1e-3, 1e3, 10);
+  h.add(1e-9);  // below min: bucket 0
+  h.add(1e9);   // above max: last bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(static_cast<int>(h.num_buckets()) - 1), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LogHistogram, CdfIsMonotoneAndCoversRange) {
+  LogHistogram h;
+  Rng rng{11};
+  for (int i = 0; i < 2000; ++i) h.add(1e-4 + rng.next01());
+  const std::vector<CdfPoint> cdf = h.cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-9);
+}
+
+// --- FlowRecord deadline / FCT accounting -----------------------------------
+
+TEST(FlowRecordAccounting, UnfinishedDeadlineFlowCountsAsMissed) {
+  FlowRecord rec;
+  rec.deadline = 0.010;  // had a deadline...
+  rec.finish = -1.0;     // ...and never finished
+  EXPECT_FALSE(rec.completed());
+  EXPECT_FALSE(rec.met_deadline());
+  EXPECT_TRUE(rec.missed_deadline());
+}
+
+TEST(FlowRecordAccounting, TerminatedDeadlineFlowCountsAsMissed) {
+  // PDQ early termination kills a flow that cannot make its deadline: it is
+  // not "unfinished" (the kill was deliberate) but it did miss.
+  FlowRecord rec;
+  rec.deadline = 0.010;
+  rec.terminated = true;
+  rec.finish = -1.0;
+  EXPECT_FALSE(rec.met_deadline());
+  EXPECT_TRUE(rec.missed_deadline());
+}
+
+TEST(FlowRecordAccounting, DeadlineFreeFlowNeverMisses) {
+  FlowRecord rec;  // deadline == 0: nothing to miss, finished or not
+  EXPECT_TRUE(rec.met_deadline());
+  EXPECT_FALSE(rec.missed_deadline());
+  rec.finish = 1.0;
+  EXPECT_TRUE(rec.met_deadline());
+}
+
+TEST(FlowRecordAccounting, CompletionAgainstDeadlineBoundary) {
+  FlowRecord rec;
+  rec.start = 0.001;
+  rec.deadline = 0.010;
+  rec.finish = 0.010;  // exactly on time counts as met
+  EXPECT_TRUE(rec.met_deadline());
+  EXPECT_DOUBLE_EQ(rec.fct(), 0.009);
+  rec.finish = 0.0100001;
+  EXPECT_FALSE(rec.met_deadline());
+}
+
+TEST(FlowRecordAccounting, StreamingFoldsDeadlineSemantics) {
+  StreamingFlowStats s;
+  FlowRecord met;
+  met.deadline = 0.010;
+  met.start = 0.0;
+  met.finish = 0.005;
+  FlowRecord missed_unfinished;
+  missed_unfinished.deadline = 0.010;
+  FlowRecord missed_terminated;
+  missed_terminated.deadline = 0.010;
+  missed_terminated.terminated = true;
+  FlowRecord background;
+  background.background = true;
+  s.add(met);
+  s.add(missed_unfinished);
+  s.add(missed_terminated);
+  s.add(background);
+  EXPECT_EQ(s.total_flows(), 4u);
+  EXPECT_EQ(s.deadline_flows(), 3u);
+  EXPECT_EQ(s.deadline_met(), 1u);
+  EXPECT_DOUBLE_EQ(s.application_throughput(), 1.0 / 3.0);
+  // Terminated is not unfinished; background never counts.
+  EXPECT_EQ(s.unfinished(), 1u);
+  EXPECT_EQ(s.terminated_flows(), 1u);
+  EXPECT_EQ(s.background_flows(), 1u);
+  EXPECT_DOUBLE_EQ(s.afct(), 0.005);
+}
+
+// --- exact vs streaming on real scenarios ------------------------------------
+
+workload::ScenarioConfig tolerance_config(workload::Protocol p,
+                                          bool deadlines) {
+  using workload::Pattern;
+  using workload::ScenarioConfig;
+  using workload::SizeDistribution;
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.topology = ScenarioConfig::TopologyKind::kSingleRack;
+  if (deadlines) {
+    cfg.rack.num_hosts = 16;
+    cfg.traffic.pattern = Pattern::kIncast;
+    cfg.traffic.incast_fanout = 8;
+    cfg.traffic.size_dist = SizeDistribution::kWebSearch;
+    cfg.traffic.load = 0.5;
+    cfg.traffic.num_flows = 96;
+    cfg.traffic.deadline_min = 5e-3;
+    cfg.traffic.deadline_max = 25e-3;
+    cfg.traffic.seed = 33;
+  } else {
+    cfg.rack.num_hosts = 20;
+    cfg.traffic.pattern = Pattern::kIntraRackRandom;
+    cfg.traffic.load = 0.7;
+    cfg.traffic.num_flows = 200;
+    cfg.traffic.seed = 21;
+  }
+  return cfg;
+}
+
+void check_tolerance(const workload::ScenarioConfig& base) {
+  using workload::ScenarioConfig;
+  ScenarioConfig exact_cfg = base;
+  exact_cfg.stats_mode = ScenarioConfig::StatsMode::kExact;
+  ScenarioConfig stream_cfg = base;
+  stream_cfg.stats_mode = ScenarioConfig::StatsMode::kStreaming;
+
+  const workload::ScenarioResult exact = workload::run_scenario(exact_cfg);
+  const workload::ScenarioResult stream = workload::run_scenario(stream_cfg);
+
+  // The simulation itself must be identical — only aggregation differs.
+  EXPECT_EQ(exact.data_packets_sent, stream.data_packets_sent);
+  EXPECT_EQ(exact.fabric_drops, stream.fabric_drops);
+  EXPECT_DOUBLE_EQ(exact.end_time, stream.end_time);
+
+  ASSERT_FALSE(exact.records.empty());
+  EXPECT_TRUE(exact.streaming == nullptr);
+  ASSERT_NE(stream.streaming, nullptr);
+  EXPECT_TRUE(stream.records.empty());
+
+  // Integer-counter metrics: exactly equal.
+  EXPECT_EQ(exact.total_flows(), stream.total_flows());
+  EXPECT_EQ(exact.unfinished(), stream.unfinished());
+  EXPECT_DOUBLE_EQ(exact.app_throughput(), stream.app_throughput());
+
+  // AFCT: same completions, running mean vs vector mean — within 0.1%.
+  ASSERT_GT(exact.afct(), 0.0);
+  EXPECT_NEAR(stream.afct() / exact.afct(), 1.0, 1e-3);
+
+  // Percentiles: the histogram reports the geometric midpoint of the bucket
+  // holding the nearest-rank order statistic, so it must land within one
+  // bucket of that statistic computed from the full record vector. (The
+  // interpolated stats::fct_percentile is NOT the reference here: in a
+  // sparse heavy tail it sits between two samples that can be many buckets
+  // apart — the histogram's bound is rank-wise by construction.)
+  std::vector<double> fct_values = fcts(exact.records);
+  std::sort(fct_values.begin(), fct_values.end());
+  ASSERT_FALSE(fct_values.empty());
+  const LogHistogram& hist = stream.streaming->histogram();
+  EXPECT_EQ(hist.count(), fct_values.size());
+  for (double p : {50.0, 95.0, 99.0}) {
+    const auto rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(p / 100.0 * static_cast<double>(fct_values.size()))));
+    const double e = fct_values[rank - 1];
+    const double s = stream.fct_percentile(p);
+    EXPECT_LE(std::abs(hist.bucket_of(s) - hist.bucket_of(e)), 1)
+        << "p" << p << ": exact rank statistic " << e << " streaming " << s;
+  }
+}
+
+class StreamingTolerance
+    : public ::testing::TestWithParam<workload::Protocol> {};
+
+TEST_P(StreamingTolerance, MatchesExactOnRackRandom) {
+  check_tolerance(tolerance_config(GetParam(), /*deadlines=*/false));
+}
+
+TEST_P(StreamingTolerance, MatchesExactOnIncastDeadline) {
+  check_tolerance(tolerance_config(GetParam(), /*deadlines=*/true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, StreamingTolerance,
+    ::testing::Values(workload::Protocol::kDctcp, workload::Protocol::kD2tcp,
+                      workload::Protocol::kL2dct, workload::Protocol::kPdq,
+                      workload::Protocol::kPfabric, workload::Protocol::kPase),
+    [](const ::testing::TestParamInfo<workload::Protocol>& info) {
+      return std::string(workload::protocol_name(info.param));
+    });
+
+}  // namespace
+}  // namespace pase::stats
