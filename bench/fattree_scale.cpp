@@ -1,0 +1,233 @@
+// Fat-tree scale bench: packets per wall-clock second, peak RSS and
+// core-link load balance as the fabric grows from k=4 (16 hosts) through
+// k=16 (1024 hosts).
+//
+// The workload is DCTCP with the web-search flow-size distribution and
+// random any-to-any traffic, so a large fraction of flows cross pods and
+// every core link carries ECMP-hashed load. Two things are under test:
+//   1. capacity — a 1k-host fabric simulates inside the same RSS ceiling
+//      the capacity bench enforces (streaming stats + endpoint recycling
+//      keep harness state proportional to concurrency, not flow count);
+//   2. hash quality — max/mean bytes over the core-facing links
+//      (core_link_imbalance) stays near 1.0 when the per-flow hash spreads
+//      flows evenly; CI fails the quick leg if k=4 exceeds 2.0.
+//
+// Each scale runs in a forked child so getrusage(RUSAGE_SELF).ru_maxrss is
+// that scale's own high-water mark. Results land in BENCH_fattree.json.
+//
+// Flags:
+//   --quick    k = {4, 8} only (CI smoke)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace pase;
+using workload::Pattern;
+using workload::Protocol;
+using workload::ScenarioConfig;
+using workload::SizeDistribution;
+
+// Fixed-layout result a child ships to the parent over a pipe.
+struct ScaleOut {
+  std::uint64_t k = 0;
+  std::uint64_t hosts = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t unfinished = 0;
+  std::uint64_t sim_packets = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t core_links = 0;
+  double core_link_imbalance = 0.0;
+  double setup_sec = 0.0;
+  double wall_sec = 0.0;
+  double packets_per_sec = 0.0;
+  double afct_s = 0.0;
+  double end_time_s = 0.0;
+};
+
+ScenarioConfig fattree_config(int k, int num_flows) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kDctcp;
+  cfg.topology = ScenarioConfig::TopologyKind::kFatTree;
+  cfg.fattree.k = k;
+  cfg.traffic.pattern = Pattern::kIntraRackRandom;  // any-to-any over hosts
+  cfg.traffic.size_dist = SizeDistribution::kWebSearch;
+  cfg.traffic.load = 0.3;
+  cfg.traffic.num_flows = num_flows;
+  // No long-lived background elephants: each would pin one ECMP path for
+  // the whole run and swamp the byte-balance signal this bench watches.
+  cfg.traffic.num_background_flows = 0;
+  cfg.traffic.seed = 29;
+  cfg.max_duration = 60.0;
+  cfg.stats_mode = ScenarioConfig::StatsMode::kStreaming;
+  cfg.recycle_endpoints = true;
+  return cfg;
+}
+
+double metric(const workload::ScenarioResult& r, const char* name) {
+  for (const auto& m : r.metrics) {
+    if (m.name == name) return m.value;
+  }
+  return 0.0;
+}
+
+ScaleOut run_scale(int k, int num_flows) {
+  const ScenarioConfig cfg = fattree_config(k, num_flows);
+  const auto t0 = std::chrono::steady_clock::now();
+  const workload::ScenarioResult r = workload::run_scenario(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ScaleOut out;
+  out.k = static_cast<std::uint64_t>(k);
+  out.hosts = static_cast<std::uint64_t>(cfg.fattree.num_hosts());
+  out.switches = static_cast<std::uint64_t>(cfg.fattree.num_switches());
+  out.flows = r.total_flows();
+  out.unfinished = r.unfinished();
+  out.completed = out.flows - out.unfinished;
+  out.sim_packets = r.data_packets_sent;
+  out.core_links = static_cast<std::uint64_t>(metric(r, "fabric.core_links"));
+  out.core_link_imbalance = metric(r, "fabric.core_link_imbalance");
+  out.setup_sec = r.setup_wall_sec;
+  out.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  out.packets_per_sec =
+      out.wall_sec > 0.0
+          ? static_cast<double>(out.sim_packets) / out.wall_sec
+          : 0.0;
+  out.afct_s = r.afct();
+  out.end_time_s = r.end_time;
+
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  out.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+  return out;
+}
+
+// Forks, runs one scale in the child, and reads the result back. Returns
+// false if the child failed.
+bool run_scale_isolated(int k, int num_flows, ScaleOut* out) {
+  int fd[2];
+  if (pipe(fd) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fd[0]);
+    close(fd[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fd[0]);
+    const ScaleOut r = run_scale(k, num_flows);
+    ssize_t n = write(fd[1], &r, sizeof(r));
+    close(fd[1]);
+    _exit(n == static_cast<ssize_t>(sizeof(r)) ? 0 : 1);
+  }
+  close(fd[1]);
+  std::size_t got = 0;
+  auto* dst = reinterpret_cast<unsigned char*>(out);
+  while (got < sizeof(*out)) {
+    const ssize_t n = read(fd[0], dst + got, sizeof(*out) - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  close(fd[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return got == sizeof(*out) && WIFEXITED(status) &&
+         WEXITSTATUS(status) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // Flow counts scale with the host population so per-host load is
+  // comparable across rows.
+  struct Scale {
+    int k;
+    int flows;
+  };
+  std::vector<Scale> scales = {{4, 2000}, {8, 8000}};
+  if (!quick) scales.push_back({16, 40000});
+
+  std::printf("fat-tree scaling (%s): DCTCP web-search any-to-any, ECMP "
+              "multipath, streaming stats\n",
+              quick ? "quick" : "full");
+  std::printf("%-4s %7s %9s %9s %12s %10s %10s %14s %10s %10s\n", "k",
+              "hosts", "switches", "flows", "peak RSS", "setup(s)", "wall(s)",
+              "pkts/sec", "imbalance", "afct(ms)");
+
+  std::string json = "{\n  \"bench\": \"fattree\",\n  \"mode\": \"";
+  json += quick ? "quick" : "full";
+  json += "\",\n  \"cases\": [\n";
+
+  bool ok = true;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    ScaleOut r;
+    if (!run_scale_isolated(scales[i].k, scales[i].flows, &r)) {
+      std::fprintf(stderr, "error: k=%d failed\n", scales[i].k);
+      ok = false;
+      break;
+    }
+    std::printf(
+        "%-4llu %7llu %9llu %9llu %9.1f MB %10.3f %10.3f %14.0f %10.3f "
+        "%10.3f\n",
+        static_cast<unsigned long long>(r.k),
+        static_cast<unsigned long long>(r.hosts),
+        static_cast<unsigned long long>(r.switches),
+        static_cast<unsigned long long>(r.flows),
+        static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0),
+        r.setup_sec, r.wall_sec, r.packets_per_sec, r.core_link_imbalance,
+        r.afct_s * 1e3);
+    std::fflush(stdout);
+
+    char row[768];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"k\": %llu, \"hosts\": %llu, \"switches\": %llu,\n"
+        "     \"flows\": %llu, \"completed\": %llu, \"unfinished\": %llu,\n"
+        "     \"peak_rss_bytes\": %llu, \"setup_sec\": %.6f,\n"
+        "     \"wall_sec\": %.6f, \"sim_packets\": %llu,\n"
+        "     \"packets_per_sec\": %.1f, \"core_links\": %llu,\n"
+        "     \"core_link_imbalance\": %.6f, \"afct_s\": %.9f,\n"
+        "     \"end_time_s\": %.6f}%s\n",
+        static_cast<unsigned long long>(r.k),
+        static_cast<unsigned long long>(r.hosts),
+        static_cast<unsigned long long>(r.switches),
+        static_cast<unsigned long long>(r.flows),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.unfinished),
+        static_cast<unsigned long long>(r.peak_rss_bytes), r.setup_sec,
+        r.wall_sec, static_cast<unsigned long long>(r.sim_packets),
+        r.packets_per_sec, static_cast<unsigned long long>(r.core_links),
+        r.core_link_imbalance, r.afct_s, r.end_time_s,
+        i + 1 < scales.size() ? "," : "");
+    json += row;
+  }
+  json += "  ]\n}\n";
+
+  if (!ok) return 1;
+  std::FILE* f = std::fopen("BENCH_fattree.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write BENCH_fattree.json\n");
+    return 0;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote BENCH_fattree.json\n");
+  return 0;
+}

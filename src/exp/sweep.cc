@@ -138,10 +138,17 @@ std::string sweep_to_json(
     out += ", \"protocol\": ";
     append_string(out, workload::protocol_name(c.config.protocol));
     out += ", \"topology\": ";
-    append_string(
-        out, c.config.topology == workload::ScenarioConfig::TopologyKind::kSingleRack
-                 ? "single_rack"
-                 : "three_tier");
+    switch (c.config.topology) {
+      case workload::ScenarioConfig::TopologyKind::kSingleRack:
+        append_string(out, "single_rack");
+        break;
+      case workload::ScenarioConfig::TopologyKind::kFatTree:
+        append_string(out, "fat_tree");
+        break;
+      case workload::ScenarioConfig::TopologyKind::kThreeTier:
+        append_string(out, "three_tier");
+        break;
+    }
     out += ", ";
     append_field(out, "load", c.config.traffic.load);
     out += ", \"num_flows\": " + std::to_string(c.config.traffic.num_flows);

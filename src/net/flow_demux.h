@@ -21,21 +21,27 @@ class PacketSink;
 
 class FlowDemux {
  public:
-  // IDs below this are dense-table candidates; at 8 bytes per entry the
-  // table tops out at 512 KiB per host, and real scenarios stay far under.
+  // Default ceiling on dense-table ids; at 8 bytes per entry the table tops
+  // out at 512 KiB per host. Fine for rack-scale runs, but at fat-tree
+  // scale (1k+ hosts) the per-host tables dominate RSS, so the scenario
+  // driver lowers the limit via set_dense_limit — high ids then spill to
+  // the sparse table, whose size tracks *live* flows, not the id range.
   static constexpr FlowId kDenseLimit = 1ull << 16;
+  // Floor for set_dense_limit. Keeps the sentinel keys (0, 1) out of the
+  // sparse table and the common tiny-test id range dense.
+  static constexpr FlowId kMinDenseLimit = 64;
 
   PacketSink* find(FlowId id) const {
     if (id < dense_.size()) [[likely]] {
       return dense_[id];
     }
-    if (id < kDenseLimit) return nullptr;  // dense range, never registered
+    if (id < dense_limit_) return nullptr;  // dense range, never registered
     return sparse_find(id);
   }
 
   void insert(FlowId id, PacketSink* sink) {
     PASE_DCHECK(sink != nullptr && "demux sinks must be non-null");
-    if (id < kDenseLimit) {
+    if (id < dense_limit_) {
       if (id >= dense_.size()) {
         std::size_t want = dense_.empty() ? 64 : dense_.size();
         while (want <= id) want *= 2;
@@ -49,7 +55,7 @@ class FlowDemux {
   }
 
   void erase(FlowId id) {
-    if (id < kDenseLimit) {
+    if (id < dense_limit_) {
       if (id < dense_.size() && dense_[id] != nullptr) {
         dense_[id] = nullptr;
         --count_;
@@ -59,12 +65,22 @@ class FlowDemux {
     sparse_erase(id);
   }
 
+  // Caps the dense table's id range (clamped to [kMinDenseLimit,
+  // kDenseLimit]). Must be called before any id >= the new limit is
+  // inserted — entries do not migrate between tables. Lookup results are
+  // unaffected; only the dense/sparse split (memory vs probe cost) moves.
+  void set_dense_limit(FlowId limit) {
+    if (limit < kMinDenseLimit) limit = kMinDenseLimit;
+    if (limit > kDenseLimit) limit = kDenseLimit;
+    dense_limit_ = limit;
+  }
+
   // Pre-grows the dense table to cover ids up to `max_id` (clamped to the
   // dense range), so steady-state insert never resizes. Sizing matches
   // insert()'s doubling schedule, so a prewarmed demux is indistinguishable
   // from an organically grown one.
   void reserve_dense(FlowId max_id) {
-    if (max_id >= kDenseLimit) max_id = kDenseLimit - 1;
+    if (max_id >= dense_limit_) max_id = dense_limit_ - 1;
     if (max_id < dense_.size()) return;
     std::size_t want = dense_.empty() ? 64 : dense_.size();
     while (want <= max_id) want *= 2;
@@ -76,7 +92,7 @@ class FlowDemux {
 
  private:
   // Sentinels occupy keys that can never reach the sparse table (they are
-  // below kDenseLimit).
+  // below kMinDenseLimit, so always dense).
   static constexpr FlowId kEmptyKey = 0;
   static constexpr FlowId kTombKey = 1;
   static constexpr std::size_t kNpos = ~std::size_t{0};
@@ -168,6 +184,7 @@ class FlowDemux {
     }
   }
 
+  FlowId dense_limit_ = kDenseLimit;  // ids below this stay dense
   std::vector<PacketSink*> dense_;    // direct-indexed by FlowId
   std::vector<SparseEntry> sparse_;   // open addressing, power-of-two size
   std::size_t sparse_live_ = 0;       // live sparse entries

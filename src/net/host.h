@@ -42,6 +42,10 @@ class Host : public Node {
   // steady-state registration allocation-free (see FlowDemux::reserve_dense).
   void reserve_flows(FlowId max_id) { flows_.reserve_dense(max_id); }
 
+  // Caps the demux's dense id range; ids past the cap use the sparse table
+  // (see FlowDemux::set_dense_limit). Call before registering such ids.
+  void set_dense_flow_limit(FlowId limit) { flows_.set_dense_limit(limit); }
+
   using ControlHandler = std::function<void(PacketPtr)>;
   void set_control_handler(ControlHandler h) { control_ = std::move(h); }
 

@@ -1,5 +1,6 @@
 #include "net/switch.h"
 
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -16,19 +17,60 @@ int Switch::add_port(std::unique_ptr<Queue> queue, std::unique_ptr<Link> link,
   return static_cast<int>(ports_.size()) - 1;
 }
 
+std::int32_t& Switch::route_slot(NodeId dst) {
+  if (static_cast<std::size_t>(dst) >= routes_.size()) {
+    routes_.resize(static_cast<std::size_t>(dst) + 1, kNoRoute);
+  }
+  return routes_[static_cast<std::size_t>(dst)];
+}
+
 void Switch::set_route(NodeId dst, int port) {
   PASE_DCHECK(port >= 0 && port < num_ports());
-  if (static_cast<std::size_t>(dst) >= routes_.size()) {
-    routes_.resize(static_cast<std::size_t>(dst) + 1, -1);
+  route_slot(dst) = port;
+}
+
+void Switch::set_route_group(NodeId dst, const std::vector<int>& ports,
+                             const std::vector<std::uint32_t>& weights) {
+  PASE_DCHECK(!ports.empty());
+  PASE_DCHECK(weights.empty() || weights.size() == ports.size());
+  for (const int p : ports) {
+    PASE_DCHECK(p >= 0 && p < num_ports());
+    (void)p;
   }
-  routes_[static_cast<std::size_t>(dst)] = port;
+  if (ports.size() == 1) {  // degenerate group: keep the dense fast path
+    route_slot(dst) = ports.front();
+    return;
+  }
+  Group g;
+  g.ports = ports;
+  g.weights = weights.empty()
+                  ? std::vector<std::uint32_t>(ports.size(), 1u)
+                  : weights;
+  std::size_t total = 0;
+  for (const std::uint32_t w : g.weights) {
+    PASE_DCHECK(w > 0);
+    total += w;
+  }
+  g.members.reserve(total);
+  for (std::size_t i = 0; i < g.ports.size(); ++i) {
+    for (std::uint32_t r = 0; r < g.weights[i]; ++r) {
+      g.members.push_back(static_cast<std::uint16_t>(g.ports[i]));
+    }
+  }
+  groups_.push_back(std::move(g));
+  route_slot(dst) =
+      kGroupBase - static_cast<std::int32_t>(groups_.size() - 1);
 }
 
 // Cold by construction: a missing route is a topology bug, so the message is
 // assembled (allocating) only here, never on the forwarding path.
 void Switch::throw_no_route(NodeId dst) const {
-  throw std::runtime_error(name() + ": no route to node " +
-                           std::to_string(dst));
+  std::string msg = name() + " (" + std::to_string(num_ports()) +
+                    " ports): no route to node " + std::to_string(dst);
+  if (resolve_name_) {
+    msg += " (" + resolve_name_(dst) + ")";
+  }
+  throw std::runtime_error(msg);
 }
 
 void Switch::receive(PacketPtr p) {
@@ -36,7 +78,7 @@ void Switch::receive(PacketPtr p) {
     if (control_) control_(std::move(p));
     return;  // control traffic for this switch; drop silently if no handler
   }
-  const int port = route_for(p->dst);
+  const int port = port_for(*p);
   if (port < 0) [[unlikely]] {
     throw_no_route(p->dst);
   }

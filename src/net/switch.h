@@ -1,11 +1,19 @@
-// Output-queued switch with static routing.
+// Output-queued switch with static multipath routing.
 //
-// Each output port is a (queue, link) pair owned by the switch. Forwarding
-// hooks let in-fabric protocols (PDQ) inspect and rewrite headers as packets
-// are forwarded; packets addressed to the switch itself (PASE arbitration
-// control traffic) are handed to the control handler.
+// Each output port is a (queue, link) pair owned by the switch. Routing maps
+// a destination to a PortGroup of 1..N equal-cost ports (optionally
+// WCMP-weighted); a packet's port is chosen by a deterministic per-flow hash
+// (seeded FNV-1a over {src, dst, flow}, salted per switch) so every packet of
+// a flow takes one path and the assignment is bit-reproducible across runs
+// and worker counts — no wall-clock or RNG state is consulted. The common
+// single-path case stays a single dense table load.
+//
+// Forwarding hooks let in-fabric protocols (PDQ) inspect and rewrite headers
+// as packets are forwarded; packets addressed to the switch itself (PASE
+// arbitration control traffic) are handed to the control handler.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -16,19 +24,107 @@
 
 namespace pase::net {
 
+// Deterministic per-flow path hash: FNV-1a over {src, dst, flow} folded with
+// the caller's salt, then avalanche-finished. A pure function of the flow's
+// stable identity, so ECMP decisions depend only on topology construction,
+// never on execution order.
+//
+// The finalizer (splitmix64's) matters: raw FNV-1a mod 2^k is structurally
+// weak — the prime is odd, so the low bit of the accumulator is just the XOR
+// of all input bytes' low bits. Callers reduce this hash modulo small group
+// widths (2 at every fat-tree edge switch), and without the finisher a seed
+// change flips *every* flow to its sibling port in lockstep — a fabric
+// automorphism that leaves queue dynamics unchanged — instead of re-assigning
+// flows independently.
+inline std::uint64_t flow_path_hash(std::uint64_t salt, NodeId src, NodeId dst,
+                                    FlowId flow) {
+  std::uint64_t h = 1469598103934665603ull ^ salt;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  mix(flow);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
 class Switch : public Node {
  public:
-  Switch(NodeId id, std::string name) : Node(id, std::move(name)) {}
+  Switch(NodeId id, std::string name) : Node(id, std::move(name)) {
+    set_ecmp_seed(0);
+  }
 
   // Adds an output port; returns its index.
   int add_port(std::unique_ptr<Queue> queue, std::unique_ptr<Link> link,
                Node* neighbor);
 
-  // Routes traffic destined to node `dst` out of `port`.
+  // Routes traffic destined to node `dst` out of `port` (single-path).
   void set_route(NodeId dst, int port);
+
+  // Routes traffic to `dst` over an equal-cost group. `weights` (optional,
+  // parallel to `ports`) turns the group into a WCMP split: a port receives
+  // weight_i / sum(weights) of the flow hash space. An empty weight vector
+  // means equal-cost (all ones); a single-port group degenerates to the
+  // plain dense-table route.
+  void set_route_group(NodeId dst, const std::vector<int>& ports,
+                       const std::vector<std::uint32_t>& weights = {});
+
+  // Representative (first/only) port toward `dst`; -1 when unrouted. The
+  // single-path accessor predating multipath — introspection and tests only;
+  // forwarding uses port_for.
   int route_for(NodeId dst) const {
-    if (dst < 0 || static_cast<std::size_t>(dst) >= routes_.size()) return -1;
-    return routes_[static_cast<std::size_t>(dst)];
+    const std::int32_t e = route_entry(dst);
+    if (e >= 0 || e == kNoRoute) return static_cast<int>(e);
+    return groups_[group_index(e)].ports.front();
+  }
+
+  // Number of equal-cost ports toward `dst` (0 when unrouted).
+  int route_width(NodeId dst) const {
+    const std::int32_t e = route_entry(dst);
+    if (e >= 0) return 1;
+    if (e == kNoRoute) return 0;
+    return static_cast<int>(groups_[group_index(e)].ports.size());
+  }
+
+  // The group's ports toward `dst` (empty when unrouted).
+  std::vector<int> route_ports(NodeId dst) const {
+    const std::int32_t e = route_entry(dst);
+    if (e == kNoRoute) return {};
+    if (e >= 0) return {static_cast<int>(e)};
+    return groups_[group_index(e)].ports;
+  }
+
+  // Hot-path selection: the port `p` leaves on. Single-path destinations are
+  // one table load; grouped destinations hash the flow identity.
+  int port_for(const Packet& p) const {
+    const std::int32_t e = route_entry(p.dst);
+    if (e >= 0) [[likely]] {
+      return static_cast<int>(e);
+    }
+    if (e == kNoRoute) [[unlikely]] {
+      return -1;
+    }
+    const Group& g = groups_[group_index(e)];
+    const std::uint64_t h = flow_path_hash(ecmp_salt_, p.src, p.dst, p.flow);
+    return g.members[h % g.members.size()];
+  }
+
+  // Seeds the per-flow hash. The switch folds its own node id into the salt
+  // so tiers decorrelate (every switch picking the same group index for a
+  // flow would concentrate load); same seed + same topology => identical
+  // path assignment.
+  void set_ecmp_seed(std::uint64_t seed) {
+    ecmp_salt_ =
+        seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id())) *
+                0x9E3779B97F4A7C15ull);
   }
 
   // Invoked for every packet about to be enqueued on an output port. May
@@ -42,6 +138,11 @@ class Switch : public Node {
   using ControlHandler = std::function<void(PacketPtr)>;
   void set_control_handler(ControlHandler h) { control_ = std::move(h); }
 
+  // Maps a node id to a human-readable name for routing-hole diagnostics
+  // (installed by the owning Topology; the net layer has no node directory).
+  using NameResolver = std::function<std::string(NodeId)>;
+  void set_name_resolver(NameResolver r) { resolve_name_ = std::move(r); }
+
   void receive(PacketPtr p) override;
 
   int num_ports() const { return static_cast<int>(ports_.size()); }
@@ -52,7 +153,23 @@ class Switch : public Node {
   }
 
  private:
+  // Route-table encoding: entries >= 0 are a single port; kNoRoute means
+  // unrouted; anything <= kGroupBase indexes groups_ via group_index().
+  static constexpr std::int32_t kNoRoute = -1;
+  static constexpr std::int32_t kGroupBase = -2;
+  static std::size_t group_index(std::int32_t entry) {
+    return static_cast<std::size_t>(kGroupBase - entry);
+  }
+
   [[noreturn]] void throw_no_route(NodeId dst) const;
+
+  std::int32_t route_entry(NodeId dst) const {
+    if (dst < 0 || static_cast<std::size_t>(dst) >= routes_.size()) {
+      return kNoRoute;
+    }
+    return routes_[static_cast<std::size_t>(dst)];
+  }
+  std::int32_t& route_slot(NodeId dst);
 
   struct Port {
     std::unique_ptr<Queue> queue;
@@ -60,10 +177,22 @@ class Switch : public Node {
     Node* neighbor;
   };
 
+  // An equal-cost group. `members` is the weight-expanded selection table
+  // (port i appears weight_i times) the hash indexes in O(1); `ports` and
+  // `weights` keep the declared form for introspection.
+  struct Group {
+    std::vector<std::uint16_t> members;
+    std::vector<int> ports;
+    std::vector<std::uint32_t> weights;
+  };
+
   std::vector<Port> ports_;
-  std::vector<int> routes_;  // dst node id -> port, -1 = no route
+  std::vector<std::int32_t> routes_;  // dst node id -> encoded entry
+  std::vector<Group> groups_;
+  std::uint64_t ecmp_salt_ = 0;
   std::vector<ForwardHook> hooks_;
   ControlHandler control_;
+  NameResolver resolve_name_;
 };
 
 }  // namespace pase::net

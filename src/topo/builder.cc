@@ -30,11 +30,52 @@ class BuiltThreeTier : public BuiltTopology {
   HostAttachment attachment(std::size_t host_index) const override {
     const int tor = tree_.tor_of_host(static_cast<int>(host_index));
     return HostAttachment{tree_.tors[static_cast<std::size_t>(tor)],
-                          tree_.agg_of_tor(tor)};
+                          tree_.agg_of_tor(tor), -1};
+  }
+  std::vector<net::Link*> core_links() const override {
+    std::vector<net::Link*> links;
+    for (int p = 0; p < tree_.core->num_ports(); ++p) {
+      links.push_back(&tree_.core->port_link(p));
+    }
+    for (net::Switch* agg : tree_.aggs) {
+      for (int p = 0; p < agg->num_ports(); ++p) {
+        if (agg->port_neighbor(p) == tree_.core) {
+          links.push_back(&agg->port_link(p));
+        }
+      }
+    }
+    return links;
   }
 
  private:
   ThreeTier tree_;
+};
+
+// A fat-tree host's control-plane attachment: its edge switch plays the ToR
+// role and the pod's first aggregation switch stands in for the whole agg
+// tier (PASE's per-host arbitration trunk is an approximation under ECMP —
+// all hosts of a pod share one designated aggregation arbitrator).
+class BuiltFatTree : public BuiltTopology {
+ public:
+  explicit BuiltFatTree(FatTree tree) : tree_(std::move(tree)) {}
+  Topology& topo() override { return *tree_.topo; }
+  double host_rate_bps() const override { return tree_.config.host_rate_bps; }
+  double fabric_rate_bps() const override {
+    return tree_.config.fabric_rate_bps;
+  }
+  HostAttachment attachment(std::size_t host_index) const override {
+    const int i = static_cast<int>(host_index);
+    const int pod = tree_.pod_of_host(i);
+    return HostAttachment{
+        tree_.edges[static_cast<std::size_t>(tree_.edge_of_host(i))],
+        tree_.agg_of_pod(pod), pod};
+  }
+  std::vector<net::Link*> core_links() const override {
+    return tree_.core_links();
+  }
+
+ private:
+  FatTree tree_;
 };
 
 }  // namespace
@@ -66,6 +107,20 @@ std::unique_ptr<BuiltTopology> ThreeTierBuilder::build(
     sim::Simulator& sim, const QueueFactory& make_queue) const {
   return std::make_unique<BuiltThreeTier>(
       build_three_tier(sim, cfg_, make_queue));
+}
+
+WorkloadHints FatTreeBuilder::hints() const {
+  WorkloadHints h;
+  h.num_hosts = cfg_.num_hosts();
+  h.left_hosts = h.num_hosts / 2;
+  h.host_rate_bps = cfg_.host_rate_bps;
+  h.bottleneck_rate_bps = cfg_.fabric_rate_bps;
+  return h;
+}
+
+std::unique_ptr<BuiltTopology> FatTreeBuilder::build(
+    sim::Simulator& sim, const QueueFactory& make_queue) const {
+  return std::make_unique<BuiltFatTree>(build_fat_tree(sim, cfg_, make_queue));
 }
 
 }  // namespace pase::topo

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "topo/fat_tree.h"
 #include "topo/single_rack.h"
 #include "topo/three_tier.h"
 #include "topo/topology.h"
@@ -19,10 +21,12 @@
 namespace pase::topo {
 
 // Where a host attaches to the fabric (agg is null when there is no
-// aggregation layer above the host's ToR).
+// aggregation layer above the host's ToR; pod is -1 on topologies without
+// pods).
 struct HostAttachment {
   net::Switch* tor = nullptr;
   net::Switch* agg = nullptr;
+  int pod = -1;
 };
 
 // A materialized topology plus the structural metadata builders preserve.
@@ -35,6 +39,9 @@ class BuiltTopology {
   virtual double fabric_rate_bps() const = 0;
   // Attachment of host index i (host creation order).
   virtual HostAttachment attachment(std::size_t host_index) const = 0;
+  // Directed links touching the core tier — the surface ECMP is supposed to
+  // balance. Empty when the topology has no core tier worth watching.
+  virtual std::vector<net::Link*> core_links() const { return {}; }
 };
 
 // Workload sizing facts derivable from the config alone, before building.
@@ -73,6 +80,17 @@ class ThreeTierBuilder : public TopologyBuilder {
 
  private:
   ThreeTierConfig cfg_;
+};
+
+class FatTreeBuilder : public TopologyBuilder {
+ public:
+  explicit FatTreeBuilder(FatTreeConfig cfg) : cfg_(cfg) {}
+  WorkloadHints hints() const override;
+  std::unique_ptr<BuiltTopology> build(
+      sim::Simulator& sim, const QueueFactory& make_queue) const override;
+
+ private:
+  FatTreeConfig cfg_;
 };
 
 }  // namespace pase::topo

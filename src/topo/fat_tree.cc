@@ -1,0 +1,81 @@
+#include "topo/fat_tree.h"
+
+#include <cassert>
+#include <string>
+
+namespace pase::topo {
+
+FatTree build_fat_tree(sim::Simulator& sim, const FatTreeConfig& cfg,
+                       const QueueFactory& make_queue) {
+  assert(cfg.k >= 2 && cfg.k % 2 == 0);
+  assert(cfg.pods() >= 1 && cfg.pods() <= cfg.k);
+  assert(cfg.hosts_per_edge() >= 1);
+  FatTree t;
+  t.config = cfg;
+  t.topo = std::make_unique<Topology>(sim);
+  Topology& topo = *t.topo;
+  topo.set_ecmp_seed(cfg.ecmp_seed);
+
+  const int half_k = cfg.k / 2;
+
+  // Core tier first, so cores occupy node ids [0, num_cores). Core c serves
+  // aggregation slot c / half_k in every pod (plane-major numbering).
+  for (int c = 0; c < cfg.num_cores(); ++c) {
+    t.cores.push_back(topo.add_switch("core" + std::to_string(c)));
+  }
+
+  for (int p = 0; p < cfg.pods(); ++p) {
+    const std::string pod = "p" + std::to_string(p);
+    // Aggregation slot a connects to cores [a*half_k, (a+1)*half_k).
+    for (int a = 0; a < cfg.aggs_per_pod(); ++a) {
+      net::Switch* agg = topo.add_switch(pod + ".agg" + std::to_string(a));
+      t.aggs.push_back(agg);
+      topo.set_partition_group(agg->id(), p);
+      for (int c = a * half_k; c < (a + 1) * half_k; ++c) {
+        topo.connect_switches(agg, t.cores[static_cast<std::size_t>(c)],
+                              cfg.fabric_rate_bps, cfg.per_link_delay,
+                              make_queue);
+      }
+    }
+    for (int e = 0; e < cfg.edges_per_pod(); ++e) {
+      net::Switch* edge = topo.add_switch(pod + ".edge" + std::to_string(e));
+      t.edges.push_back(edge);
+      topo.set_partition_group(edge->id(), p);
+      for (int a = 0; a < cfg.aggs_per_pod(); ++a) {
+        topo.connect_switches(
+            edge,
+            t.aggs[static_cast<std::size_t>(p * cfg.aggs_per_pod() + a)],
+            cfg.fabric_rate_bps, cfg.per_link_delay, make_queue);
+      }
+      for (int h = 0; h < cfg.hosts_per_edge(); ++h) {
+        net::Host* host = topo.add_host(
+            pod + ".e" + std::to_string(e) + ".h" + std::to_string(h), edge,
+            cfg.host_rate_bps, cfg.per_link_delay, make_queue);
+        topo.set_partition_group(host->id(), p);
+      }
+    }
+  }
+
+  topo.build_routes();
+  return t;
+}
+
+std::vector<net::Link*> FatTree::core_links() const {
+  std::vector<net::Link*> links;
+  const net::NodeId core_bound = static_cast<net::NodeId>(cores.size());
+  for (net::Switch* core : cores) {
+    for (int p = 0; p < core->num_ports(); ++p) {
+      links.push_back(&core->port_link(p));
+    }
+  }
+  for (net::Switch* agg : aggs) {
+    for (int p = 0; p < agg->num_ports(); ++p) {
+      if (agg->port_neighbor(p)->id() < core_bound) {
+        links.push_back(&agg->port_link(p));
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace pase::topo

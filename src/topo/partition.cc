@@ -11,22 +11,67 @@ Partition partition_topology(const Topology& topo, int domains) {
   const auto& switches = topo.switches();
   const std::size_t num_nodes = hosts.size() + switches.size();
 
+  // Atomic units: maximal runs of consecutive hosts sharing a (non-negative)
+  // partition group; ungrouped hosts are singletons. unit_of_host[i] is the
+  // unit index of host creation-index i — nondecreasing by construction.
+  std::vector<std::size_t> unit_of_host(hosts.size(), 0);
+  std::size_t num_units = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (i > 0) {
+      const int g = topo.partition_group(hosts[i]->id());
+      const int prev = topo.partition_group(hosts[i - 1]->id());
+      if (g < 0 || g != prev) ++num_units;
+    }
+    unit_of_host[i] = num_units;
+  }
+  if (!hosts.empty()) ++num_units;
+
   Partition part;
   part.domains = std::max(
-      1, std::min(domains, static_cast<int>(hosts.size())));
+      1, std::min(domains, static_cast<int>(num_units)));
   part.domain_of.assign(num_nodes, -1);
   if (part.domains <= 1) {
     std::fill(part.domain_of.begin(), part.domain_of.end(), 0);
     return part;
   }
 
-  // Hosts: contiguous blocks by creation index, sizes differing by at most
-  // one. Host i of H goes to floor(i * D / H).
-  const std::size_t h_count = hosts.size();
-  for (std::size_t i = 0; i < h_count; ++i) {
-    const int d = static_cast<int>(
-        i * static_cast<std::size_t>(part.domains) / h_count);
+  // Units: contiguous blocks, sizes differing by at most one. Unit u of U
+  // goes to floor(u * D / U) — identical to the old per-host split when
+  // every host is its own unit.
+  std::vector<int> domain_of_unit(num_units);
+  for (std::size_t u = 0; u < num_units; ++u) {
+    domain_of_unit[u] = static_cast<int>(
+        u * static_cast<std::size_t>(part.domains) / num_units);
+  }
+  // Remember where each group's first host landed so grouped switches can
+  // follow their group (groups are small dense ints — pods — but tolerate
+  // arbitrary values).
+  std::vector<std::pair<int, int>> group_domain;  // (group, domain), sorted
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const int d = domain_of_unit[unit_of_host[i]];
     part.domain_of[static_cast<std::size_t>(hosts[i]->id())] = d;
+    const int g = topo.partition_group(hosts[i]->id());
+    if (g >= 0) {
+      const auto it = std::lower_bound(
+          group_domain.begin(), group_domain.end(), std::pair<int, int>{g, -1},
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (it == group_domain.end() || it->first != g) {
+        group_domain.insert(it, {g, d});
+      }
+    }
+  }
+
+  // Grouped switches (pod aggs/edges) follow their group's hosts, keeping
+  // whole pods inside one domain so the pod boundary is the cut.
+  for (const auto& sw : switches) {
+    const int g = topo.partition_group(sw->id());
+    if (g < 0) continue;
+    const auto it = std::lower_bound(
+        group_domain.begin(), group_domain.end(), std::pair<int, int>{g, -1},
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it != group_domain.end() && it->first == g) {
+      part.domain_of[static_cast<std::size_t>(sw->id())] = it->second;
+    }
   }
 
   // Undirected neighbor sets from the link graph (host uplinks plus switch
@@ -48,8 +93,9 @@ Partition partition_topology(const Topology& topo, int domains) {
     v.erase(std::unique(v.begin(), v.end()), v.end());
   }
 
-  // Switches join the domain of their lowest-id assigned neighbor; repeat
-  // until stable (a pass per tree tier suffices, but the loop is general).
+  // Remaining switches (ToRs, cores) join the domain of their lowest-id
+  // assigned neighbor; repeat until stable (a pass per tree tier suffices,
+  // but the loop is general).
   bool progress = true;
   while (progress) {
     progress = false;

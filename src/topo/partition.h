@@ -1,14 +1,18 @@
 // Deterministic topology partitioner for the conservative parallel engine.
 //
-// Hosts are split into contiguous equal blocks by creation index (hosts
-// under the same ToR are created together, so racks stay intact whenever
-// the domain count divides them); each switch then joins the domain of its
+// Hosts are first grouped into atomic units: maximal runs of consecutive
+// creation indices sharing a partition group (a fat-tree pod), with
+// ungrouped hosts as singleton units. Units are split into contiguous
+// equal blocks — so on group-free topologies this degenerates exactly to
+// the old per-host block split, while grouped topologies never see a group
+// straddle a domain boundary. Switches carrying a partition group follow
+// their group's hosts; the rest (ToRs, cores) join the domain of their
 // lowest-id already-assigned neighbor, which pulls a ToR into the domain of
-// its first host and aggregation/core switches toward the leftmost subtree
-// below them. Every link whose endpoints land in different domains is a cut
-// link; the minimum propagation delay over the cuts is the engine's
-// lookahead. A partition with a zero-delay cut link (or a single domain) is
-// unusable and the scenario harness falls back to sequential execution.
+// its first host and core switches toward the leftmost subtree below them.
+// Every link whose endpoints land in different domains is a cut link; the
+// minimum propagation delay over the cuts is the engine's lookahead. A
+// partition with a zero-delay cut link (or a single domain) is unusable and
+// the scenario harness falls back to sequential execution.
 #pragma once
 
 #include <vector>
@@ -38,8 +42,9 @@ struct Partition {
   }
 };
 
-// Splits `topo` into at most `domains` domains (clamped to the host count).
-// Deterministic: depends only on the topology's creation order.
+// Splits `topo` into at most `domains` domains (clamped to the number of
+// atomic host units — the host count when no partition groups are set).
+// Deterministic: depends only on the topology's creation order and groups.
 Partition partition_topology(const Topology& topo, int domains);
 
 }  // namespace pase::topo

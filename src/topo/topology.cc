@@ -1,6 +1,5 @@
 #include "topo/topology.h"
 
-#include <cassert>
 #include <deque>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +11,7 @@ net::Switch* Topology::add_switch(const std::string& name) {
   net::Switch* raw = sw.get();
   switches_.push_back(std::move(sw));
   nodes_.push_back(raw);
+  adj_.emplace_back();
   return raw;
 }
 
@@ -22,6 +22,7 @@ net::Host* Topology::add_host(const std::string& name, net::Switch* tor,
   net::Host* raw = host.get();
   hosts_.push_back(std::move(host));
   nodes_.push_back(raw);
+  adj_.emplace_back();
 
   // Uplink host -> tor.
   raw->attach_uplink(
@@ -37,8 +38,7 @@ net::Host* Topology::add_host(const std::string& name, net::Switch* tor,
       raw);
   tor->set_route(raw->id(), port);
 
-  edges_.push_back(Edge{raw->id(), tor->id(), prop_delay});
-  edges_.push_back(Edge{tor->id(), raw->id(), prop_delay});
+  add_edge_pair(raw->id(), tor->id(), prop_delay);
   return raw;
 }
 
@@ -53,8 +53,19 @@ void Topology::connect_switches(net::Switch* a, net::Switch* b,
               std::make_unique<net::Link>(*sim_, rate_bps, prop_delay,
                                           b->name() + "->" + a->name()),
               a);
-  edges_.push_back(Edge{a->id(), b->id(), prop_delay});
-  edges_.push_back(Edge{b->id(), a->id(), prop_delay});
+  add_edge_pair(a->id(), b->id(), prop_delay);
+}
+
+void Topology::add_edge_pair(net::NodeId a, net::NodeId b, sim::Time delay) {
+  adj_[static_cast<std::size_t>(a)].push_back(HalfEdge{b, delay});
+  adj_[static_cast<std::size_t>(b)].push_back(HalfEdge{a, delay});
+}
+
+void Topology::set_partition_group(net::NodeId id, int group) {
+  if (static_cast<std::size_t>(id) >= partition_group_.size()) {
+    partition_group_.resize(static_cast<std::size_t>(id) + 1, -1);
+  }
+  partition_group_[static_cast<std::size_t>(id)] = group;
 }
 
 net::Node* Topology::node(net::NodeId id) const {
@@ -62,66 +73,86 @@ net::Node* Topology::node(net::NodeId id) const {
   return nodes_[static_cast<std::size_t>(id)];
 }
 
-net::NodeId Topology::next_hop(net::NodeId from, net::NodeId to) const {
-  if (from == to) return to;
-  // BFS from `to` backwards over the (symmetric) edge set; first neighbor of
-  // `from` discovered on a shortest path is the next hop.
-  std::vector<net::NodeId> parent(nodes_.size(), net::kInvalidNode);
+std::vector<std::int32_t> Topology::hop_distances(net::NodeId to) const {
+  std::vector<std::int32_t> dist(nodes_.size(), -1);
   std::deque<net::NodeId> frontier{to};
-  parent[static_cast<std::size_t>(to)] = to;
+  dist[static_cast<std::size_t>(to)] = 0;
   while (!frontier.empty()) {
     const net::NodeId cur = frontier.front();
     frontier.pop_front();
-    for (const Edge& e : edges_) {
-      if (e.from != cur) continue;
-      auto& p = parent[static_cast<std::size_t>(e.to)];
-      if (p != net::kInvalidNode) continue;
-      p = cur;
-      if (e.to == from) return cur;
+    const std::int32_t d = dist[static_cast<std::size_t>(cur)];
+    for (const HalfEdge& e : adj_[static_cast<std::size_t>(cur)]) {
+      auto& dn = dist[static_cast<std::size_t>(e.to)];
+      if (dn != -1) continue;
+      dn = d + 1;
       frontier.push_back(e.to);
     }
   }
-  return net::kInvalidNode;
+  return dist;
 }
 
 void Topology::build_routes() {
-  // For every switch and every destination node, point the route at the port
-  // whose neighbor is the next hop on the shortest path.
-  for (auto& sw : switches_) {
-    for (net::Node* dst : nodes_) {
-      if (dst->id() == sw->id()) continue;
-      const net::NodeId hop = next_hop(sw->id(), dst->id());
-      if (hop == net::kInvalidNode) {
+  // Per destination: one BFS yields min-hop distances, then every switch
+  // installs all ports whose neighbor is strictly closer to the destination
+  // (in port order, so tables depend only on construction order). A single
+  // qualifying port is a plain table entry — tree topologies produce exactly
+  // the unique-path tables the single-path router did.
+  std::vector<std::vector<int>> ports;  // scratch, reused across switches
+  for (const net::Node* dst : nodes_) {
+    const std::vector<std::int32_t> dist = hop_distances(dst->id());
+    for (auto& sw : switches_) {
+      if (sw->id() == dst->id()) continue;
+      const std::int32_t d_sw = dist[static_cast<std::size_t>(sw->id())];
+      if (d_sw < 0) {
         throw std::runtime_error("topology is disconnected: no path " +
                                  sw->name() + " -> " + dst->name());
       }
+      std::vector<int> eq_ports;
       for (int port = 0; port < sw->num_ports(); ++port) {
-        if (sw->port_neighbor(port)->id() == hop) {
-          sw->set_route(dst->id(), port);
-          break;
+        const net::NodeId n = sw->port_neighbor(port)->id();
+        if (dist[static_cast<std::size_t>(n)] == d_sw - 1) {
+          eq_ports.push_back(port);
         }
       }
+      if (eq_ports.empty()) {
+        throw std::runtime_error("topology is disconnected: no path " +
+                                 sw->name() + " -> " + dst->name());
+      }
+      sw->set_route_group(dst->id(), eq_ports);
     }
+  }
+  for (auto& sw : switches_) {
+    sw->set_ecmp_seed(ecmp_seed_);
+    sw->set_name_resolver([this](net::NodeId id) {
+      const net::Node* n = node(id);
+      return n ? n->name() : "#" + std::to_string(id);
+    });
   }
 }
 
 sim::Time Topology::propagation_delay(net::NodeId from, net::NodeId to) const {
+  if (from == to) return 0.0;
+  const std::vector<std::int32_t> dist = hop_distances(to);
+  if (from < 0 || static_cast<std::size_t>(from) >= dist.size() ||
+      dist[static_cast<std::size_t>(from)] < 0) {
+    throw std::runtime_error("no path between nodes");
+  }
+  // Walk one deterministic min-hop path: at each node take the first
+  // adjacency (construction order) that is strictly closer to `to`.
   sim::Time total = 0.0;
   net::NodeId cur = from;
-  std::size_t hops = 0;
   while (cur != to) {
-    const net::NodeId hop = next_hop(cur, to);
-    if (hop == net::kInvalidNode) {
-      throw std::runtime_error("no path between nodes");
-    }
-    for (const Edge& e : edges_) {
-      if (e.from == cur && e.to == hop) {
+    const std::int32_t d = dist[static_cast<std::size_t>(cur)];
+    bool stepped = false;
+    for (const HalfEdge& e : adj_[static_cast<std::size_t>(cur)]) {
+      if (dist[static_cast<std::size_t>(e.to)] == d - 1) {
         total += e.delay;
+        cur = e.to;
+        stepped = true;
         break;
       }
     }
-    cur = hop;
-    if (++hops > nodes_.size()) {
+    if (!stepped) {
       throw std::runtime_error("routing loop detected");
     }
   }

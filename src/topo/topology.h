@@ -1,8 +1,11 @@
 // Topology container: owns all hosts, switches, queues and links, wires them
-// together, and computes static shortest-path routing (the evaluation
-// topologies are trees, so paths are unique).
+// together, and computes static shortest-path routing. Where several
+// equal-cost shortest paths exist (fat-tree fabrics), every min-hop port is
+// installed as an ECMP group on the switch; tree topologies degenerate to
+// the single-path tables they always had.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -36,8 +39,28 @@ class Topology {
   void connect_switches(net::Switch* a, net::Switch* b, double rate_bps,
                         sim::Time prop_delay, const QueueFactory& make_queue);
 
-  // Computes routing tables. Must be called after all nodes/links exist.
+  // Computes routing tables: per destination, every port on a min-hop path
+  // is installed (a multi-port destination becomes an ECMP group hashed per
+  // flow). Also stamps the ECMP seed and name resolver onto every switch.
+  // Must be called after all nodes/links exist.
   void build_routes();
+
+  // Seed folded into every switch's per-flow path hash. Set before
+  // build_routes (or call build_routes again); same seed + same topology
+  // construction order => identical path assignment, bit-reproducible.
+  void set_ecmp_seed(std::uint64_t seed) { ecmp_seed_ = seed; }
+  std::uint64_t ecmp_seed() const { return ecmp_seed_; }
+
+  // Optional partitioning hint: nodes sharing a group (e.g. a fat-tree pod)
+  // are kept in one domain by partition_topology, making the group boundary
+  // the cut. -1 (default) means unconstrained.
+  void set_partition_group(net::NodeId id, int group);
+  int partition_group(net::NodeId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= partition_group_.size()) {
+      return -1;
+    }
+    return partition_group_[static_cast<std::size_t>(id)];
+  }
 
   sim::Simulator& simulator() { return *sim_; }
 
@@ -52,7 +75,9 @@ class Topology {
 
   net::Node* node(net::NodeId id) const;
 
-  // One-way propagation delay along the (unique) path between two nodes.
+  // One-way propagation delay along a deterministic min-hop path between two
+  // nodes (the unique path on tree topologies; the first-constructed
+  // shortest path otherwise).
   sim::Time propagation_delay(net::NodeId from, net::NodeId to) const;
   // Round-trip propagation delay (no queueing/serialization).
   sim::Time propagation_rtt(net::NodeId a, net::NodeId b) const {
@@ -68,8 +93,9 @@ class Topology {
   void for_each_queue(const std::function<void(net::Queue&)>& fn) const;
 
  private:
-  struct Edge {
-    net::NodeId from;
+  // Directed half-edge in a node's adjacency list (insertion order matches
+  // link construction order, which keeps route tables deterministic).
+  struct HalfEdge {
     net::NodeId to;
     sim::Time delay;
   };
@@ -78,15 +104,18 @@ class Topology {
     return static_cast<net::NodeId>(hosts_.size() + switches_.size());
   }
 
-  // Next hop from `from` toward `to` on the unique path; kInvalidNode if
-  // unreachable.
-  net::NodeId next_hop(net::NodeId from, net::NodeId to) const;
+  void add_edge_pair(net::NodeId a, net::NodeId b, sim::Time delay);
+
+  // Min-hop distance from every node to `to` (-1 when unreachable).
+  std::vector<std::int32_t> hop_distances(net::NodeId to) const;
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<net::Host>> hosts_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
-  std::vector<net::Node*> nodes_;  // indexed by node id
-  std::vector<Edge> edges_;        // directed
+  std::vector<net::Node*> nodes_;            // indexed by node id
+  std::vector<std::vector<HalfEdge>> adj_;   // indexed by node id
+  std::vector<int> partition_group_;         // indexed by node id; -1 = none
+  std::uint64_t ecmp_seed_ = 0;
 };
 
 }  // namespace pase::topo

@@ -40,9 +40,9 @@ bool lineage_less(const void* ctx, std::uint64_t a, std::uint64_t b) {
 
 // Aggregate counters every run exports, independent of execution mode.
 void fold_common_metrics(obs::MetricsRegistry& reg, const ScenarioResult& r,
-                         const topo::Topology& topo) {
+                         topo::BuiltTopology& built) {
   std::uint64_t drops = 0, marks = 0, enqueues = 0;
-  topo.for_each_queue([&](net::Queue& q) {
+  built.topo().for_each_queue([&](net::Queue& q) {
     drops += q.drops();
     marks += q.marks();
     enqueues += q.enqueues();
@@ -61,6 +61,23 @@ void fold_common_metrics(obs::MetricsRegistry& reg, const ScenarioResult& r,
   reg.counter("endpoint.peak_live_flows") = r.peak_live_flows;
   reg.gauge("engine.workers") = r.workers_used;
   reg.gauge("time.end") = r.end_time;
+  // Core-tier load balance (topologies with a core tier only): max/mean
+  // bytes over the core-facing links. ~1.0 means the per-flow ECMP hash is
+  // spreading load evenly; deterministic, so safe in sweep JSON.
+  const std::vector<net::Link*> core = built.core_links();
+  if (!core.empty()) {
+    std::uint64_t total_bytes = 0, max_bytes = 0;
+    for (const net::Link* l : core) {
+      total_bytes += l->bytes_sent();
+      max_bytes = std::max(max_bytes, l->bytes_sent());
+    }
+    const double mean = static_cast<double>(total_bytes) /
+                        static_cast<double>(core.size());
+    reg.counter("fabric.core_links") = core.size();
+    reg.gauge("fabric.core_link_max_bytes") = static_cast<double>(max_bytes);
+    reg.gauge("fabric.core_link_imbalance") =
+        mean > 0.0 ? static_cast<double>(max_bytes) / mean : 0.0;
+  }
   // setup_wall_sec intentionally stays out of the registry: the metrics
   // snapshot is serialized into sweep JSON, which must be deterministic.
   if (r.trace) reg.counter("trace.dropped") = r.trace->dropped;
@@ -83,6 +100,9 @@ std::unique_ptr<topo::TopologyBuilder> topology_builder(
   if (cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
     return std::make_unique<topo::SingleRackBuilder>(cfg.rack);
   }
+  if (cfg.topology == ScenarioConfig::TopologyKind::kFatTree) {
+    return std::make_unique<topo::FatTreeBuilder>(cfg.fattree);
+  }
   return std::make_unique<topo::ThreeTierBuilder>(cfg.tree);
 }
 
@@ -103,6 +123,26 @@ void validate_generic(const ScenarioConfig& cfg) {
     }
     if (!(cfg.rack.host_rate_bps > 0.0)) {
       bad_config("rack.host_rate_bps must be positive");
+    }
+  } else if (cfg.topology == ScenarioConfig::TopologyKind::kFatTree) {
+    const topo::FatTreeConfig& ft = cfg.fattree;
+    if (ft.k < 2 || ft.k % 2 != 0) {
+      bad_config("fat-tree radix k must be even and at least 2, got " +
+                 std::to_string(ft.k));
+    }
+    if (ft.num_pods < 0 || ft.pods() > ft.k) {
+      bad_config("fat-tree num_pods (" + std::to_string(ft.num_pods) +
+                 ") must lie in [0, k]");
+    }
+    if (!(ft.oversubscription > 0.0) || ft.hosts_per_edge() < 1) {
+      bad_config("fat-tree oversubscription must give at least 1 host per "
+                 "edge switch");
+    }
+    if (ft.num_hosts() < 2) {
+      bad_config("fat-tree topology needs at least 2 hosts");
+    }
+    if (!(ft.host_rate_bps > 0.0) || !(ft.fabric_rate_bps > 0.0)) {
+      bad_config("fat-tree link rates must be positive");
     }
   } else {
     if (cfg.tree.num_tors < 1 || cfg.tree.hosts_per_tor < 1 ||
@@ -135,8 +175,8 @@ void validate_generic(const ScenarioConfig& cfg) {
                std::to_string(t.deadline_max) + "] is invalid");
   }
   if (t.pattern == Pattern::kLeftRight &&
-      cfg.topology != ScenarioConfig::TopologyKind::kThreeTier) {
-    bad_config("left-right traffic needs the three-tier topology");
+      cfg.topology == ScenarioConfig::TopologyKind::kSingleRack) {
+    bad_config("left-right traffic needs a topology with a fabric tier");
   }
 }
 
@@ -152,13 +192,25 @@ stats::FlowRecord record_from(const transport::Flow& f) {
 
 // The dense demux table on every host grows by doubling as flow ids climb;
 // pre-growing it to the workload's id ceiling makes steady-state
-// registration allocation-free (the sparse spillover above kDenseLimit
-// still churns, but only for ids past 65k on a single host).
+// registration allocation-free. The dense range itself is budgeted across
+// the host population: a fixed fleet-wide byte budget divided by the host
+// count caps each host's dense table, so a 1k-host fat-tree doesn't pay
+// (hosts x id-range) RSS — ids past the cap use the sparse table, which
+// sizes with live flows (small under endpoint recycling), not the id range.
+// Rack-scale runs stay fully dense: the cap only bites past ~128 hosts.
 void prewarm_demux(topo::Topology& topo,
                    const std::vector<transport::Flow>& flows) {
+  constexpr std::size_t kDenseBudgetBytes = 64ull << 20;  // fleet-wide
+  const std::size_t hosts = topo.num_hosts();
+  const net::FlowId cap = hosts == 0
+                              ? net::FlowDemux::kDenseLimit
+                              : kDenseBudgetBytes / sizeof(void*) / hosts;
   net::FlowId max_id = 0;
   for (const auto& f : flows) max_id = std::max(max_id, f.id);
-  for (const auto& h : topo.hosts()) h->reserve_flows(max_id);
+  for (const auto& h : topo.hosts()) {
+    h->set_dense_flow_limit(cap);
+    h->reserve_flows(max_id);
+  }
 }
 
 // --- Sequential driver -------------------------------------------------------
@@ -662,7 +714,7 @@ std::optional<ScenarioResult> try_run_parallel(
   }
 
   obs::MetricsRegistry reg;
-  fold_common_metrics(reg, result, topo);
+  fold_common_metrics(reg, result, built);
   reg.counter("engine.executed_events") = executed;
   reg.counter("engine.calendar_rebuilds") = rebuilds;
   reg.counter("parallel.rounds") = engine.rounds_executed();
@@ -817,7 +869,7 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   }
 
   obs::MetricsRegistry reg;
-  fold_common_metrics(reg, result, built.topo());
+  fold_common_metrics(reg, result, built);
   reg.counter("engine.executed_events") = run.sim.executed_events();
   reg.counter("engine.calendar_rebuilds") = run.sim.calendar_rebuilds();
   result.metrics = reg.snapshot();

@@ -20,6 +20,7 @@
 #include "stats/flow_stats.h"
 #include "stats/streaming.h"
 #include "stats/summary.h"
+#include "topo/fat_tree.h"
 #include "topo/single_rack.h"
 #include "topo/three_tier.h"
 #include "workload/flow_generator.h"
@@ -46,10 +47,11 @@ struct ScenarioConfig : proto::ProfileParams {
   // touching this struct (see proto/registry.h).
   std::string profile_name;
 
-  enum class TopologyKind { kSingleRack, kThreeTier };
+  enum class TopologyKind { kSingleRack, kThreeTier, kFatTree };
   TopologyKind topology = TopologyKind::kSingleRack;
   topo::SingleRackConfig rack;   // used when topology == kSingleRack
   topo::ThreeTierConfig tree;    // used when topology == kThreeTier
+  topo::FatTreeConfig fattree;   // used when topology == kFatTree
 
   WorkloadConfig traffic;  // host counts/rates are filled in from the topology
 

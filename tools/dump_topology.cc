@@ -1,0 +1,219 @@
+// Emits a built topology as Graphviz DOT: nodes grouped by tier (core /
+// agg / tor-edge / host) with rank=same so dot lays the fabric out in
+// layers, and — when --domains=N is given — cut edges from the partitioner
+// drawn red/bold so the parallel engine's communication surface is visible
+// at a glance.
+//
+//   dump_topology --topology=fattree --k=4 --domains=4 --out=ft4.dot
+//   dump_topology --topology=threetier
+//   dump_topology --topology=singlerack --hosts=8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/droptail_queue.h"
+#include "sim/simulator.h"
+#include "topo/builder.h"
+#include "topo/partition.h"
+
+namespace {
+
+using namespace pase;
+
+struct Options {
+  std::string topology = "fattree";
+  int k = 4;
+  int pods = 0;  // 0 = full k pods
+  double oversub = 1.0;
+  int hosts = 8;          // single-rack
+  int domains = 0;        // 0 = no partition overlay
+  std::string out;        // empty = stdout
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology=fattree|threetier|singlerack] [--k=N] "
+               "[--pods=N] [--oversub=X] [--hosts=N] [--domains=N] "
+               "[--out=FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--topology=")) {
+      o.topology = v;
+    } else if (const char* v = val("--k=")) {
+      o.k = std::atoi(v);
+    } else if (const char* v = val("--pods=")) {
+      o.pods = std::atoi(v);
+    } else if (const char* v = val("--oversub=")) {
+      o.oversub = std::atof(v);
+    } else if (const char* v = val("--hosts=")) {
+      o.hosts = std::atoi(v);
+    } else if (const char* v = val("--domains=")) {
+      o.domains = std::atoi(v);
+    } else if (const char* v = val("--out=")) {
+      o.out = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+std::unique_ptr<topo::TopologyBuilder> make_builder(const Options& o) {
+  if (o.topology == "fattree" || o.topology == "fat_tree") {
+    topo::FatTreeConfig cfg;
+    cfg.k = o.k;
+    cfg.num_pods = o.pods;
+    cfg.oversubscription = o.oversub;
+    return std::make_unique<topo::FatTreeBuilder>(cfg);
+  }
+  if (o.topology == "threetier" || o.topology == "three_tier") {
+    return std::make_unique<topo::ThreeTierBuilder>(topo::ThreeTierConfig{});
+  }
+  if (o.topology == "singlerack" || o.topology == "single_rack") {
+    topo::SingleRackConfig cfg;
+    cfg.num_hosts = o.hosts;
+    return std::make_unique<topo::SingleRackBuilder>(cfg);
+  }
+  std::fprintf(stderr, "unknown topology '%s'\n", o.topology.c_str());
+  std::exit(2);
+}
+
+void emit(std::ostream& os, topo::BuiltTopology& built, int domains) {
+  topo::Topology& topo = built.topo();
+
+  topo::Partition part;
+  if (domains > 1) part = topo::partition_topology(topo, domains);
+  const bool overlay = part.domains > 1;
+  std::set<const net::Link*> cut;
+  for (const auto& c : part.cut_links) cut.insert(c.link);
+
+  // Hosts are tier 0; a switch's tier is 1 + max tier below it, computed by
+  // sweeping switch adjacency until fixpoint (hosts pin the bottom).
+  const std::size_t n = topo.hosts().size() + topo.switches().size();
+  std::vector<int> tier(n, -1);
+  for (const auto& h : topo.hosts()) {
+    tier[static_cast<std::size_t>(h->id())] = 0;
+  }
+  // Distance-to-nearest-host BFS over switch ports; switches adjacent to a
+  // host are tier 1, their host-free neighbors tier 2, and so on.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& sw : topo.switches()) {
+      int best = -1;
+      for (int p = 0; p < sw->num_ports(); ++p) {
+        const int nt = tier[static_cast<std::size_t>(
+            sw->port_neighbor(p)->id())];
+        if (nt >= 0 && (best < 0 || nt + 1 < best)) best = nt + 1;
+      }
+      auto& t = tier[static_cast<std::size_t>(sw->id())];
+      if (best >= 0 && (t < 0 || best < t)) {
+        t = best;
+        changed = true;
+      }
+    }
+  }
+
+  os << "digraph topology {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n"
+     << "  edge [dir=none];\n";
+
+  // One rank per tier so dot stacks the fabric in layers.
+  std::map<int, std::vector<const net::Node*>> by_tier;
+  for (const auto& h : topo.hosts()) by_tier[0].push_back(h.get());
+  for (const auto& sw : topo.switches()) {
+    by_tier[tier[static_cast<std::size_t>(sw->id())]].push_back(sw.get());
+  }
+  for (const auto& [t, nodes] : by_tier) {
+    os << "  { rank=same;";
+    for (const net::Node* nd : nodes) os << " n" << nd->id() << ";";
+    os << " }  // tier " << t << "\n";
+  }
+  for (const auto& [t, nodes] : by_tier) {
+    for (const net::Node* nd : nodes) {
+      os << "  n" << nd->id() << " [label=\"" << nd->name() << "\"";
+      if (t == 0) os << ", shape=ellipse";
+      if (overlay) {
+        os << ", xlabel=\"d"
+           << part.domain_of[static_cast<std::size_t>(nd->id())] << "\"";
+      }
+      os << "];\n";
+    }
+  }
+
+  // Undirected edge set: draw each adjacency once (lower id first), marking
+  // it cut when either directed link crosses domains.
+  std::set<std::pair<net::NodeId, net::NodeId>> drawn;
+  const auto draw = [&](const net::Link& l, net::NodeId src,
+                        net::NodeId dst) {
+    const auto key = std::minmax(src, dst);
+    if (!drawn.insert(key).second) return;
+    const bool is_cut = overlay && cut.count(&l) > 0;
+    os << "  n" << src << " -> n" << dst;
+    if (is_cut) os << " [color=red, penwidth=2.5]";
+    os << ";\n";
+  };
+  for (const auto& h : topo.hosts()) {
+    draw(h->uplink(), h->id(), h->uplink().destination()->id());
+  }
+  for (const auto& sw : topo.switches()) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      draw(sw->port_link(p), sw->id(), sw->port_neighbor(p)->id());
+    }
+  }
+  os << "}\n";
+
+  std::cerr << "nodes: " << topo.hosts().size() << " hosts + "
+            << topo.switches().size() << " switches";
+  if (overlay) {
+    std::cerr << "; domains: " << part.domains
+              << ", cut links: " << part.cut_links.size()
+              << ", lookahead: " << part.lookahead << "s";
+  }
+  std::cerr << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  sim::Simulator sim;
+  const topo::QueueFactory q = [](double) {
+    return std::make_unique<net::DropTailQueue>(100);
+  };
+  std::unique_ptr<topo::BuiltTopology> built =
+      make_builder(o)->build(sim, q);
+
+  if (o.out.empty()) {
+    emit(std::cout, *built, o.domains);
+  } else {
+    std::ofstream f(o.out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", o.out.c_str());
+      return 1;
+    }
+    emit(f, *built, o.domains);
+    std::fprintf(stderr, "wrote %s\n", o.out.c_str());
+  }
+  return 0;
+}
