@@ -32,6 +32,10 @@ class FlowDemux {
   static constexpr FlowId kMinDenseLimit = 64;
 
   PacketSink* find(FlowId id) const {
+    // Invariant: dense_.size() <= dense_limit_ (set_dense_limit rounds the
+    // limit down to a power of two and the growth sites clamp to it), so an
+    // id that lands in dense_ is always an id the dense table owns — sparse
+    // ids can never shadow a null dense slot.
     if (id < dense_.size()) [[likely]] {
       return dense_[id];
     }
@@ -45,6 +49,7 @@ class FlowDemux {
       if (id >= dense_.size()) {
         std::size_t want = dense_.empty() ? 64 : dense_.size();
         while (want <= id) want *= 2;
+        if (want > dense_limit_) want = dense_limit_;
         dense_.resize(want, nullptr);
       }
       if (dense_[id] == nullptr) ++count_;
@@ -65,13 +70,19 @@ class FlowDemux {
     sparse_erase(id);
   }
 
-  // Caps the dense table's id range (clamped to [kMinDenseLimit,
-  // kDenseLimit]). Must be called before any id >= the new limit is
-  // inserted — entries do not migrate between tables. Lookup results are
-  // unaffected; only the dense/sparse split (memory vs probe cost) moves.
+  // Caps the dense table's id range. The limit is rounded *down* to a power
+  // of two and clamped to [kMinDenseLimit, kDenseLimit], so the doubling
+  // growth schedule (64, 128, ...) can land exactly on it and dense_.size()
+  // never exceeds dense_limit_ — find()'s dense fast path stays correct for
+  // ids the sparse table owns, and a caller budgeting N entries gets at most
+  // N, never the next power of two above N. Must be called before any id >=
+  // the new limit is inserted — entries do not migrate between tables.
+  // Lookup results are unaffected; only the dense/sparse split (memory vs
+  // probe cost) moves.
   void set_dense_limit(FlowId limit) {
     if (limit < kMinDenseLimit) limit = kMinDenseLimit;
     if (limit > kDenseLimit) limit = kDenseLimit;
+    while ((limit & (limit - 1)) != 0) limit &= limit - 1;  // round down
     dense_limit_ = limit;
   }
 
@@ -84,6 +95,7 @@ class FlowDemux {
     if (max_id < dense_.size()) return;
     std::size_t want = dense_.empty() ? 64 : dense_.size();
     while (want <= max_id) want *= 2;
+    if (want > dense_limit_) want = dense_limit_;
     dense_.resize(want, nullptr);
   }
 

@@ -57,9 +57,17 @@ void Switch::set_route_group(NodeId dst, const std::vector<int>& ports,
       g.members.push_back(static_cast<std::uint16_t>(g.ports[i]));
     }
   }
+  // Reuse the group slot when `dst` already routes through one, so
+  // re-running Topology::build_routes (e.g. to change the ECMP seed)
+  // overwrites groups in place instead of leaking a stale entry per
+  // multi-port destination per reinstall.
+  std::int32_t& slot = route_slot(dst);
+  if (slot <= kGroupBase) {
+    groups_[group_index(slot)] = std::move(g);
+    return;
+  }
   groups_.push_back(std::move(g));
-  route_slot(dst) =
-      kGroupBase - static_cast<std::int32_t>(groups_.size() - 1);
+  slot = kGroupBase - static_cast<std::int32_t>(groups_.size() - 1);
 }
 
 // Cold by construction: a missing route is a topology bug, so the message is

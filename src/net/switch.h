@@ -94,6 +94,11 @@ class Switch : public Node {
     return static_cast<int>(groups_[group_index(e)].ports.size());
   }
 
+  // Number of live group entries. Stays flat across route reinstalls
+  // (set_route_group reuses a destination's existing slot) — introspection
+  // and leak tests only.
+  std::size_t num_route_groups() const { return groups_.size(); }
+
   // The group's ports toward `dst` (empty when unrouted).
   std::vector<int> route_ports(NodeId dst) const {
     const std::int32_t e = route_entry(dst);

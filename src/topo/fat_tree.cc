@@ -1,15 +1,29 @@
 #include "topo/fat_tree.h"
 
-#include <cassert>
+#include <stdexcept>
 #include <string>
 
 namespace pase::topo {
 
 FatTree build_fat_tree(sim::Simulator& sim, const FatTreeConfig& cfg,
                        const QueueFactory& make_queue) {
-  assert(cfg.k >= 2 && cfg.k % 2 == 0);
-  assert(cfg.pods() >= 1 && cfg.pods() <= cfg.k);
-  assert(cfg.hosts_per_edge() >= 1);
+  // Always-on validation (not assert): direct callers — tools/dump_topology,
+  // tests, external embedders — bypass ScenarioConfig validation, and a
+  // malformed fabric (odd k) must not build silently in release builds.
+  if (cfg.k < 2 || cfg.k % 2 != 0) {
+    throw std::invalid_argument("fat-tree radix k must be even and >= 2, got " +
+                                std::to_string(cfg.k));
+  }
+  if (cfg.pods() < 1 || cfg.pods() > cfg.k) {
+    throw std::invalid_argument("fat-tree pods must be in [1, k=" +
+                                std::to_string(cfg.k) + "], got " +
+                                std::to_string(cfg.pods()));
+  }
+  if (cfg.hosts_per_edge() < 1) {
+    throw std::invalid_argument(
+        "fat-tree hosts_per_edge must be >= 1, got " +
+        std::to_string(cfg.hosts_per_edge()));
+  }
   FatTree t;
   t.config = cfg;
   t.topo = std::make_unique<Topology>(sim);

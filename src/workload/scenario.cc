@@ -197,7 +197,10 @@ stats::FlowRecord record_from(const transport::Flow& f) {
 // count caps each host's dense table, so a 1k-host fat-tree doesn't pay
 // (hosts x id-range) RSS — ids past the cap use the sparse table, which
 // sizes with live flows (small under endpoint recycling), not the id range.
-// Rack-scale runs stay fully dense: the cap only bites past ~128 hosts.
+// The demux rounds the cap *down* to a power of two (its growth schedule is
+// doubling), so the fleet-wide budget is a hard ceiling, not a target the
+// next doubling can overshoot by 2x. Rack-scale runs stay fully dense: the
+// cap only bites past ~128 hosts.
 void prewarm_demux(topo::Topology& topo,
                    const std::vector<transport::Flow>& flows) {
   constexpr std::size_t kDenseBudgetBytes = 64ull << 20;  // fleet-wide

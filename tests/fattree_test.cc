@@ -81,6 +81,25 @@ TEST(FatTreeStructure, OversubscriptionScalesHostsPerEdge) {
   EXPECT_EQ(t.edges[0]->num_ports(), 6);  // 2 agg uplinks + 4 hosts
 }
 
+TEST(FatTreeStructure, MalformedConfigThrowsEvenInRelease) {
+  // Validation must be always-on (std::invalid_argument, not assert):
+  // direct callers bypass ScenarioConfig validation and NDEBUG builds
+  // compile asserts out.
+  sim::Simulator sim;
+  topo::FatTreeConfig odd;
+  odd.k = 5;
+  EXPECT_THROW(topo::build_fat_tree(sim, odd, droptail_factory()),
+               std::invalid_argument);
+  topo::FatTreeConfig tiny;
+  tiny.k = 0;
+  EXPECT_THROW(topo::build_fat_tree(sim, tiny, droptail_factory()),
+               std::invalid_argument);
+  topo::FatTreeConfig pods;
+  pods.num_pods = 9;  // > k
+  EXPECT_THROW(topo::build_fat_tree(sim, pods, droptail_factory()),
+               std::invalid_argument);
+}
+
 TEST(FatTreeStructure, PartialPodCount) {
   sim::Simulator sim;
   topo::FatTreeConfig cfg;
@@ -255,6 +274,39 @@ TEST_F(TwoPortSwitch, SinglePortGroupDegeneratesToPlainRoute) {
   sw.set_route_group(55, {1});
   EXPECT_EQ(sw.route_width(55), 1);
   EXPECT_EQ(sw.route_for(55), 1);
+}
+
+TEST_F(TwoPortSwitch, ReinstallingAGroupReusesItsSlot) {
+  sw.set_route_group(99, {0, 1});
+  sw.set_route_group(77, {1, 0});
+  ASSERT_EQ(sw.num_route_groups(), 2u);
+  // Reinstalling (same or different shape) must overwrite in place, not
+  // accumulate stale groups.
+  sw.set_route_group(99, {0, 1});
+  sw.set_route_group(99, {1, 0}, {3, 1});
+  EXPECT_EQ(sw.num_route_groups(), 2u);
+  EXPECT_EQ(sw.route_width(99), 2);
+  EXPECT_EQ(sw.route_for(99), 1);  // latest install wins
+  EXPECT_EQ(sw.route_width(77), 2);
+}
+
+TEST(FatTreeRouting, RebuildingRoutesDoesNotLeakGroups) {
+  sim::Simulator sim;
+  const topo::FatTree t =
+      topo::build_fat_tree(sim, topo::FatTreeConfig{}, droptail_factory());
+  std::vector<std::size_t> before;
+  for (const auto& s : t.topo->switches()) {
+    before.push_back(s->num_route_groups());
+  }
+  // Changing the ECMP seed after the fact (the documented use of re-running
+  // build_routes) must not grow any switch's group table.
+  t.topo->set_ecmp_seed(7);
+  t.topo->build_routes();
+  t.topo->build_routes();
+  for (std::size_t i = 0; i < t.topo->switches().size(); ++i) {
+    EXPECT_EQ(t.topo->switches()[i]->num_route_groups(), before[i])
+        << t.topo->switches()[i]->name();
+  }
 }
 
 // --- No-route diagnostics ----------------------------------------------------

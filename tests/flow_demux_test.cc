@@ -1,0 +1,89 @@
+// FlowDemux dense/sparse split: the dense table must never grow past the
+// configured limit, or find()'s dense fast path shadows sparse-registered
+// ids with null slots and packets are silently dropped (regression: a
+// non-power-of-two limit from prewarm_demux's byte budget let the doubling
+// growth schedule overshoot the limit).
+#include <gtest/gtest.h>
+
+#include "net/flow_demux.h"
+#include "net/host.h"
+
+namespace pase {
+namespace {
+
+class NullSink : public net::PacketSink {
+ public:
+  void deliver(net::PacketPtr) override {}
+};
+
+TEST(FlowDemux, NonPowerOfTwoLimitKeepsSparseIdsFindable) {
+  // 192-host three-tier style cap: 64 MB / 8 / 192 hosts = 43690 — not a
+  // power of two. The demux rounds it down to 32768; ids in [32768, 65536)
+  // go sparse and must stay findable even after dense inserts grow the
+  // table to its ceiling.
+  net::FlowDemux d;
+  NullSink dense_sink, sparse_sink;
+  d.set_dense_limit(43690);
+
+  // The id range the dense table used to shadow: between the requested
+  // limit (43690) and the next power of two the doubling schedule reached
+  // (65536). Under the bug, 50000 registered sparse but find() indexed the
+  // null dense slot and every packet of the flow vanished.
+  const net::FlowId shadowed_id = 50000;
+  d.insert(shadowed_id, &sparse_sink);
+  // And an id between the rounded-down limit and the requested one.
+  const net::FlowId sparse_id = 40000;
+  d.insert(sparse_id, &sparse_sink);
+
+  // Grow the dense table all the way to its ceiling; neither sparse id may
+  // be shadowed by a null dense slot.
+  const net::FlowId dense_id = 32767;  // last dense id under the round-down
+  d.insert(dense_id, &dense_sink);
+  EXPECT_EQ(d.find(dense_id), &dense_sink);
+  EXPECT_EQ(d.find(shadowed_id), &sparse_sink);
+  EXPECT_EQ(d.find(sparse_id), &sparse_sink);
+  EXPECT_EQ(d.size(), 3u);
+
+  // Unregistered ids on both sides of the split stay null.
+  EXPECT_EQ(d.find(100), nullptr);
+  EXPECT_EQ(d.find(33000), nullptr);
+
+  // Erase from each table independently.
+  d.erase(dense_id);
+  d.erase(shadowed_id);
+  d.erase(sparse_id);
+  EXPECT_EQ(d.find(dense_id), nullptr);
+  EXPECT_EQ(d.find(shadowed_id), nullptr);
+  EXPECT_EQ(d.find(sparse_id), nullptr);
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(FlowDemux, ReserveDenseRespectsNonPowerOfTwoLimit) {
+  net::FlowDemux d;
+  NullSink sink;
+  d.set_dense_limit(100);  // rounds down to 64
+  // Reserving past the limit must clamp, then a sparse id at the old shadow
+  // range must still resolve.
+  d.reserve_dense(1000);
+  d.insert(80, &sink);   // >= 64: sparse
+  d.insert(110, &sink);  // in [requested 100, old doubling target 128)
+  EXPECT_EQ(d.find(80), &sink);
+  EXPECT_EQ(d.find(110), &sink);
+  d.insert(63, &sink);  // last dense id
+  EXPECT_EQ(d.find(63), &sink);
+  EXPECT_EQ(d.find(80), &sink);
+  EXPECT_EQ(d.find(110), &sink);
+}
+
+TEST(FlowDemux, LimitClampsToFloorAndCeiling) {
+  net::FlowDemux d;
+  NullSink sink;
+  d.set_dense_limit(1);  // below the floor: clamps to kMinDenseLimit
+  d.insert(net::FlowDemux::kMinDenseLimit, &sink);  // first sparse id
+  d.insert(net::FlowDemux::kMinDenseLimit - 1, &sink);  // last dense id
+  EXPECT_EQ(d.find(net::FlowDemux::kMinDenseLimit), &sink);
+  EXPECT_EQ(d.find(net::FlowDemux::kMinDenseLimit - 1), &sink);
+}
+
+}  // namespace
+}  // namespace pase
