@@ -1,7 +1,7 @@
 #include "core/arbitration_plane.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 
 #include "topo/builder.h"
 
@@ -54,11 +54,18 @@ PlaneTopology PlaneTopology::from(topo::SingleRack& rack) {
 
 ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
                                    PaseConfig cfg)
-    : sim_(&sim), pt_(std::move(pt)), cfg_(cfg) {
+    : ArbitrationPlane(
+          [&sim](net::NodeId) -> sim::Simulator& { return sim; },
+          std::move(pt), cfg) {}
+
+ArbitrationPlane::ArbitrationPlane(const SimResolver& sim_of, PlaneTopology pt,
+                                   PaseConfig cfg)
+    : pt_(std::move(pt)), cfg_(cfg) {
   // Endpoint arbitrators: one pair per host, living on the host.
   for (auto& [id, info] : pt_.hosts) {
     HostState hs;
     hs.info = info;
+    hs.sim = &sim_of(id);
     hs.up = std::make_unique<LinkArbitrator>(info.host->name() + ".up", id,
                                              pt_.host_rate_bps, cfg_);
     hs.down = std::make_unique<LinkArbitrator>(info.host->name() + ".down", id,
@@ -73,6 +80,7 @@ ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
       TorState ts;
       ts.tor = tor;
       ts.agg = info.agg;
+      ts.sim = &sim_of(tor->id());
       if (info.agg != nullptr) {
         ts.up = std::make_unique<LinkArbitrator>(tor->name() + ".up",
                                                  tor->id(),
@@ -92,6 +100,7 @@ ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
     if (agg != nullptr && !agg_states_.contains(agg->id())) {
       AggState as;
       as.agg = agg;
+      as.sim = &sim_of(agg->id());
       as.up = std::make_unique<LinkArbitrator>(agg->name() + ".up", agg->id(),
                                                pt_.fabric_rate_bps, cfg_);
       as.down = std::make_unique<LinkArbitrator>(agg->name() + ".down",
@@ -112,12 +121,20 @@ ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
     // Count children per agg for the initial equal split.
     std::unordered_map<net::NodeId, int> children;
     for (auto& [tid, ts] : tor_states_) {
-      if (ts.agg != nullptr) ++children[ts.agg->id()];
+      if (ts.agg != nullptr) {
+        ++children[ts.agg->id()];
+        delegation_tors_.push_back(tid);
+      }
     }
-    for (auto& [tid, ts] : tor_states_) {
-      if (ts.agg == nullptr) continue;
-      const double share =
-          pt_.fabric_rate_bps / children[ts.agg->id()];
+    // Timers go on each ToR's own domain clock, in globally sorted ToR-id
+    // order: under deterministic lineage the j-th timer claims setup root
+    // index j on its domain, and sorting makes that index partition-invariant
+    // (the sequential FIFO order and the parallel merge order agree).
+    std::sort(delegation_tors_.begin(), delegation_tors_.end());
+    std::uint32_t j = 0;
+    for (const net::NodeId tid : delegation_tors_) {
+      TorState& ts = tor_states_.at(tid);
+      const double share = pt_.fabric_rate_bps / children[ts.agg->id()];
       ts.virt_up = std::make_unique<LinkArbitrator>(
           ts.tor->name() + ".virt_up", ts.tor->id(), share, cfg_);
       ts.virt_down = std::make_unique<LinkArbitrator>(
@@ -125,6 +142,7 @@ ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
       auto& as = agg_states_.at(ts.agg->id());
       as.demand_up[tid] = 0.0;
       as.demand_down[tid] = 0.0;
+      ts.sim->set_setup_index(j++);
       schedule_delegation_reports(ts);
     }
   }
@@ -132,7 +150,7 @@ ArbitrationPlane::ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt,
 
 void ArbitrationPlane::schedule_delegation_reports(TorState& ts) {
   TorState* tsp = &ts;
-  sim_->schedule(cfg_.delegation_update_period, [this, tsp] {
+  ts.sim->schedule(cfg_.delegation_update_period, [this, tsp] {
     send_delegation_report(*tsp);
     schedule_delegation_reports(*tsp);
   });
@@ -156,12 +174,30 @@ double ArbitrationPlane::key_of(const transport::Flow& flow,
   return remaining_bytes;
 }
 
+double ArbitrationPlane::key_from_header(const net::ArbHeader& h) const {
+  // Mirrors key_of exactly: the header fields are copies of the flow fields
+  // key_of consults (Flow::has_deadline() is `deadline > 0`).
+  switch (cfg_.criterion) {
+    case Criterion::kEarliestDeadlineFirst:
+      if (h.deadline > 0.0) return h.deadline;
+      break;
+    case Criterion::kTaskAware:
+      if (h.task_id != 0) return static_cast<double>(h.task_id);
+      break;
+    case Criterion::kShortestFlowFirst:
+      break;
+  }
+  return h.flow_size;
+}
+
 bool ArbitrationPlane::same_rack(const transport::Flow& f) const {
   return pt_.hosts.at(f.src).tor == pt_.hosts.at(f.dst).tor;
 }
 
-bool ArbitrationPlane::same_agg(const transport::Flow& f) const {
-  return pt_.hosts.at(f.src).agg == pt_.hosts.at(f.dst).agg;
+bool ArbitrationPlane::same_agg_hdr(const net::ArbHeader& h) const {
+  // pt_.hosts is immutable after construction, so this read is safe from any
+  // domain's thread.
+  return pt_.hosts.at(h.src_host).agg == pt_.hosts.at(h.dst_host).agg;
 }
 
 net::PacketPtr ArbitrationPlane::make_arb_packet(net::PacketType type,
@@ -172,46 +208,35 @@ net::PacketPtr ArbitrationPlane::make_arb_packet(net::PacketType type,
   p->ecn_capable = false;
   p->priority = 0;
   p->remaining_size = 0.0;
+  // The full arbitration identity rides in the header so fabric arbitrators
+  // decide from the packet alone (see header sharding notes).
   p->arb.deadline = flow.deadline;
+  p->arb.src_host = flow.src;
+  p->arb.dst_host = flow.dst;
+  p->arb.task_id = flow.task_id;
   return p;
 }
 
-void ArbitrationPlane::send_from_host(net::NodeId host, net::PacketPtr p) {
-  ++stats_.messages_sent;
-  pt_.hosts.at(host).host->send(std::move(p));
+void ArbitrationPlane::send_from_host(HostState& hs, net::PacketPtr p) {
+  ++hs.stats.messages_sent;
+  hs.info.host->send(std::move(p));
 }
 
-void ArbitrationPlane::send_from_switch(net::Switch& sw, net::PacketPtr p) {
-  ++stats_.messages_sent;
+void ArbitrationPlane::send_from_switch(ControlPlaneStats& st, net::Switch& sw,
+                                        net::PacketPtr p) {
+  ++st.messages_sent;
   // receive() routes packets not addressed to the switch itself.
   sw.receive(std::move(p));
 }
 
-void ArbitrationPlane::respond(net::NodeId from_node, net::PacketPtr request) {
+void ArbitrationPlane::respond(ControlPlaneStats& st, net::Switch& sw,
+                               net::PacketPtr request) {
   net::PacketPtr p = std::move(request);
-  const net::NodeId src_host = flows_.contains(p->flow)
-                                   ? flows_.at(p->flow).flow.src
-                                   : net::kInvalidNode;
-  if (src_host == net::kInvalidNode) return;  // flow already torn down
   p->type = net::PacketType::kArbResponse;
-  p->src = from_node;
-  p->dst = src_host;
-  ++stats_.responses;
-  if (from_node == src_host) {
-    // Host-local arbitration: the result is applied synchronously by the
-    // caller; no packet needs to travel.
-    return;
-  }
-  auto host_it = pt_.hosts.find(from_node);
-  if (host_it != pt_.hosts.end()) {
-    send_from_host(from_node, std::move(p));
-  } else {
-    auto tor_it = tor_states_.find(from_node);
-    net::Switch* sw = tor_it != tor_states_.end()
-                          ? tor_it->second.tor
-                          : agg_states_.at(from_node).agg;
-    send_from_switch(*sw, std::move(p));
-  }
+  p->src = sw.id();
+  p->dst = p->arb.src_host;
+  ++st.responses;
+  send_from_switch(st, sw, std::move(p));
 }
 
 // ---------------------------------------------------------------------------
@@ -220,52 +245,48 @@ void ArbitrationPlane::respond(net::NodeId from_node, net::PacketPtr request) {
 FlowTable::Result ArbitrationPlane::register_sender(
     ArbitrationClient& client, const transport::Flow& flow,
     double remaining_bytes, double demand_bps) {
-  FlowCtx ctx;
-  ctx.flow = flow;
-  ctx.client = &client;
-  flows_[flow.id] = ctx;
+  host_states_.at(flow.src).tx[flow.id] = &client;
   return source_arbitrate(flow, remaining_bytes, demand_bps);
 }
 
 FlowTable::Result ArbitrationPlane::source_arbitrate(
     const transport::Flow& flow, double remaining_bytes, double demand_bps) {
   auto& hs = host_states_.at(flow.src);
-  ++stats_.arbitrations;
+  ++hs.stats.arbitrations;
   FlowTable::Result local = hs.up->process(
-      flow.id, key_of(flow, remaining_bytes), demand_bps, sim_->now());
+      flow.id, key_of(flow, remaining_bytes), demand_bps, hs.sim->now());
 
   const bool needs_fabric = !cfg_.local_only && !same_rack(flow);
   const bool pruned =
       cfg_.early_pruning && local.prio_queue >= cfg_.pruning_queues;
   if (needs_fabric && !pruned) {
     auto p = make_arb_packet(net::PacketType::kArbRequest, flow, flow.src,
-                             pt_.hosts.at(flow.src).tor->id());
+                             hs.info.tor->id());
     p->arb.flow_size = remaining_bytes;
     p->arb.demand = demand_bps;
     p->arb.receiver_half = false;
     p->arb.prio_queue = local.prio_queue;
     p->arb.ref_rate = local.ref_rate;
     p->arb.hops = 1;
-    ++stats_.requests;
-    send_from_host(flow.src, std::move(p));
+    ++hs.stats.requests;
+    send_from_host(hs, std::move(p));
   } else if (needs_fabric && pruned) {
-    ++stats_.pruned_requests;
+    ++hs.stats.pruned_requests;
   }
   return local;
 }
 
 void ArbitrationPlane::sender_finished(const transport::Flow& flow) {
-  auto it = flows_.find(flow.id);
   auto& hs = host_states_.at(flow.src);
   hs.up->remove(flow.id);
+  hs.tx.erase(flow.id);
   if (!cfg_.local_only && !same_rack(flow)) {
     auto p = make_arb_packet(net::PacketType::kArbFin, flow, flow.src,
-                             pt_.hosts.at(flow.src).tor->id());
+                             hs.info.tor->id());
     p->arb.receiver_half = false;
-    ++stats_.fins;
-    send_from_host(flow.src, std::move(p));
+    ++hs.stats.fins;
+    send_from_host(hs, std::move(p));
   }
-  if (it != flows_.end()) flows_.erase(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -290,21 +311,22 @@ void ArbitrationPlane::receiver_data_arrived(const transport::Flow& flow,
   // so there is no receiver half at all — the source's own uplink arbitrator
   // is the only one consulted.
   if (cfg_.local_only) return;
-  auto it = flows_.find(flow.id);
-  if (it == flows_.end()) return;  // sender already gone
-  FlowCtx& ctx = it->second;
-  if (ctx.last_rx_arbitration >= 0.0 &&
-      sim_->now() - ctx.last_rx_arbitration < cfg_.arbitration_period) {
-    return;
-  }
-  ctx.last_rx_arbitration = sim_->now();
-
+  // Background flows never arbitrate: the sender pins them to the lowest
+  // queue without registering, and the receiver half mirrors that.
+  if (flow.background) return;
   auto& hs = host_states_.at(flow.dst);
+  const sim::Time now = hs.sim->now();
+  auto [last, first] = hs.rx_last.try_emplace(flow.id, now);
+  if (!first) {
+    if (now - last->second < cfg_.arbitration_period) return;
+    last->second = now;
+  }
+
   const double demand =
       std::min(pt_.host_rate_bps, remaining_bytes * 8.0 / cfg_.rtt);
-  ++stats_.arbitrations;
+  ++hs.stats.arbitrations;
   FlowTable::Result local = hs.down->process(
-      flow.id, key_of(flow, remaining_bytes), demand, sim_->now());
+      flow.id, key_of(flow, remaining_bytes), demand, now);
 
   auto p = make_arb_packet(net::PacketType::kArbRequest, flow, flow.dst,
                            net::kInvalidNode);
@@ -319,16 +341,16 @@ void ArbitrationPlane::receiver_data_arrived(const transport::Flow& flow,
   const bool pruned =
       cfg_.early_pruning && local.prio_queue >= cfg_.pruning_queues;
   if (needs_fabric && !pruned) {
-    p->dst = pt_.hosts.at(flow.dst).tor->id();
-    ++stats_.requests;
-    send_from_host(flow.dst, std::move(p));
+    p->dst = hs.info.tor->id();
+    ++hs.stats.requests;
+    send_from_host(hs, std::move(p));
   } else {
     // The receiver-half result is complete; ship it to the source.
-    if (pruned && needs_fabric) ++stats_.pruned_requests;
+    if (pruned && needs_fabric) ++hs.stats.pruned_requests;
     p->type = net::PacketType::kArbResponse;
     p->dst = flow.src;
-    ++stats_.responses;
-    send_from_host(flow.dst, std::move(p));
+    ++hs.stats.responses;
+    send_from_host(hs, std::move(p));
   }
 }
 
@@ -336,12 +358,13 @@ void ArbitrationPlane::receiver_finished(const transport::Flow& flow) {
   if (cfg_.local_only) return;  // no receiver half in local-only mode
   auto& hs = host_states_.at(flow.dst);
   hs.down->remove(flow.id);
-  if (!cfg_.local_only && !same_rack(flow)) {
+  hs.rx_last.erase(flow.id);
+  if (!same_rack(flow)) {
     auto p = make_arb_packet(net::PacketType::kArbFin, flow, flow.dst,
-                             pt_.hosts.at(flow.dst).tor->id());
+                             hs.info.tor->id());
     p->arb.receiver_half = true;
-    ++stats_.fins;
-    send_from_host(flow.dst, std::move(p));
+    ++hs.stats.fins;
+    send_from_host(hs, std::move(p));
   }
 }
 
@@ -349,12 +372,12 @@ void ArbitrationPlane::receiver_finished(const transport::Flow& flow) {
 // Control packet dispatch
 
 void ArbitrationPlane::on_host_control(net::NodeId host, net::PacketPtr p) {
-  (void)host;
   if (p->type != net::PacketType::kArbResponse) return;
-  auto it = flows_.find(p->flow);
-  if (it == flows_.end() || it->second.client == nullptr) return;
-  it->second.client->arbitration_update(p->arb.prio_queue, p->arb.ref_rate,
-                                        p->arb.receiver_half);
+  auto& hs = host_states_.at(host);
+  auto it = hs.tx.find(p->flow);
+  if (it == hs.tx.end()) return;  // flow already finished at the source
+  it->second->arbitration_update(p->arb.prio_queue, p->arb.ref_rate,
+                                 p->arb.receiver_half);
 }
 
 void ArbitrationPlane::on_switch_control(net::Switch* sw, net::PacketPtr p) {
@@ -402,52 +425,46 @@ void fold(net::ArbHeader& h, const FlowTable::Result& r) {
 }  // namespace
 
 void ArbitrationPlane::handle_request_at_tor(TorState& ts, net::PacketPtr p) {
-  auto it = flows_.find(p->flow);
-  if (it == flows_.end()) return;  // torn down while the request was in flight
-  const transport::Flow& flow = it->second.flow;
-  const double key = key_of(flow, p->arb.flow_size);
+  const double key = key_from_header(p->arb);
   LinkArbitrator* arb = p->arb.receiver_half ? ts.down.get() : ts.up.get();
   if (arb == nullptr) {  // single-rack: nothing above the ToR
-    respond(ts.tor->id(), std::move(p));
+    respond(ts.stats, *ts.tor, std::move(p));
     return;
   }
-  ++stats_.arbitrations;
+  ++ts.stats.arbitrations;
   ++p->arb.hops;
-  fold(p->arb, arb->process(p->flow, key, p->arb.demand, sim_->now()));
+  fold(p->arb, arb->process(p->flow, key, p->arb.demand, ts.sim->now()));
 
   if (cfg_.early_pruning && p->arb.prio_queue >= cfg_.pruning_queues) {
-    ++stats_.pruned_requests;
-    respond(ts.tor->id(), std::move(p));
+    ++ts.stats.pruned_requests;
+    respond(ts.stats, *ts.tor, std::move(p));
     return;
   }
-  if (same_agg(flow)) {  // the Agg<->Core links are not on this path
-    respond(ts.tor->id(), std::move(p));
+  if (same_agg_hdr(p->arb)) {  // the Agg<->Core links are not on this path
+    respond(ts.stats, *ts.tor, std::move(p));
     return;
   }
   if (cfg_.delegation) {
     LinkArbitrator* virt =
         p->arb.receiver_half ? ts.virt_down.get() : ts.virt_up.get();
-    ++stats_.arbitrations;
-    fold(p->arb, virt->process(p->flow, key, p->arb.demand, sim_->now()));
-    respond(ts.tor->id(), std::move(p));
+    ++ts.stats.arbitrations;
+    fold(p->arb, virt->process(p->flow, key, p->arb.demand, ts.sim->now()));
+    respond(ts.stats, *ts.tor, std::move(p));
     return;
   }
   // Ascend to the aggregation arbitrator.
   p->dst = ts.agg->id();
-  ++stats_.requests;
-  send_from_switch(*ts.tor, std::move(p));
+  ++ts.stats.requests;
+  send_from_switch(ts.stats, *ts.tor, std::move(p));
 }
 
 void ArbitrationPlane::handle_request_at_agg(AggState& as, net::PacketPtr p) {
-  auto it = flows_.find(p->flow);
-  if (it == flows_.end()) return;
-  const transport::Flow& flow = it->second.flow;
-  const double key = key_of(flow, p->arb.flow_size);
+  const double key = key_from_header(p->arb);
   LinkArbitrator* arb = p->arb.receiver_half ? as.down.get() : as.up.get();
-  ++stats_.arbitrations;
+  ++as.stats.arbitrations;
   ++p->arb.hops;
-  fold(p->arb, arb->process(p->flow, key, p->arb.demand, sim_->now()));
-  respond(as.agg->id(), std::move(p));
+  fold(p->arb, arb->process(p->flow, key, p->arb.demand, as.sim->now()));
+  respond(as.stats, *as.agg, std::move(p));
 }
 
 void ArbitrationPlane::handle_fin_at_tor(TorState& ts, net::PacketPtr p) {
@@ -462,8 +479,8 @@ void ArbitrationPlane::handle_fin_at_tor(TorState& ts, net::PacketPtr p) {
   // flow may not exist up there (pruning) — removal is idempotent either way.
   if (ts.agg != nullptr && !cfg_.delegation) {
     p->dst = ts.agg->id();
-    ++stats_.fins;
-    send_from_switch(*ts.tor, std::move(p));
+    ++ts.stats.fins;
+    send_from_switch(ts.stats, *ts.tor, std::move(p));
   }
 }
 
@@ -497,8 +514,8 @@ void ArbitrationPlane::send_delegation_report(TorState& ts) {
     p->priority = 0;
     p->arb.receiver_half = down;
     p->arb.report_demand = demand;
-    ++stats_.delegation_msgs;
-    send_from_switch(*ts.tor, std::move(p));
+    ++ts.stats.delegation_msgs;
+    send_from_switch(ts.stats, *ts.tor, std::move(p));
   }
 }
 
@@ -524,8 +541,8 @@ void ArbitrationPlane::handle_report_at_agg(AggState& as,
   grant->arb.receiver_half = down;
   grant->arb.granted_capacity =
       recompute_share(as, p.src, down) * cfg_.delegation_overcommit;
-  ++stats_.delegation_msgs;
-  send_from_switch(*as.agg, std::move(grant));
+  ++as.stats.delegation_msgs;
+  send_from_switch(as.stats, *as.agg, std::move(grant));
 }
 
 void ArbitrationPlane::handle_grant_at_tor(TorState& ts,
@@ -533,6 +550,17 @@ void ArbitrationPlane::handle_grant_at_tor(TorState& ts,
   LinkArbitrator* virt =
       p.arb.receiver_half ? ts.virt_down.get() : ts.virt_up.get();
   if (virt != nullptr) virt->table().set_capacity(p.arb.granted_capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+const ControlPlaneStats& ArbitrationPlane::stats() const {
+  folded_ = ControlPlaneStats{};
+  for (const auto& [id, hs] : host_states_) folded_ += hs.stats;
+  for (const auto& [id, ts] : tor_states_) folded_ += ts.stats;
+  for (const auto& [id, as] : agg_states_) folded_ += as.stats;
+  return folded_;
 }
 
 // ---------------------------------------------------------------------------

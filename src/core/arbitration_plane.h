@@ -20,8 +20,28 @@
 // Every arbitration message is a real 40-byte control packet traversing the
 // simulated fabric at top priority, so control-plane latency, load and
 // message counts (Fig. 11) are emergent rather than modeled.
+//
+// Sharding: the plane is one object, but all of its mutable state is owned
+// by the node it lives at — per-host flow/client tables and access-link
+// arbitrators, per-ToR and per-Agg fabric arbitrators and delegation state.
+// A handler running at a node reads and writes only that node's state plus
+// the packet it was handed; every arbitration message carries the flow's
+// full identity (ArbHeader src_host/dst_host/task_id/deadline/flow_size) so
+// no handler ever consults another node's tables. Under the partitioned
+// parallel engine each node's state therefore belongs to exactly one domain
+// (the resolver passed at construction names it), cross-domain arbitration
+// rides the existing cut-link mailboxes as ordinary control packets, and
+// delegation's periodic report/grant summaries are the only ToR<->Agg
+// coupling — there is no shared-memory state between domains. Handlers make
+// identical decisions whatever the partitioning, which is what keeps
+// parallel runs bit-identical to sequential ones. A consequence of deciding
+// from the packet alone is that fabric arbitrators respond to stale
+// requests from already-finished flows instead of dropping them; the
+// resulting table entries age out via PaseConfig::entry_timeout (the
+// paper's soft state) exactly as lost-FIN entries always have.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -66,10 +86,34 @@ struct PlaneTopology {
 
 class ArbitrationPlane {
  public:
+  // Maps a node id to the simulator its domain runs on. Sequential runs map
+  // every node to the one simulator; partitioned runs map each node to its
+  // domain's clock so host timers and delegation timers fire locally.
+  using SimResolver = std::function<sim::Simulator&(net::NodeId)>;
+
+  ArbitrationPlane(const SimResolver& sim_of, PlaneTopology pt,
+                   PaseConfig cfg);
+  // Single-clock convenience form (sequential runs, unit tests).
   ArbitrationPlane(sim::Simulator& sim, PlaneTopology pt, PaseConfig cfg);
 
   const PaseConfig& config() const { return cfg_; }
-  const ControlPlaneStats& stats() const { return stats_; }
+  // Folds the per-node shard counters into one total (all fields are
+  // commutative sums). Only call while every domain is quiescent — between
+  // engine windows or after the run.
+  const ControlPlaneStats& stats() const;
+
+  // Setup-time events the plane scheduled during construction (one per
+  // delegation timer), in globally sorted ToR-id order. The harness offsets
+  // its own setup lineage indices (flow launches) past this count so the
+  // combined setup-root order replays the sequential scheduling order.
+  std::uint32_t setup_events() const {
+    return static_cast<std::uint32_t>(delegation_tors_.size());
+  }
+  // Nodes at which the plane spontaneously schedules calendar events (the
+  // delegation-timer ToRs); input to the engine's conditional-horizon probe.
+  void append_timer_nodes(std::vector<net::NodeId>& out) const {
+    out.insert(out.end(), delegation_tors_.begin(), delegation_tors_.end());
+  }
 
   // --- sender side -----------------------------------------------------------
   // Registers the flow and performs the first (host-local) arbitration pass.
@@ -102,6 +146,8 @@ class ArbitrationPlane {
   struct TorState {
     net::Switch* tor = nullptr;
     net::Switch* agg = nullptr;  // parent (nullptr in single-rack)
+    sim::Simulator* sim = nullptr;  // the ToR's domain clock
+    ControlPlaneStats stats;        // this shard's share of the counters
     std::unique_ptr<LinkArbitrator> up;    // ToR -> Agg
     std::unique_ptr<LinkArbitrator> down;  // Agg -> ToR
     // Delegated shares of the Agg<->Core links (§3.1.2 delegation).
@@ -113,6 +159,8 @@ class ArbitrationPlane {
   };
   struct AggState {
     net::Switch* agg = nullptr;
+    sim::Simulator* sim = nullptr;
+    ControlPlaneStats stats;
     std::unique_ptr<LinkArbitrator> up;    // Agg -> Core
     std::unique_ptr<LinkArbitrator> down;  // Core -> Agg
     // Last reported top-queue demand per child ToR, per direction.
@@ -121,22 +169,29 @@ class ArbitrationPlane {
   };
   struct HostState {
     PlaneTopology::HostInfo info;
+    sim::Simulator* sim = nullptr;
+    ControlPlaneStats stats;
     std::unique_ptr<LinkArbitrator> up;    // host -> ToR
     std::unique_ptr<LinkArbitrator> down;  // ToR -> host
-  };
-  struct FlowCtx {
-    transport::Flow flow;
-    ArbitrationClient* client = nullptr;
-    sim::Time last_rx_arbitration = -1.0;
+    // Sender-half state for flows sourced here: the client to deliver
+    // fabric responses to. Receiver-half throttle state for flows sinking
+    // here: the last receiver-side arbitration instant.
+    std::unordered_map<net::FlowId, ArbitrationClient*> tx;
+    std::unordered_map<net::FlowId, sim::Time> rx_last;
   };
 
-  // Scheduling key per the configured criterion.
+  // Scheduling key per the configured criterion, from the flow...
   double key_of(const transport::Flow& flow, double remaining_bytes) const;
+  // ...or from a request header (identical result: the header carries the
+  // deadline/task fields key_of consults). Fabric arbitrators use this form
+  // so they never touch endpoint-owned flow state.
+  double key_from_header(const net::ArbHeader& h) const;
   bool same_rack(const transport::Flow& f) const;
-  bool same_agg(const transport::Flow& f) const;
+  bool same_agg_hdr(const net::ArbHeader& h) const;
 
-  void send_from_host(net::NodeId host, net::PacketPtr p);
-  void send_from_switch(net::Switch& sw, net::PacketPtr p);
+  void send_from_host(HostState& hs, net::PacketPtr p);
+  void send_from_switch(ControlPlaneStats& st, net::Switch& sw,
+                        net::PacketPtr p);
   net::PacketPtr make_arb_packet(net::PacketType type,
                                  const transport::Flow& flow,
                                  net::NodeId from, net::NodeId to);
@@ -148,7 +203,8 @@ class ArbitrationPlane {
   void handle_request_at_agg(AggState& as, net::PacketPtr p);
   void handle_fin_at_tor(TorState& ts, net::PacketPtr p);
   void handle_fin_at_agg(AggState& as, net::PacketPtr p);
-  void respond(net::NodeId from_node, net::PacketPtr request);
+  // Turns the request around toward arb.src_host, sending from `sw`.
+  void respond(ControlPlaneStats& st, net::Switch& sw, net::PacketPtr request);
 
   void receiver_data_arrived(const transport::Flow& flow,
                              double remaining_bytes);
@@ -161,14 +217,14 @@ class ArbitrationPlane {
   void handle_grant_at_tor(TorState& ts, const net::Packet& p);
   double recompute_share(AggState& as, net::NodeId child, bool down) const;
 
-  sim::Simulator* sim_;
   PlaneTopology pt_;
   PaseConfig cfg_;
-  ControlPlaneStats stats_;
   std::unordered_map<net::NodeId, HostState> host_states_;
   std::unordered_map<net::NodeId, TorState> tor_states_;
   std::unordered_map<net::NodeId, AggState> agg_states_;
-  std::unordered_map<net::FlowId, FlowCtx> flows_;
+  // ToRs with delegation timers, sorted by node id (the scheduling order).
+  std::vector<net::NodeId> delegation_tors_;
+  mutable ControlPlaneStats folded_;  // stats() scratch
 };
 
 }  // namespace pase::core

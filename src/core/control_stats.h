@@ -14,6 +14,20 @@ struct ControlPlaneStats {
   std::uint64_t delegation_msgs = 0;   // reports + grants
   std::uint64_t arbitrations = 0;      // Algorithm-1 executions
   std::uint64_t pruned_requests = 0;   // ascents cut short by early pruning
+
+  // All fields are commutative sums, so per-shard counters (one per
+  // arbitrating node in a domain-partitioned run) fold into the same totals
+  // the sequential plane would have produced.
+  ControlPlaneStats& operator+=(const ControlPlaneStats& o) {
+    messages_sent += o.messages_sent;
+    requests += o.requests;
+    responses += o.responses;
+    fins += o.fins;
+    delegation_msgs += o.delegation_msgs;
+    arbitrations += o.arbitrations;
+    pruned_requests += o.pruned_requests;
+    return *this;
+  }
 };
 
 }  // namespace pase::core

@@ -170,6 +170,9 @@ std::string sweep_to_json(
            std::to_string(r.control.messages_sent);
     out += ", ";
     append_field(out, "end_time_s", r.end_time);
+    out += ", \"workers_used\": " + std::to_string(r.workers_used);
+    out += ", \"parallel_fallback_reason\": ";
+    append_string(out, r.parallel_fallback_reason);
     out += ", \"metrics\": {";
     for (std::size_t m = 0; m < r.metrics.size(); ++m) {
       if (m > 0) out += ", ";

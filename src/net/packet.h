@@ -57,6 +57,11 @@ struct PdqHeader {
 
 // PASE arbitration payload. A request accumulates the bottleneck decision as
 // it ascends the arbitration hierarchy; the response carries it back.
+//
+// The header carries the flow's full arbitration identity (endpoints, task,
+// deadline, remaining size) so any arbitrator can decide from the packet
+// alone: a ToR or Agg arbitrator never consults sender-side flow state,
+// which may live in a different partition domain of a parallel run.
 struct ArbHeader {
   double flow_size = 0.0;    // remaining bytes (scheduling criterion, SJF)
   double deadline = 0.0;     // absolute deadline; used instead of size in EDF mode
@@ -65,6 +70,9 @@ struct ArbHeader {
   double ref_rate = 0.0;     // min reference rate along the path so far (bps)
   int hops = 0;              // arbitrators visited (control-overhead accounting)
   bool receiver_half = false;  // which half of the path this message arbitrates
+  NodeId src_host = kInvalidNode;  // the flow's source host (response target)
+  NodeId dst_host = kInvalidNode;  // the flow's destination host
+  std::uint64_t task_id = 0;       // task-aware criterion key; 0 = none
   // Delegation report: aggregate top-queue demand a child observed for the
   // parent's link, and the share granted back.
   double report_demand = 0.0;

@@ -61,7 +61,8 @@ enum class EventType : std::uint8_t {
   kRateSample,         // flow=id, v0=rate_bps, a=paused (0/1)
   kQueueSample,        // a=queue id, b=occupancy pkts, v0=drops, v1=marks
   kEngineSample,       // a=domain, v0=events executed, v1=heap closures
-  kParallelRound,      // a=rounds this window, b=cross posts this window
+  kParallelRound,      // a=rounds, b=cross posts, v0=mean horizon width (s),
+                       // v1=drain rounds — all deltas for this window
 };
 
 // Category a type belongs to; drives accepts() at emit sites that batch

@@ -209,6 +209,10 @@ std::string Trace::to_jsonl() const {
         append_u64(out, e.a);
         out += ",\"posts\":";
         append_u64(out, e.b);
+        out += ",\"horizon\":";
+        append_number(out, e.v0);
+        out += ",\"drains\":";
+        append_number(out, e.v1);
         break;
     }
     out += "}\n";
@@ -329,6 +333,10 @@ std::string Trace::to_chrome_json() const {
         append_u64(out, e.a);
         out += ",\"posts\":";
         append_u64(out, e.b);
+        out += ",\"horizon\":";
+        append_number(out, e.v0);
+        out += ",\"drains\":";
+        append_number(out, e.v1);
         out += "}}";
         break;
     }

@@ -14,12 +14,18 @@ namespace {
 
 class PaseControlPlane final : public ControlPlane {
  public:
-  PaseControlPlane(sim::Simulator& sim, core::PlaneTopology pt,
-                   const core::PaseConfig& cfg)
-      : plane(sim, std::move(pt), cfg) {}
+  PaseControlPlane(const core::ArbitrationPlane::SimResolver& sim_of,
+                   core::PlaneTopology pt, const core::PaseConfig& cfg)
+      : plane(sim_of, std::move(pt), cfg) {}
 
   const core::ControlPlaneStats* stats() const override {
     return &plane.stats();
+  }
+
+  std::uint32_t setup_events() const override { return plane.setup_events(); }
+
+  void append_timer_nodes(std::vector<net::NodeId>& out) const override {
+    plane.append_timer_nodes(out);
   }
 
   core::ArbitrationPlane plane;
@@ -30,6 +36,12 @@ class PaseProfile final : public TransportProfile {
   std::optional<Protocol> protocol() const override { return Protocol::kPase; }
   std::string_view name() const override { return "pase"; }
   std::string_view display_name() const override { return "PASE"; }
+
+  // The arbitration plane is sharded by arbitrating node: every handler
+  // reads/writes only the state owned by the node it runs at, and
+  // arbitration messages are real packets riding the fabric (and the cut
+  // mailboxes in partitioned runs). See arbitration_plane.h.
+  bool parallel_safe() const override { return true; }
 
   void validate(const ProfileParams& params) const override {
     if (params.pase.num_queues < 2) {
@@ -65,8 +77,14 @@ class PaseProfile final : public TransportProfile {
         pc.criterion == core::Criterion::kShortestFlowFirst) {
       pc.criterion = core::Criterion::kEarliestDeadlineFirst;
     }
+    // Each shard's arbitrators and timers live on the owning node's domain
+    // clock; sequential runs resolve every node to the one simulator.
+    sim::Simulator& seq = ctx.sim;
+    auto sim_of = ctx.sim_resolver
+                      ? ctx.sim_resolver
+                      : [&seq](net::NodeId) -> sim::Simulator& { return seq; };
     return std::make_unique<PaseControlPlane>(
-        ctx.sim, core::PlaneTopology::from(ctx.built), pc);
+        sim_of, core::PlaneTopology::from(ctx.built), pc);
   }
 
   std::unique_ptr<transport::Sender> make_sender(

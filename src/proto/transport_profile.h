@@ -15,11 +15,13 @@
 // by name — the scenario harness itself never names a protocol.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <new>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "core/control_stats.h"
 #include "proto/profile_params.h"
@@ -37,6 +39,19 @@ class ControlPlane {
   virtual ~ControlPlane() = default;
   // Counters for ScenarioResult::control; null when the protocol has none.
   virtual const core::ControlPlaneStats* stats() const { return nullptr; }
+
+  // Setup-time calendar events the control plane scheduled while being
+  // constructed (PASE's delegation timers), in a globally deterministic
+  // order. The parallel harness offsets its flow-launch lineage indices past
+  // this count so setup roots stay globally unique and partition-invariant.
+  virtual std::uint32_t setup_events() const { return 0; }
+  // Appends the nodes at which the control plane spontaneously schedules
+  // timer events (as opposed to reacting to packet arrivals). The parallel
+  // engine's conditional-horizon probe must treat these nodes as potential
+  // event sources alongside the hosts.
+  virtual void append_timer_nodes(std::vector<net::NodeId>& out) const {
+    (void)out;
+  }
 };
 
 // Everything a profile may consult while wiring a run. `params` is the run's
@@ -92,11 +107,12 @@ class TransportProfile {
 
   // Whether the protocol tolerates domain-partitioned parallel execution:
   // all of its runtime state must be per-node (endpoint loops, per-port
-  // controllers), with cross-node interaction only via Link deliveries.
-  // Conservative default: profiles must opt in. PASE's arbitration plane is
-  // a process-global object whose aggregation/teardown semantics assume
-  // instantaneous global knowledge, so it stays sequential; the harness
-  // silently falls back when this returns false.
+  // controllers, arbitration shards), with cross-node interaction only via
+  // Link deliveries — which the engine routes through cut-link mailboxes.
+  // Conservative default: profiles must opt in. All six built-ins are
+  // parallel-safe; when an external profile declines, the harness falls back
+  // to sequential execution and records why in
+  // ScenarioResult::parallel_fallback_reason.
   virtual bool parallel_safe() const { return false; }
 
   // (a) fabric.

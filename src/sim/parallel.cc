@@ -18,7 +18,7 @@ ParallelEngine::ParallelEngine(int domains)
   mail_.resize(static_cast<std::size_t>(domains) *
                static_cast<std::size_t>(domains));
   for (auto& box : mail_) box.reserve(256);
-  next_t_.assign(static_cast<std::size_t>(domains), kTimeInfinity);
+  pub_.resize(static_cast<std::size_t>(domains));
 }
 
 ParallelEngine::~ParallelEngine() {
@@ -73,42 +73,103 @@ void ParallelEngine::drain_inbox(int d) {
     if (s == d) continue;
     auto& box = mailbox(s, d);
     for (const CrossRecord& r : box) {
+      // A sound horizon keeps every delivery strictly ahead of the
+      // destination: the poster's published bound capped this domain's last
+      // window. Equality would already be an ordering hazard — this domain
+      // may have executed same-instant events that sort after the record.
+      PASE_DCHECK(r.t > sd.now() && "cross delivery behind the horizon");
       sd.schedule_injected(r.t, r.node, r.fn, r.ctx, r.arg);
     }
     box.clear();
   }
 }
 
+void ParallelEngine::publish(int d, Simulator& sd) {
+  DomainPub& pub = pub_[static_cast<std::size_t>(d)];
+  const Time nt = sd.next_event_time();
+  pub.next_t = nt;
+  if (nt == kTimeInfinity) {
+    pub.bound = kTimeInfinity;
+  } else if (probe_) {
+    pub.bound = probe_(d, nt);
+    PASE_DCHECK(pub.bound >= nt + lookahead_ &&
+                "horizon probe returned less than the static bound");
+  } else {
+    pub.bound = nt + lookahead_;
+  }
+}
+
+void ParallelEngine::decide() {
+  // Leader-only, inside a barrier: every domain published its slot (and any
+  // cross posts it made) before arriving, and the acq_rel arrival chain
+  // makes those writes visible here.
+  ++rounds_;
+  Time m = kTimeInfinity;
+  Time h = kTimeInfinity;
+  for (const DomainPub& p : pub_) {
+    m = std::min(m, p.next_t);
+    h = std::min(h, p.bound);
+  }
+  if (h > target_) {
+    // Every remaining event <= target is safe: any delivery it generates
+    // lands at >= its domain's bound >= h > target, i.e. in a later chunk.
+    round_ = Round::kFinish;
+  } else {
+    round_ = Round::kWindow;
+    horizon_ = h;
+    horizon_width_sum_ += h - m;
+    ++window_rounds_;
+  }
+  posts_at_decide_ = cross_posts_.load(std::memory_order_relaxed);
+}
+
 void ParallelEngine::run_rounds(int d) {
   Simulator& sd = domain(d);
+  DomainPub& pub = pub_[static_cast<std::size_t>(d)];
+  double waited = 0.0;
   for (;;) {
-    // Mailboxes were last written during the previous run phase, sealed by
-    // the barrier that ended it; after this drain the union of all calendars
-    // is the complete global pending set, so the minimum below is the true
-    // global next event time.
-    drain_inbox(d);
-    next_t_[static_cast<std::size_t>(d)] = sd.next_event_time();
-    round_barrier_.arrive_and_wait([this] {
-      ++rounds_;  // leader-only write; the barrier serializes it
-      Time m = kTimeInfinity;
-      for (const Time t : next_t_) m = std::min(m, t);
-      if (m + lookahead_ > target_) {
-        // Every remaining event <= target is safe: deliveries it generates
-        // land at >= m + lookahead > target, i.e. in a later chunk.
-        round_ = Round::kFinish;
-      } else {
-        round_ = Round::kWindow;
-        horizon_ = m + lookahead_;
-      }
-    });
-    if (round_ == Round::kFinish) {
-      sd.run(target_);  // inclusive; also advances the clock to target
-      round_barrier_.arrive_and_wait([] {});
-      return;
+    switch (round_) {
+      case Round::kDrain:
+        // Mailboxes were last written during a run phase sealed by the
+        // barrier that ended it; after this drain the union of all calendars
+        // is the complete global pending set, so the published minima are
+        // exact and the probe sees empty mailboxes.
+        drain_inbox(d);
+        publish(d, sd);
+        waited += round_barrier_.arrive_and_wait([this] {
+          ++drains_;
+          decide();
+        });
+        break;
+
+      case Round::kWindow:
+        sd.run_before(horizon_);
+        publish(d, sd);
+        waited += round_barrier_.arrive_and_wait([this] {
+          if (cross_posts_.load(std::memory_order_relaxed) ==
+              posts_at_decide_) {
+            // Quiet window: nobody posted, so the mailboxes are still empty
+            // and the values just published are complete — decide the next
+            // horizon right here and skip the drain round entirely.
+            ++quiet_rounds_;
+            decide();
+          } else {
+            // Published minima exclude the mailbox contents; discard them
+            // and drain first.
+            round_ = Round::kDrain;
+          }
+        });
+        break;
+
+      case Round::kFinish:
+        sd.run(target_);  // inclusive; also advances the clock to target
+        waited += round_barrier_.arrive_and_wait([] {});
+        pub.barrier_wait += waited;
+        // Seals the barrier_wait writes: the caller reads them only after
+        // domain 0 passes this barrier.
+        round_barrier_.arrive_and_wait([] {});
+        return;
     }
-    sd.run_before(horizon_);
-    // Seals this round's mailbox appends before anyone drains them.
-    round_barrier_.arrive_and_wait([] {});
   }
 }
 
@@ -123,7 +184,13 @@ void ParallelEngine::run_until(Time target) {
   if (!threads_started_) start_threads();
   const std::uint64_t rounds_before = rounds_;
   const std::uint64_t posts_before = cross_posts();
+  const std::uint64_t drains_before = drains_;
+  const std::uint64_t wrounds_before = window_rounds_;
+  const double width_before = horizon_width_sum_;
   target_ = target;
+  // The finish phase of the previous chunk may have posted deliveries that
+  // land in this chunk; always open with a drain.
+  round_ = Round::kDrain;
   start_barrier_.arrive_and_wait([] {});
   run_rounds(0);
   now_ = target;
@@ -131,8 +198,13 @@ void ParallelEngine::run_until(Time target) {
   if (obs::TraceBuffer* tb = obs::tracer(); tb != nullptr) [[unlikely]] {
     // Engine self-profiling is inherently worker-count dependent; it lives
     // in its own category so determinism tests can filter it out.
+    const std::uint64_t dw = window_rounds_ - wrounds_before;
+    const double mean_width =
+        dw == 0 ? 0.0 : (horizon_width_sum_ - width_before) /
+                            static_cast<double>(dw);
     tb->emit_at(target, obs::kEngineCat, obs::EventType::kParallelRound, 0,
-                0.0, 0.0, static_cast<std::uint32_t>(rounds_ - rounds_before),
+                mean_width, static_cast<double>(drains_ - drains_before),
+                static_cast<std::uint32_t>(rounds_ - rounds_before),
                 static_cast<std::uint32_t>(cross_posts() - posts_before));
   }
 }

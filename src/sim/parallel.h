@@ -4,28 +4,45 @@
 // thread) each. Every cross-domain interaction is a Link delivery whose
 // propagation delay is at least the partition lookahead L, so the classic
 // conservative-PDES window applies: with m = min over domains of the next
-// pending event time, every event in [m, m + L) can run without hearing
-// from any other domain — a delivery generated at tau >= m arrives at
-// tau + L_edge >= m + L. Each round therefore
-//   (1) drains the per-pair mailboxes into the destination calendars,
-//   (2) agrees on the horizon H = m + L at a barrier,
-//   (3) runs every domain up to (exclusive) H, posting new cross-domain
-//       deliveries into the mailboxes for the next round's drain.
-// Rounds repeat until H passes the caller's target, at which point every
-// domain runs inclusively to the target and sets its clock there — exactly
-// the semantics of Simulator::run(target), so the chunked scenario driver
-// behaves identically to its sequential form.
+// pending event time, every event in [m, H) can run without hearing from any
+// other domain, for any horizon H that no cross-domain delivery can undercut.
+// The engine runs three kinds of barrier-separated rounds:
+//
+//   drain   — every domain empties its incoming mailboxes into its calendar
+//             (after which the union of calendars is the complete global
+//             pending set) and publishes {next event time, safe bound};
+//             the barrier leader picks H = min bound.
+//   window  — every domain runs up to (exclusive) H, posting cross-domain
+//             deliveries into mailboxes. If nobody posted, the published
+//             values are still complete — the leader picks the next H at the
+//             same barrier and the drain round is skipped entirely (one
+//             barrier per quiet round instead of two).
+//   finish  — H passed the caller's target: every domain runs inclusively to
+//             the target and sets its clock there, exactly the semantics of
+//             Simulator::run(target), so the chunked scenario driver behaves
+//             identically to its sequential form.
+//
+// The safe bound defaults to next_t + L (the static min-cut window). A
+// caller-installed horizon probe can widen it per domain per round to
+// next_t + D, where D is a certified lower bound on the delay before *this
+// round's actual pending work* can reach a cut link (conditional lookahead):
+// when the only pending events sit several store-and-forward hops from the
+// nearest cut, D spans those hops and one round swallows what the static
+// window would have split into many.
 //
 // Determinism: no decision depends on thread scheduling. The horizon is
-// computed by whichever thread arrives last from published per-domain next
-// event times; mailbox records carry DetLineage nodes interned in the
-// source domain, so injected deliveries sort against local events exactly
-// where the sequential FIFO order would place them (see det_lineage.h). All
-// mailbox access is separated by barriers: producers append only during run
-// phases, consumers drain only between them.
+// computed by whichever thread arrives last from published per-domain
+// bounds; mailbox records carry DetLineage nodes interned in the source
+// domain, so injected deliveries sort against local events exactly where the
+// sequential FIFO order would place them (see det_lineage.h). All mailbox
+// access is separated by barriers: producers append only during run phases,
+// consumers drain only between them. The probe influences only *when* events
+// run, never their order, so traces stay bit-identical across worker counts
+// and probe choices.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -56,6 +73,15 @@ class ParallelEngine {
   // before the first run_until.
   void set_lookahead(Time lookahead) { lookahead_ = lookahead; }
   Time lookahead() const { return lookahead_; }
+
+  // Conditional-lookahead hook. Called on domain d's own thread while every
+  // mailbox is empty (drain rounds and quiet windows); returns an absolute
+  // bound B >= next_t + lookahead() such that no event chain starting from
+  // d's pending work can deliver into another domain before B. Unset: the
+  // engine uses the static bound next_t + lookahead(). Never called with
+  // next_t == infinity.
+  using HorizonProbe = std::function<Time(int domain, Time next_t)>;
+  void set_horizon_probe(HorizonProbe probe) { probe_ = std::move(probe); }
 
   // Runs once on each worker thread before its first round (and once on the
   // caller's thread for domain 0): thread-local warmup such as packet-pool
@@ -88,14 +114,33 @@ class ParallelEngine {
   std::size_t pending_events() const;
 
   // --- Self-profiling (read between run_until calls) ----------------------
-  // Barrier-synchronized rounds executed so far (each round is one drain +
-  // horizon agreement + run phase; the terminal finish round included).
+  // Horizon decisions made so far (each picks one window or ends the chunk).
   std::uint64_t rounds_executed() const { return rounds_; }
   // run_until windows completed.
   std::uint64_t windows_executed() const { return windows_; }
   // Cross-domain mailbox records posted (mailbox traffic).
   std::uint64_t cross_posts() const {
     return cross_posts_.load(std::memory_order_relaxed);
+  }
+  // Mailbox drain rounds executed (every one is a full barrier crossing; the
+  // gap to rounds_executed() is rounds that skipped the drain).
+  std::uint64_t drains_executed() const { return drains_; }
+  // Windows after which no domain had posted: their drain was elided.
+  std::uint64_t quiet_rounds() const { return quiet_rounds_; }
+  // Mean width (seconds) of the windows run so far; the static engine pins
+  // this at exactly lookahead() plus scheduling slack, the conditional probe
+  // widens it.
+  double mean_horizon_width() const {
+    return window_rounds_ == 0
+               ? 0.0
+               : horizon_width_sum_ / static_cast<double>(window_rounds_);
+  }
+  // Total wall-clock seconds threads spent blocked in round barriers after
+  // the bounded spin phase (summed over domains; load-imbalance signal).
+  double barrier_wait_sec() const {
+    double s = 0.0;
+    for (const DomainPub& p : pub_) s += p.barrier_wait;
+    return s;
   }
 
  private:
@@ -107,27 +152,57 @@ class ParallelEngine {
     void* arg;
   };
 
-  // Sense-reversing spin barrier; the last arriver runs `leader_fn` before
+  // Per-domain slots published between barriers, padded so neighbouring
+  // domains never share a cache line.
+  struct alignas(64) DomainPub {
+    Time next_t = kTimeInfinity;  // next pending event time
+    Time bound = kTimeInfinity;   // earliest possible cross-domain delivery
+    double barrier_wait = 0.0;    // accumulated post-spin barrier wait (sec)
+  };
+
+  // Sense-reversing barrier; the last arriver runs `leader_fn` before
   // releasing the others, which gives every shared decision a happens-before
   // edge to every waiter (acq_rel RMW chain into the release store).
+  // Waiters spin (with a CPU pause) for a bounded burst — round trips are
+  // usually shorter than a context switch — then fall back to yielding.
+  // Returns the wall-clock seconds spent in the yield phase (0 when the
+  // release arrived during the spin burst, and for the leader).
   class Barrier {
    public:
     explicit Barrier(int n) : n_(n) {}
+
     template <typename Fn>
-    void arrive_and_wait(Fn&& leader_fn) {
+    double arrive_and_wait(Fn&& leader_fn) {
       const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
       if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
         leader_fn();
         arrived_.store(0, std::memory_order_relaxed);
         epoch_.store(e + 1, std::memory_order_release);
-      } else {
-        while (epoch_.load(std::memory_order_acquire) == e) {
-          std::this_thread::yield();
-        }
+        return 0.0;
       }
+      for (int i = 0; i < kSpinIters; ++i) {
+        if (epoch_.load(std::memory_order_acquire) != e) return 0.0;
+        cpu_pause();
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      while (epoch_.load(std::memory_order_acquire) == e) {
+        std::this_thread::yield();
+      }
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
     }
 
    private:
+    static constexpr int kSpinIters = 4096;
+    static void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield");
+#endif
+    }
+
     const int n_;
     std::atomic<int> arrived_{0};
     std::atomic<std::uint64_t> epoch_{0};
@@ -143,27 +218,36 @@ class ParallelEngine {
   void worker_main(int d);
   void run_rounds(int d);
   void drain_inbox(int d);
+  void publish(int d, Simulator& sd);
+  void decide();  // barrier-leader only
 
   DetLineage lineage_;  // before sims_: domains intern nodes into it
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<std::vector<CrossRecord>> mail_;  // [src * W + dst]
-  std::vector<Time> next_t_;                    // published per round
+  std::vector<DomainPub> pub_;                  // published per round
+  HorizonProbe probe_;
   Time lookahead_ = 0.0;
   Time now_ = 0.0;
 
   // Command state, written by the caller before the start barrier.
   Time target_ = 0.0;
   bool exit_ = false;
-  // Round decision, written by the barrier leader.
-  enum class Round { kWindow, kFinish } round_ = Round::kWindow;
+  // Round decision, written by the barrier leader (or the caller, who forces
+  // a drain at the top of each run_until to pick up finish-phase leftovers).
+  enum class Round { kDrain, kWindow, kFinish } round_ = Round::kDrain;
   Time horizon_ = 0.0;
 
-  // Self-profiling. rounds_ is written only by the round-barrier leader
-  // (serialized by the barrier itself); cross_posts_ is bumped concurrently
-  // from run phases, hence atomic (relaxed: it is a statistic, ordered for
-  // readers by the barriers that end each window).
+  // Self-profiling. The plain counters are written only by the round-barrier
+  // leader (serialized by the barrier itself); cross_posts_ is bumped
+  // concurrently from run phases, hence atomic (relaxed: it is a statistic,
+  // ordered for readers by the barriers that end each window).
   std::uint64_t rounds_ = 0;
   std::uint64_t windows_ = 0;
+  std::uint64_t drains_ = 0;
+  std::uint64_t quiet_rounds_ = 0;
+  std::uint64_t window_rounds_ = 0;
+  double horizon_width_sum_ = 0.0;
+  std::uint64_t posts_at_decide_ = 0;
   std::atomic<std::uint64_t> cross_posts_{0};
 
   Barrier start_barrier_;

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <queue>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "net/packet.h"
@@ -356,6 +359,148 @@ void finalize_flows(Run& run) {
   }
 }
 
+// --- Conditional-lookahead horizon probe -------------------------------------
+//
+// Per-domain data for ParallelEngine::set_horizon_probe. The engine needs,
+// each round, a certified lower bound D on the delay before the domain's
+// pending work can deliver into another domain; it then widens the window to
+// next_t + D instead of the static next_t + min-cut-propagation.
+//
+// The bound is a shortest-path argument. Every hop a packet takes costs at
+// least serialization of a 40-byte control packet plus the link's
+// propagation delay, so with
+//   dist[v] = min over outbound cut links j of (store-and-forward distance
+//             from node v to the cut's source, each hop weighted
+//             ser40 + prop, plus the cut's own ser40 + prop)
+// an event chain that starts at node v cannot post a cross-domain delivery
+// before next_t + dist[v] (computed by a multi-source Dijkstra over the
+// reversed intra-domain graph, seeded at the cut sources).
+//
+// Every pending event either (a) fires at a host or a control-plane timer
+// switch — covered by the static term event_dist = min dist over those
+// nodes — or (b) belongs to an in-flight packet on some link, covered by
+// three activity terms checked per round against the link probes:
+//   local link busy/in-flight  -> its delivery fires at dst, chain >= dist[dst]
+//   outbound cut link busy     -> its delivery posts after >= prop(cut)
+//   inbound cut delivery pending-> it fires at dst, chain >= dist[dst]
+// Entries that cannot undercut event_dist are pruned at build time and the
+// rest are scanned in ascending order, so a round's probe is a few loads.
+// The probe only ever runs while mailboxes are empty (the engine guarantees
+// it), which is what makes the activity probes complete.
+
+struct DomainProbe {
+  sim::Time event_dist = sim::kTimeInfinity;
+  // (link, certified delay), ascending by delay, pruned to < event_dist.
+  std::vector<std::pair<const net::Link*, sim::Time>> local;
+  std::vector<std::pair<const net::Link*, sim::Time>> out_cut;
+  std::vector<std::pair<const net::Link*, sim::Time>> in_cut;
+};
+
+std::vector<DomainProbe> build_horizon_probes(
+    topo::Topology& topo, const topo::Partition& part,
+    const proto::ControlPlane* control) {
+  struct Edge {
+    net::NodeId src;
+    net::NodeId dst;
+    const net::Link* link;
+  };
+  const auto weight = [](const net::Link* l) {
+    return l->serialization_delay(net::kControlPacketBytes) + l->prop_delay();
+  };
+
+  const std::size_t W = static_cast<std::size_t>(part.domains);
+  std::vector<std::vector<Edge>> intra(W), out_cut(W), in_cut(W);
+  const auto add_edge = [&](net::NodeId src, const net::Link& l) {
+    const Edge e{src, l.destination()->id(), &l};
+    const auto sd = static_cast<std::size_t>(part.domain_of_node(e.src));
+    const auto dd = static_cast<std::size_t>(part.domain_of_node(e.dst));
+    if (sd == dd) {
+      intra[sd].push_back(e);
+    } else {
+      out_cut[sd].push_back(e);
+      in_cut[dd].push_back(e);
+    }
+  };
+  for (const auto& h : topo.hosts()) add_edge(h->id(), h->uplink());
+  for (const auto& sw : topo.switches()) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      add_edge(sw->id(), sw->port_link(p));
+    }
+  }
+
+  std::vector<net::NodeId> timer_nodes;
+  if (control != nullptr) control->append_timer_nodes(timer_nodes);
+
+  std::vector<DomainProbe> probes(W);
+  for (std::size_t d = 0; d < W; ++d) {
+    // Multi-source Dijkstra over the reversed intra-domain graph.
+    std::unordered_map<net::NodeId,
+                       std::vector<std::pair<net::NodeId, sim::Time>>>
+        rev;
+    for (const Edge& e : intra[d]) {
+      rev[e.dst].push_back({e.src, weight(e.link)});
+    }
+    std::unordered_map<net::NodeId, sim::Time> dist;
+    const auto dist_of = [&dist](net::NodeId v) {
+      const auto it = dist.find(v);
+      return it == dist.end() ? sim::kTimeInfinity : it->second;
+    };
+    using QE = std::pair<sim::Time, net::NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<QE>> pq;
+    for (const Edge& e : out_cut[d]) {
+      const sim::Time seed = weight(e.link);
+      if (seed < dist_of(e.src)) {
+        dist[e.src] = seed;
+        pq.push({seed, e.src});
+      }
+    }
+    while (!pq.empty()) {
+      const auto [t, v] = pq.top();
+      pq.pop();
+      if (t > dist_of(v)) continue;
+      const auto it = rev.find(v);
+      if (it == rev.end()) continue;
+      for (const auto& [u, w] : it->second) {
+        if (t + w < dist_of(u)) {
+          dist[u] = t + w;
+          pq.push({t + w, u});
+        }
+      }
+    }
+
+    DomainProbe& dp = probes[d];
+    for (const auto& h : topo.hosts()) {
+      if (static_cast<std::size_t>(part.domain_of_node(h->id())) == d) {
+        dp.event_dist = std::min(dp.event_dist, dist_of(h->id()));
+      }
+    }
+    for (const net::NodeId n : timer_nodes) {
+      if (static_cast<std::size_t>(part.domain_of_node(n)) == d) {
+        dp.event_dist = std::min(dp.event_dist, dist_of(n));
+      }
+    }
+    for (const Edge& e : intra[d]) {
+      const sim::Time t = dist_of(e.dst);
+      if (t < dp.event_dist) dp.local.push_back({e.link, t});
+    }
+    for (const Edge& e : out_cut[d]) {
+      const sim::Time t = e.link->prop_delay();
+      if (t < dp.event_dist) dp.out_cut.push_back({e.link, t});
+    }
+    for (const Edge& e : in_cut[d]) {
+      const sim::Time t = dist_of(e.dst);
+      if (t < dp.event_dist) dp.in_cut.push_back({e.link, t});
+    }
+    const auto by_delay = [](const auto& a, const auto& b) {
+      return a.second < b.second;
+    };
+    std::sort(dp.local.begin(), dp.local.end(), by_delay);
+    std::sort(dp.out_cut.begin(), dp.out_cut.end(), by_delay);
+    std::sort(dp.in_cut.begin(), dp.in_cut.end(), by_delay);
+  }
+  return probes;
+}
+
 // --- Conservative-parallel driver --------------------------------------------
 //
 // Same run, partitioned: one Simulator per domain under a
@@ -380,10 +525,11 @@ void finalize_flows(Run& run) {
 //       quiescent.
 //
 // Returns nullopt when the partition is unusable (fewer than two domains or
-// a zero-delay cut link); the caller then runs the sequential body.
+// a zero-delay cut link), naming the cause in *reason; the caller then runs
+// the sequential body.
 std::optional<ScenarioResult> try_run_parallel(
     const ScenarioConfig& cfg, const std::vector<transport::Flow>& flow_list,
-    const proto::TransportProfile& profile) {
+    const proto::TransportProfile& profile, std::string* reason) {
   const Clock::time_point setup_t0 = Clock::now();
   // Trace buffers are declared before the engine so they are destroyed
   // after it — worker threads hold thread-local pointers into them until
@@ -402,7 +548,14 @@ std::optional<ScenarioResult> try_run_parallel(
   topo::Topology& topo = built.topo();
 
   const topo::Partition part = partition_topology(topo, cfg.workers);
-  if (!part.usable()) return std::nullopt;
+  if (!part.usable()) {
+    if (reason != nullptr) {
+      *reason = part.domains < 2
+                    ? "partition produced fewer than two domains"
+                    : "a cut link has zero propagation delay";
+    }
+    return std::nullopt;
+  }
   engine.set_lookahead(part.lookahead);
 
   // Every link schedules on the clock of the node that transmits into it;
@@ -437,6 +590,60 @@ std::optional<ScenarioResult> try_run_parallel(
   std::unique_ptr<proto::ControlPlane> control =
       profile.make_control_plane(ctx0);
   ctx0.control = control.get();
+
+  // Conditional lookahead: certify per-domain bounds from the topology (and
+  // the control plane's timer nodes), arm the links' activity counters, and
+  // hand the engine a per-round probe. Static mode skips all of it and the
+  // engine falls back to next_t + min-cut-propagation windows.
+  std::vector<DomainProbe> probes;
+  if (cfg.horizon_mode == ScenarioConfig::HorizonMode::kConditional) {
+    probes = build_horizon_probes(topo, part, control.get());
+    for (const auto& h : topo.hosts()) h->uplink().arm_activity_tracking();
+    for (const auto& sw : topo.switches()) {
+      for (int p = 0; p < sw->num_ports(); ++p) {
+        sw->port_link(p).arm_activity_tracking();
+      }
+    }
+    const sim::Time la = part.lookahead;
+    engine.set_horizon_probe([&probes, la](int d, sim::Time nt) -> sim::Time {
+      const DomainProbe& dp = probes[static_cast<std::size_t>(d)];
+      sim::Time dmin = dp.event_dist;
+      for (const auto& [l, t] : dp.local) {
+        if (t >= dmin) break;
+        if (l->probe_local_active()) {
+          dmin = t;
+          break;
+        }
+      }
+      for (const auto& [l, t] : dp.out_cut) {
+        if (t >= dmin) break;
+        if (l->probe_cut_busy()) {
+          dmin = t;
+          break;
+        }
+      }
+      for (const auto& [l, t] : dp.in_cut) {
+        if (t >= dmin) break;
+        if (l->probe_cut_inflight()) {
+          dmin = t;
+          break;
+        }
+      }
+      // dmin is exact in the reals but the event path accumulates its hop
+      // delays one rounded addition at a time, so a delivery whose exact
+      // time equals nt + dmin can land an ulp early (ACK clocking makes
+      // exact-equality chains the common case, not a corner). Deflate by a
+      // relative margin that dominates the worst-case accumulated rounding
+      // of any chain the bound covers (<~60 operations, each contributing
+      // at most one ulp of the final magnitude; 64 machine epsilons is an
+      // order of magnitude more). The static bound needs no margin — IEEE
+      // addition is monotone, and every event path dominates nt + lookahead
+      // argument-by-argument — so it is a safe floor.
+      constexpr double kFpMargin =
+          64.0 * std::numeric_limits<double>::epsilon();
+      return std::max(nt + la, (nt + dmin) * (1.0 - kFpMargin));
+    });
+  }
 
   // Endpoint storage, declared after the control plane so receivers (whose
   // callbacks may point into it) are destroyed first.
@@ -542,6 +749,10 @@ std::optional<ScenarioResult> try_run_parallel(
     table.release(s);
   };
 
+  // Setup-time lineage roots claimed by the control plane during its
+  // construction (delegation timers); flow launches index past them.
+  const std::uint32_t setup_base = control ? control->setup_events() : 0;
+
   // Materializes pending flows whose start falls inside the next chunk:
   // construct into the slabs, wire deferred-completion callbacks, register
   // with the demux, and schedule the start event under setup lineage.
@@ -583,10 +794,12 @@ std::optional<ScenarioResult> try_run_parallel(
       profile.before_flow_start(dctx[sd], *slot.sender, *slot.receiver);
       src->register_flow(f.id, slot.sender);
       dst->register_flow(f.id, slot.receiver);
-      // The start event becomes a lineage root with k = flow index, which is
-      // exactly how the sequential global seq breaks same-instant launch
-      // ties — independent of when this staging pass ran.
-      engine.domain(static_cast<int>(sd)).set_setup_index(i);
+      // The start event becomes a lineage root with k = setup_base + flow
+      // index: the sequential driver schedules the control plane's setup
+      // events (PASE delegation timers, indices [0, setup_base)) before any
+      // launch, and the global seq breaks same-instant ties in exactly that
+      // order — independent of when this staging pass ran.
+      engine.domain(static_cast<int>(sd)).set_setup_index(setup_base + i);
       engine.domain(static_cast<int>(sd))
           .schedule_at(f.start_time, [snd = slot.sender] { snd->start(); });
     }
@@ -697,6 +910,7 @@ std::optional<ScenarioResult> try_run_parallel(
     rebuilds += engine.domain(d).calendar_rebuilds();
   }
   result.workers_used = part.domains;
+  result.parallel_barrier_wait_sec = engine.barrier_wait_sec();
 
   if (!tbufs.empty()) {
     obs::install_tracer(nullptr);  // caller thread ran domain 0
@@ -723,6 +937,9 @@ std::optional<ScenarioResult> try_run_parallel(
   reg.counter("parallel.rounds") = engine.rounds_executed();
   reg.counter("parallel.windows") = engine.windows_executed();
   reg.counter("parallel.cross_posts") = engine.cross_posts();
+  reg.counter("parallel.drains") = engine.drains_executed();
+  reg.counter("parallel.quiet_rounds") = engine.quiet_rounds();
+  reg.gauge("parallel.horizon_width_mean") = engine.mean_horizon_width();
   result.metrics = reg.snapshot();
   return result;
 }
@@ -752,13 +969,19 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   profile.validate(cfg);
 
   if (cfg.workers < 1) bad_config("workers must be at least 1");
-  if (cfg.workers > 1 && profile.parallel_safe()) {
-    if (std::optional<ScenarioResult> r =
-            try_run_parallel(cfg, flows, profile)) {
+  std::string fallback_reason;
+  if (cfg.workers > 1) {
+    if (!profile.parallel_safe()) {
+      fallback_reason =
+          "profile '" + std::string(profile.name()) + "' is not parallel-safe";
+    } else if (std::optional<ScenarioResult> r =
+                   try_run_parallel(cfg, flows, profile, &fallback_reason)) {
       return std::move(*r);
     }
-    // Unusable partition (zero-lookahead cut or degenerate domain count):
-    // fall through to the sequential body.
+    // Unusable partition (zero-lookahead cut, degenerate domain count) or an
+    // unsafe profile: fall through to the sequential body, carrying the
+    // reason into the result so callers can tell a silent fallback apart
+    // from a parallel run.
   }
 
   const Clock::time_point setup_t0 = Clock::now();
@@ -858,6 +1081,7 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   }
   result.heap_closure_events = run.sim.heap_closure_events();
   result.workers_used = 1;
+  result.parallel_fallback_reason = std::move(fallback_reason);
 
   if (tbuf) {
     tbuf->emit_at(result.end_time, obs::kEngineCat,

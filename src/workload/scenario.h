@@ -58,14 +58,29 @@ struct ScenarioConfig : proto::ProfileParams {
   sim::Time max_duration = 30.0;  // hard stop for the simulation clock
 
   // Conservative-parallel execution: partition the topology into this many
-  // domains, one worker thread each, synchronized on the minimum
-  // cross-partition link propagation delay. Results are bit-identical to
-  // workers == 1 at any count. Falls back to sequential execution (and
-  // reports workers_used == 1) when the profile is not parallel-safe, a cut
-  // link has zero propagation delay, or the topology has fewer hosts than
-  // domains. Composes with exp::SweepRunner: each sweep thread runs its own
-  // engine.
+  // domains, one worker thread each, synchronized on certified per-round
+  // horizons (see HorizonMode). Results are bit-identical to workers == 1 at
+  // any count. Falls back to sequential execution when the profile is not
+  // parallel-safe, a cut link has zero propagation delay, or the partition
+  // degenerates to one domain; the fallback reports workers_used == 1 and
+  // names its cause in ScenarioResult::parallel_fallback_reason. Composes
+  // with exp::SweepRunner: each sweep thread runs its own engine.
   int workers = 1;
+
+  // How the parallel engine bounds each synchronization window (ignored when
+  // the run is sequential).
+  //   kConditional  — per-domain, per-round bound derived from where this
+  //                   round's pending events actually sit: the certified
+  //                   store-and-forward distance from any possible event
+  //                   source to the nearest cut link. Wider windows, fewer
+  //                   rounds; the default.
+  //   kStaticMinCut — the classic conservative window: next event time plus
+  //                   the minimum cut-link propagation delay. Kept as the
+  //                   baseline the bench compares against.
+  // Both modes execute the same events in the same order; only the round
+  // count differs.
+  enum class HorizonMode { kConditional, kStaticMinCut };
+  HorizonMode horizon_mode = HorizonMode::kConditional;
 
   // How per-flow outcomes are aggregated.
   //   kExact     — keep every FlowRecord in ScenarioResult::records; metrics
@@ -133,6 +148,14 @@ struct ScenarioResult {
   // Actual domain count the run executed with: cfg.workers unless the
   // harness fell back to sequential execution (then 1).
   int workers_used = 1;
+  // Why a workers > 1 request fell back to sequential execution; empty when
+  // the parallel engine ran (or was never requested). Sweep JSON carries
+  // this so a silent fallback can't masquerade as a parallel result.
+  std::string parallel_fallback_reason;
+  // Wall-clock seconds worker threads spent blocked in round barriers past
+  // the spin burst (parallel runs only; load-imbalance signal). Wall time,
+  // so it lives here rather than in the deterministic metrics snapshot.
+  double parallel_barrier_wait_sec = 0.0;
   // Merged trace when cfg.trace.enabled, else null. Shared so results stay
   // copyable (exp::SweepRunner copies them into its grid).
   std::shared_ptr<const obs::Trace> trace;

@@ -42,7 +42,7 @@ constexpr GoldenFingerprint kGoldenFingerprints[] = {
     {"pFabric/tree-leftright", 0x016cd8d57b3104efull},
     {"PASE/rack-random", 0x997cdae9888aa8ffull},
     {"PASE/incast-deadline", 0xd664ea6979746f46ull},
-    {"PASE/tree-leftright", 0x43cc8da94d74b94cull},
+    {"PASE/tree-leftright", 0xeb07f5415206b142ull},
 };
 // DCTCP and D2TCP intentionally share fingerprints on the non-deadline
 // cases: with no deadlines, D2TCP's gamma-correction exponent is 1 and the

@@ -6,14 +6,17 @@
 // means an event ordering decision leaked a dependence on thread scheduling
 // or the lineage merge order diverged from the sequential FIFO.
 //
-// PASE is not parallel-safe (its arbitration plane is process-global), so
-// its cases double as fallback coverage: the harness must silently run them
-// sequentially and report workers_used == 1.
+// All six built-in profiles are parallel-safe — PASE's arbitration plane is
+// sharded by arbitrating node (see arbitration_plane.h) — so every case must
+// actually run partitioned: workers_used > 1 and an empty fallback reason.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
+#include <string>
 #include <vector>
 
+#include "exp/sweep.h"
 #include "net/droptail_queue.h"
 #include "sim/simulator.h"
 #include "topo/builder.h"
@@ -46,19 +49,43 @@ void expect_bit_identical(int workers) {
     EXPECT_EQ(trace_fingerprint(r), seq[i])
         << cases[i].label << " diverged from the sequential trace at workers="
         << workers;
-    if (cfg.protocol == workload::Protocol::kPase) {
-      EXPECT_EQ(r.workers_used, 1)
-          << "PASE is not parallel-safe and must fall back";
-    } else {
-      EXPECT_GT(r.workers_used, 1)
-          << cases[i].label << " unexpectedly fell back to sequential";
-    }
+    EXPECT_GT(r.workers_used, 1)
+        << cases[i].label << " unexpectedly fell back to sequential";
+    EXPECT_TRUE(r.parallel_fallback_reason.empty())
+        << cases[i].label << ": " << r.parallel_fallback_reason;
   }
 }
 
 TEST(ParallelGolden, BitIdenticalAtTwoWorkers) { expect_bit_identical(2); }
 TEST(ParallelGolden, BitIdenticalAtFourWorkers) { expect_bit_identical(4); }
 TEST(ParallelGolden, BitIdenticalAtEightWorkers) { expect_bit_identical(8); }
+
+// PASE on a multipath Clos fabric is the hardest case for the sharded
+// arbitration plane: delegation timers on every pod switch, fabric
+// arbitration across pods, and ECMP route state — all of it partitioned.
+// The fingerprint must not move across any worker count.
+TEST(ParallelGolden, PaseFatTreeBitIdenticalAcrossWorkerCounts) {
+  workload::ScenarioConfig cfg;
+  cfg.protocol = workload::Protocol::kPase;
+  cfg.topology = workload::ScenarioConfig::TopologyKind::kFatTree;
+  cfg.fattree.k = 4;
+  cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+  cfg.traffic.size_dist = workload::SizeDistribution::kWebSearch;
+  cfg.traffic.load = 0.4;
+  cfg.traffic.num_flows = 120;
+  cfg.traffic.seed = 9;
+
+  const std::uint64_t seq = trace_fingerprint(workload::run_scenario(cfg));
+  for (int workers : {2, 4, 8}) {
+    cfg.workers = workers;
+    const workload::ScenarioResult r = workload::run_scenario(cfg);
+    EXPECT_EQ(trace_fingerprint(r), seq)
+        << "PASE/fat-tree diverged at workers=" << workers;
+    EXPECT_GT(r.workers_used, 1);
+    EXPECT_TRUE(r.parallel_fallback_reason.empty())
+        << r.parallel_fallback_reason;
+  }
+}
 
 // A zero-delay cut link gives zero lookahead: the conservative window is
 // empty and the harness must fall back to sequential execution (and still
@@ -78,7 +105,111 @@ TEST(ParallelEngine, ZeroLookaheadFallsBackToSequential) {
   cfg.workers = 4;
   const workload::ScenarioResult par = workload::run_scenario(cfg);
   EXPECT_EQ(par.workers_used, 1);
+  EXPECT_FALSE(par.parallel_fallback_reason.empty());
   EXPECT_EQ(trace_fingerprint(par), trace_fingerprint(seq));
+}
+
+// Cross-domain arbitration traffic must be *counted* identically too: the
+// sharded plane keeps per-arbitrator counters that fold into the same totals
+// the sequential plane accumulates in one struct. A mismatch means a shard
+// double-counted (or a cut-crossing control packet was attributed twice).
+TEST(ParallelEngine, ArbitrationMessagesCountedIdenticallySeqVsParallel) {
+  workload::ScenarioConfig cfg;
+  cfg.protocol = workload::Protocol::kPase;
+  cfg.topology = workload::ScenarioConfig::TopologyKind::kThreeTier;
+  cfg.tree.num_tors = 4;
+  cfg.tree.hosts_per_tor = 4;
+  cfg.traffic.pattern = workload::Pattern::kLeftRight;
+  cfg.traffic.size_dist = workload::SizeDistribution::kWebSearch;
+  cfg.traffic.load = 0.6;
+  cfg.traffic.num_flows = 100;
+  cfg.traffic.seed = 23;
+
+  const workload::ScenarioResult seq = workload::run_scenario(cfg);
+  cfg.workers = 4;
+  const workload::ScenarioResult par = workload::run_scenario(cfg);
+  ASSERT_GT(par.workers_used, 1) << par.parallel_fallback_reason;
+  EXPECT_GT(seq.control.messages_sent, 0u);
+  EXPECT_EQ(par.control.messages_sent, seq.control.messages_sent);
+  EXPECT_EQ(par.control.requests, seq.control.requests);
+  EXPECT_EQ(par.control.responses, seq.control.responses);
+  EXPECT_EQ(par.control.fins, seq.control.fins);
+  EXPECT_EQ(par.control.delegation_msgs, seq.control.delegation_msgs);
+  EXPECT_EQ(par.control.arbitrations, seq.control.arbitrations);
+  EXPECT_EQ(par.control.pruned_requests, seq.control.pruned_requests);
+}
+
+// The conditional horizon may only merge windows, never split them: for the
+// same scenario it must decide at most as many rounds as the static min-cut
+// baseline — while producing the exact same trace (the probe moves *when*
+// events run, never their order).
+TEST(ParallelEngine, ConditionalHorizonNeverExceedsStaticRounds) {
+  workload::ScenarioConfig cfg;
+  cfg.protocol = workload::Protocol::kDctcp;
+  cfg.topology = workload::ScenarioConfig::TopologyKind::kFatTree;
+  cfg.fattree.k = 4;
+  cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+  cfg.traffic.size_dist = workload::SizeDistribution::kWebSearch;
+  cfg.traffic.load = 0.3;
+  cfg.traffic.num_flows = 150;
+  cfg.traffic.seed = 13;
+  cfg.workers = 4;
+
+  const auto rounds_of = [](const workload::ScenarioResult& r) {
+    for (const auto& m : r.metrics) {
+      if (m.name == "parallel.rounds") return m.value;
+    }
+    return -1.0;
+  };
+
+  cfg.horizon_mode = workload::ScenarioConfig::HorizonMode::kConditional;
+  const workload::ScenarioResult cond = workload::run_scenario(cfg);
+  cfg.horizon_mode = workload::ScenarioConfig::HorizonMode::kStaticMinCut;
+  const workload::ScenarioResult stat = workload::run_scenario(cfg);
+
+  ASSERT_GT(cond.workers_used, 1) << cond.parallel_fallback_reason;
+  ASSERT_GT(stat.workers_used, 1) << stat.parallel_fallback_reason;
+  EXPECT_EQ(trace_fingerprint(cond), trace_fingerprint(stat));
+  EXPECT_GT(rounds_of(stat), 0.0);
+  EXPECT_LE(rounds_of(cond), rounds_of(stat));
+}
+
+// Every built-in profile must actually partition under workers > 1, and the
+// sweep JSON must surface both the domain count and the (empty) fallback
+// reason so a silent sequential fallback can't hide in a benchmark table.
+TEST(ParallelEngine, SweepSurfacesEmptyFallbackReasonForAllSixProfiles) {
+  const workload::Protocol protocols[] = {
+      workload::Protocol::kDctcp, workload::Protocol::kD2tcp,
+      workload::Protocol::kL2dct, workload::Protocol::kPdq,
+      workload::Protocol::kPfabric, workload::Protocol::kPase};
+  std::vector<exp::SweepCase> cases;
+  std::vector<workload::ScenarioConfig> configs;
+  for (const auto p : protocols) {
+    exp::SweepCase c;
+    c.label = workload::protocol_name(p);
+    c.config.protocol = p;
+    c.config.topology = workload::ScenarioConfig::TopologyKind::kThreeTier;
+    c.config.tree.num_tors = 4;
+    c.config.tree.hosts_per_tor = 4;
+    c.config.traffic.pattern = workload::Pattern::kLeftRight;
+    c.config.traffic.load = 0.5;
+    c.config.traffic.num_flows = 60;
+    c.config.traffic.seed = 3;
+    c.config.workers = 4;
+    configs.push_back(c.config);
+    cases.push_back(std::move(c));
+  }
+  const std::vector<workload::ScenarioResult> results =
+      exp::SweepRunner(2).run(configs);
+  ASSERT_EQ(results.size(), std::size(protocols));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_GT(results[i].workers_used, 1) << cases[i].label;
+    EXPECT_TRUE(results[i].parallel_fallback_reason.empty())
+        << cases[i].label << ": " << results[i].parallel_fallback_reason;
+  }
+  const std::string json = exp::sweep_to_json("fallback", cases, results);
+  EXPECT_NE(json.find("\"workers_used\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"parallel_fallback_reason\": \"\""), std::string::npos);
 }
 
 // --- Partitioner ------------------------------------------------------------

@@ -41,7 +41,7 @@ EVENT_FIELDS = {
     "ep.rate": {"flow", "rate", "paused"},
     "queue.sample": {"queue", "occupancy", "drops", "marks"},
     "engine.sample": {"domain", "events", "heap_closures"},
-    "engine.round": {"rounds", "posts"},
+    "engine.round": {"rounds", "posts", "horizon", "drains"},
 }
 
 
