@@ -129,6 +129,29 @@ inline bool write_trace_file(const ScenarioResult& r, const std::string& path) {
   return chrome ? r.trace->write_chrome_json(path) : r.trace->write_jsonl(path);
 }
 
+// Fabric override for any figure bench: `--topology=fattree [--k=N]`
+// rebases every sweep cell onto a k-ary fat-tree (default k=16, 1024 hosts)
+// so the paper's AFCT/CDF/deadline figures can be reproduced on a
+// datacenter-scale Clos fabric instead of the small three-tier tree.
+// Traffic pattern, load and flow counts carry over unchanged; the scenario
+// layer re-derives per-host rates and host counts from the built topology,
+// and structural route synthesis keeps setup time flat at any k.
+inline void apply_topology_override(ScenarioConfig& cfg, int argc,
+                                    char** argv) {
+  bool fattree = false;
+  int k = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--topology=fattree") == 0) {
+      fattree = true;
+    } else if (std::strncmp(argv[i], "--k=", 4) == 0) {
+      k = std::atoi(argv[i] + 4);
+    }
+  }
+  if (!fattree) return;
+  cfg.topology = ScenarioConfig::TopologyKind::kFatTree;
+  cfg.fattree.k = k;
+}
+
 // Column headers matching a protocol list, for print_header.
 inline std::vector<std::string> protocol_columns(
     const std::vector<Protocol>& protocols) {
@@ -162,6 +185,7 @@ class Sweep {
   // applies to the grid's first cell (figures order cells per protocol, so
   // pass --protocols=<one> to pick which run is traced).
   const std::vector<ScenarioResult>& run(int argc, char** argv) {
+    for (auto& c : cases_) apply_topology_override(c.config, argc, argv);
     const TraceOptions trace = trace_from_cli(argc, argv);
     if (trace.enabled() && !cases_.empty()) {
       cases_[0].config.trace.enabled = true;

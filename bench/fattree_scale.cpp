@@ -1,14 +1,18 @@
-// Fat-tree scale bench: packets per wall-clock second, peak RSS and
-// core-link load balance as the fabric grows from k=4 (16 hosts) through
-// k=16 (1024 hosts).
+// Fat-tree scale bench: packets per wall-clock second, peak RSS, route-table
+// memory, setup time and core-link load balance as the fabric grows from k=4
+// (16 hosts) through k=32 (8,192 hosts).
 //
 // The workload is DCTCP with the web-search flow-size distribution and
 // random any-to-any traffic, so a large fraction of flows cross pods and
-// every core link carries ECMP-hashed load. Two things are under test:
-//   1. capacity — a 1k-host fabric simulates inside the same RSS ceiling
-//      the capacity bench enforces (streaming stats + endpoint recycling
-//      keep harness state proportional to concurrency, not flow count);
-//   2. hash quality — max/mean bytes over the core-facing links
+// every core link carries ECMP-hashed load. Three things are under test:
+//   1. capacity — an 8k-host fabric simulates inside a tight RSS ceiling
+//      (streaming stats + endpoint recycling keep harness state proportional
+//      to concurrency, not flow count) and sets up in well under a second
+//      (structural route synthesis, no per-destination BFS);
+//   2. scale-invariant forwarding — route_table_bytes/switch is O(pod),
+//      sublinear in host count, and ns/packet stays flat as the fabric
+//      grows (compressed tables + the per-flow path memo);
+//   3. hash quality — max/mean bytes over the core-facing links
 //      (core_link_imbalance) stays near 1.0 when the per-flow hash spreads
 //      flows evenly; CI fails the quick leg if k=4 exceeds 2.0.
 //
@@ -16,7 +20,8 @@
 // that scale's own high-water mark. Results land in BENCH_fattree.json.
 //
 // Flags:
-//   --quick    k = {4, 8} only (CI smoke)
+//   --quick    k = {4, 8, 16} (CI smoke; CI gates route memory sublinearity
+//              and k=16 throughput against the pre-compression baseline)
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -49,10 +54,13 @@ struct ScaleOut {
   std::uint64_t sim_packets = 0;
   std::uint64_t peak_rss_bytes = 0;
   std::uint64_t core_links = 0;
+  std::uint64_t route_table_bytes = 0;
+  double route_bytes_per_switch = 0.0;
   double core_link_imbalance = 0.0;
   double setup_sec = 0.0;
   double wall_sec = 0.0;
   double packets_per_sec = 0.0;
+  double ns_per_packet = 0.0;
   double afct_s = 0.0;
   double end_time_s = 0.0;
 };
@@ -98,6 +106,13 @@ ScaleOut run_scale(int k, int num_flows) {
   out.completed = out.flows - out.unfinished;
   out.sim_packets = r.data_packets_sent;
   out.core_links = static_cast<std::uint64_t>(metric(r, "fabric.core_links"));
+  out.route_table_bytes =
+      static_cast<std::uint64_t>(metric(r, "fabric.route_table_bytes"));
+  out.route_bytes_per_switch =
+      out.switches > 0
+          ? static_cast<double>(out.route_table_bytes) /
+                static_cast<double>(out.switches)
+          : 0.0;
   out.core_link_imbalance = metric(r, "fabric.core_link_imbalance");
   out.setup_sec = r.setup_wall_sec;
   out.wall_sec = std::chrono::duration<double>(t1 - t0).count();
@@ -105,6 +120,10 @@ ScaleOut run_scale(int k, int num_flows) {
       out.wall_sec > 0.0
           ? static_cast<double>(out.sim_packets) / out.wall_sec
           : 0.0;
+  out.ns_per_packet = out.sim_packets > 0
+                          ? out.wall_sec * 1e9 /
+                                static_cast<double>(out.sim_packets)
+                          : 0.0;
   out.afct_s = r.afct();
   out.end_time_s = r.end_time;
 
@@ -155,21 +174,28 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
 
-  // Flow counts scale with the host population so per-host load is
-  // comparable across rows.
+  // Flow counts grow with the host population so per-host load is comparable
+  // across the quick rows; the k=24/32 rows cap total flows (the scale
+  // questions there — setup time, route memory, per-packet cost — do not
+  // need proportional load, and proportional load would push the full run
+  // past several minutes).
   struct Scale {
     int k;
     int flows;
   };
-  std::vector<Scale> scales = {{4, 2000}, {8, 8000}};
-  if (!quick) scales.push_back({16, 40000});
+  std::vector<Scale> scales = {{4, 2000}, {8, 8000}, {16, 40000}};
+  if (!quick) {
+    scales.push_back({24, 60000});
+    scales.push_back({32, 100000});
+  }
 
   std::printf("fat-tree scaling (%s): DCTCP web-search any-to-any, ECMP "
               "multipath, streaming stats\n",
               quick ? "quick" : "full");
-  std::printf("%-4s %7s %9s %9s %12s %10s %10s %14s %10s %10s\n", "k",
-              "hosts", "switches", "flows", "peak RSS", "setup(s)", "wall(s)",
-              "pkts/sec", "imbalance", "afct(ms)");
+  std::printf("%-4s %7s %9s %9s %12s %11s %10s %10s %14s %8s %10s %10s\n",
+              "k", "hosts", "switches", "flows", "peak RSS", "route B/sw",
+              "setup(s)", "wall(s)", "pkts/sec", "ns/pkt", "imbalance",
+              "afct(ms)");
 
   std::string json = "{\n  \"bench\": \"fattree\",\n  \"mode\": \"";
   json += quick ? "quick" : "full";
@@ -184,25 +210,27 @@ int main(int argc, char** argv) {
       break;
     }
     std::printf(
-        "%-4llu %7llu %9llu %9llu %9.1f MB %10.3f %10.3f %14.0f %10.3f "
-        "%10.3f\n",
+        "%-4llu %7llu %9llu %9llu %9.1f MB %11.0f %10.3f %10.3f %14.0f "
+        "%8.0f %10.3f %10.3f\n",
         static_cast<unsigned long long>(r.k),
         static_cast<unsigned long long>(r.hosts),
         static_cast<unsigned long long>(r.switches),
         static_cast<unsigned long long>(r.flows),
         static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0),
-        r.setup_sec, r.wall_sec, r.packets_per_sec, r.core_link_imbalance,
-        r.afct_s * 1e3);
+        r.route_bytes_per_switch, r.setup_sec, r.wall_sec, r.packets_per_sec,
+        r.ns_per_packet, r.core_link_imbalance, r.afct_s * 1e3);
     std::fflush(stdout);
 
-    char row[768];
+    char row[1024];
     std::snprintf(
         row, sizeof(row),
         "    {\"k\": %llu, \"hosts\": %llu, \"switches\": %llu,\n"
         "     \"flows\": %llu, \"completed\": %llu, \"unfinished\": %llu,\n"
         "     \"peak_rss_bytes\": %llu, \"setup_sec\": %.6f,\n"
+        "     \"route_table_bytes\": %llu, \"route_bytes_per_switch\": %.1f,\n"
         "     \"wall_sec\": %.6f, \"sim_packets\": %llu,\n"
-        "     \"packets_per_sec\": %.1f, \"core_links\": %llu,\n"
+        "     \"packets_per_sec\": %.1f, \"ns_per_packet\": %.1f,\n"
+        "     \"core_links\": %llu,\n"
         "     \"core_link_imbalance\": %.6f, \"afct_s\": %.9f,\n"
         "     \"end_time_s\": %.6f}%s\n",
         static_cast<unsigned long long>(r.k),
@@ -212,8 +240,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.completed),
         static_cast<unsigned long long>(r.unfinished),
         static_cast<unsigned long long>(r.peak_rss_bytes), r.setup_sec,
-        r.wall_sec, static_cast<unsigned long long>(r.sim_packets),
-        r.packets_per_sec, static_cast<unsigned long long>(r.core_links),
+        static_cast<unsigned long long>(r.route_table_bytes),
+        r.route_bytes_per_switch, r.wall_sec,
+        static_cast<unsigned long long>(r.sim_packets), r.packets_per_sec,
+        r.ns_per_packet, static_cast<unsigned long long>(r.core_links),
         r.core_link_imbalance, r.afct_s, r.end_time_s,
         i + 1 < scales.size() ? "," : "");
     json += row;

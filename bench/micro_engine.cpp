@@ -302,6 +302,93 @@ void BM_HostDemuxUnorderedMap(benchmark::State& state) {
 }
 BENCHMARK(BM_HostDemuxUnorderedMap)->Arg(16)->Arg(1024);
 
+// --- Switch forwarding lookup: dense window vs grouped hash vs path memo ---
+
+// Builds a switch with four ports and routes for `dsts` destinations
+// installed by `route`. Lookup cost is what the per-hop path pays in
+// Switch::receive.
+struct PortForFixture {
+  struct CountingNodeFwd : net::Node {
+    explicit CountingNodeFwd(net::NodeId id) : net::Node(id, "nbr") {}
+    void receive(net::PacketPtr) override {}
+  };
+
+  sim::Simulator sim;
+  net::Switch sw{0, "bench-sw"};
+  std::vector<std::unique_ptr<CountingNodeFwd>> neighbors;
+
+  explicit PortForFixture(int ports) {
+    for (int i = 0; i < ports; ++i) {
+      auto nbr = std::make_unique<CountingNodeFwd>(
+          static_cast<net::NodeId>(100 + i));
+      sw.add_port(std::make_unique<net::DropTailQueue>(16),
+                  std::make_unique<net::Link>(sim, 10e9, 1e-6),
+                  nbr.get());
+      neighbors.push_back(std::move(nbr));
+    }
+  }
+};
+
+// Single-path destinations: one dense-window load.
+void BM_PortForDense(benchmark::State& state) {
+  PortForFixture f(4);
+  constexpr net::NodeId kDsts = 64;
+  for (net::NodeId d = 1; d <= kDsts; ++d) {
+    f.sw.set_route(d, static_cast<int>(d) % 4);
+  }
+  auto p = net::make_data_packet(7, 200, 1, 0);
+  net::NodeId d = 1;
+  for (auto _ : state) {
+    p->dst = d;
+    benchmark::DoNotOptimize(f.sw.port_for(*p));
+    if (++d > kDsts) d = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortForDense);
+
+// Grouped destinations with the per-flow memo disabled: every lookup pays
+// the full flow_path_hash (byte-serial FNV + finisher).
+void BM_PortForGroupedHash(benchmark::State& state) {
+  PortForFixture f(4);
+  constexpr net::NodeId kDsts = 64;
+  for (net::NodeId d = 1; d <= kDsts; ++d) {
+    f.sw.set_route_group(d, {0, 1, 2, 3});
+  }
+  f.sw.set_path_cache_capacity(0);
+  auto p = net::make_data_packet(7, 200, 1, 0);
+  net::NodeId d = 1;
+  for (auto _ : state) {
+    p->dst = d;
+    p->flow = static_cast<net::FlowId>(d * 31 + 1);
+    benchmark::DoNotOptimize(f.sw.port_for(*p));
+    if (++d > kDsts) d = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortForGroupedHash);
+
+// Grouped destinations with the memo on: steady state is a slot probe and
+// compare; the hash runs only on the first packet of each flow direction.
+void BM_PortForGroupedCached(benchmark::State& state) {
+  PortForFixture f(4);
+  constexpr net::NodeId kDsts = 64;
+  for (net::NodeId d = 1; d <= kDsts; ++d) {
+    f.sw.set_route_group(d, {0, 1, 2, 3});
+  }
+  f.sw.set_path_cache_capacity(1024);
+  auto p = net::make_data_packet(7, 200, 1, 0);
+  net::NodeId d = 1;
+  for (auto _ : state) {
+    p->dst = d;
+    p->flow = static_cast<net::FlowId>(d * 31 + 1);
+    benchmark::DoNotOptimize(f.sw.port_for(*p));
+    if (++d > kDsts) d = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortForGroupedCached);
+
 // --- Full link hop: enqueue -> dequeue -> serialize -> deliver ---
 
 struct CountingNode : net::Node {

@@ -21,4 +21,19 @@ PacketPtr DropTailQueue::do_dequeue() {
   return p;
 }
 
+PacketPtr DropTailQueue::do_pass(PacketPtr p) {
+  const std::size_t n = q_.size();
+  if (n >= capacity_) {
+    count_drop(*p);
+    return nullptr;
+  }
+  if (n > 0) [[unlikely]] {
+    bytes_ += p->size_bytes;
+    q_.push_back(std::move(p));
+    p = q_.pop_front();
+    bytes_ -= p->size_bytes;
+  }
+  return p;
+}
+
 }  // namespace pase::net

@@ -10,7 +10,8 @@ namespace pase::net {
 class DropTailQueue : public Queue {
  public:
   explicit DropTailQueue(std::size_t capacity_pkts)
-      : q_(capacity_pkts), capacity_(capacity_pkts) {}
+      : capacity_(static_cast<std::uint32_t>(capacity_pkts)),
+        q_(capacity_pkts) {}
 
   std::size_t len_packets() const override { return q_.size(); }
   std::size_t len_bytes() const override { return bytes_; }
@@ -19,10 +20,14 @@ class DropTailQueue : public Queue {
  protected:
   bool do_enqueue(PacketPtr p) override;
   PacketPtr do_dequeue() override;
+  PacketPtr do_pass(PacketPtr p) override;
 
  private:
+  // Capacity (32-bit) ahead of the ring: do_pass/do_dequeue then resolve the
+  // drop decision and the emptiness probe on the queue's first cache line;
+  // the byte gauge trails (touched only when the ring holds packets).
+  std::uint32_t capacity_;
   PacketRing q_;
-  std::size_t capacity_;
   std::size_t bytes_ = 0;
 };
 

@@ -59,9 +59,12 @@ class Host : public Node {
   double nic_rate_bps() const { return uplink_ ? uplink_->rate_bps() : 0.0; }
 
  private:
+  // Demux first: its dense-table header lands on the host's first cache
+  // line (after Node's slim header), so receive() resolves the sink with
+  // one object line plus the dense row itself.
+  FlowDemux flows_;
   std::unique_ptr<Queue> uplink_queue_;
   std::unique_ptr<Link> uplink_;
-  FlowDemux flows_;
   std::vector<ForwardHook> send_hooks_;
   ControlHandler control_;
 };

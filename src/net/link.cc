@@ -49,6 +49,18 @@ void Link::on_tx_done(void* self, void* packet) {
   if (link->source_ != nullptr) link->source_->on_link_idle();
 }
 
+void Link::txdone_hint(void* self, void* arg) {
+  auto* link = static_cast<Link*>(self);
+  if (link->source_ != nullptr) __builtin_prefetch(link->source_);
+  (void)arg;
+}
+
+void Link::deliver_hint(void* self, void* arg) {
+  auto* link = static_cast<Link*>(self);
+  if (link->dst_ != nullptr) __builtin_prefetch(link->dst_);
+  (void)arg;
+}
+
 void Link::on_deliver(void* self, void* packet) {
   auto* link = static_cast<Link*>(self);
   if (link->cross_ != nullptr) {

@@ -22,7 +22,9 @@ class Link {
   Link(sim::Simulator& sim, double rate_bps, sim::Time prop_delay,
        std::string name = {})
       : sim_(&sim), rate_bps_(rate_bps), delay_(prop_delay),
-        name_(std::move(name)) {}
+        name_(std::move(name)) {
+    register_prefetch_hints();
+  }
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -57,7 +59,10 @@ class Link {
   // --- Parallel-partition wiring (setup time only) -----------------------
   // Moves the link's event scheduling onto the domain clock of its
   // transmitting node. Must be called before any packet is in flight.
-  void bind_domain(sim::Simulator& s) { sim_ = &s; }
+  void bind_domain(sim::Simulator& s) {
+    sim_ = &s;
+    register_prefetch_hints();
+  }
   // Marks the link as a cut edge: deliveries are posted into the destination
   // domain's mailbox (ordered by a lineage node captured here) instead of being
   // scheduled on the local calendar.
@@ -94,15 +99,29 @@ class Link {
   static void on_tx_done(void* self, void* arg);
   static void on_deliver(void* self, void* packet);
 
+  // Engine prefetch helpers (see Simulator::set_prefetch_hint): one event
+  // ahead of a delivery, pull the destination node's first line (its route
+  // or demux state rides there); one event ahead of a tx-done, pull the
+  // feeding queue's first line (the idle kick probes it). Pure prefetch —
+  // no state is read beyond this link's own (already warm) fields.
+  void register_prefetch_hints() {
+    sim_->set_prefetch_hint(&Link::on_tx_done, &Link::txdone_hint);
+    sim_->set_prefetch_hint(&Link::on_deliver, &Link::deliver_hint);
+  }
+  static void txdone_hint(void* self, void* arg);
+  static void deliver_hint(void* self, void* arg);
+
+  // Hot fields first (Link has no vtable, so these start at offset 0):
+  // on_tx_done and on_deliver — the two per-hop events — read sim_, delay_,
+  // both endpoints, cross_, the activity flags and busy_, all packed into
+  // the first cache line. The stats accumulators, cut-link plumbing and
+  // name trail on later lines; transmit touches them once per serialization.
   sim::Simulator* sim_;
   double rate_bps_;
   sim::Time delay_;
-  std::string name_;
   Queue* source_ = nullptr;
   Node* dst_ = nullptr;
   sim::ParallelEngine* cross_ = nullptr;  // non-null on cut links only
-  int cross_src_ = 0;
-  int cross_dst_ = 0;
   bool busy_ = false;
   // Activity tracking (see probe accessors above). `inflight_` is
   // single-threaded (local links live entirely inside one domain);
@@ -110,10 +129,13 @@ class Link {
   // decremented by the destination domain when the delivery executes.
   bool activity_armed_ = false;
   int inflight_ = 0;
-  std::atomic<int> cross_inflight_{0};
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_sent_ = 0;
   sim::Time busy_time_ = 0.0;
+  int cross_src_ = 0;
+  int cross_dst_ = 0;
+  std::atomic<int> cross_inflight_{0};
+  std::string name_;
 };
 
 // Queue's link-facing methods live here so call sites inline them: the
@@ -129,6 +151,17 @@ inline void Queue::try_send() {
 
 inline void Queue::enqueue(PacketPtr p) {
   ++enqueues_;
+  // Idle link: hand the packet straight to the discipline's pass-through.
+  // Every entry point kicks try_send, so an idle link implies a drained
+  // queue and do_pass usually skips the ring round-trip entirely; when the
+  // queue is somehow non-empty, do_pass returns the head packet — exactly
+  // what enqueue-then-try_send would have transmitted.
+  if (link_ != nullptr && link_->idle()) [[likely]] {
+    if (PacketPtr next = do_pass(std::move(p))) {
+      link_->transmit(std::move(next));
+    }
+    return;
+  }
   if (do_enqueue(std::move(p))) try_send();
 }
 

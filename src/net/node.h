@@ -1,6 +1,7 @@
 // Base class for anything that can terminate a link: hosts and switches.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "net/packet.h"
@@ -9,20 +10,25 @@ namespace pase::net {
 
 class Node {
  public:
-  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  Node(NodeId id, std::string name)
+      : id_(id), name_(std::make_unique<std::string>(std::move(name))) {}
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   NodeId id() const { return id_; }
-  const std::string& name() const { return name_; }
+  const std::string& name() const { return *name_; }
 
   // Delivers a packet that finished traversing a link into this node.
   virtual void receive(PacketPtr p) = 0;
 
  private:
+  // The name lives out of line (diagnostics only): an inline std::string is
+  // 32 bytes, which would push every subclass's hot fields off the object's
+  // first cache line. The slim header — vptr, name pointer, id — leaves 40
+  // bytes of line 0 for the subclass's receive-path state.
   NodeId id_;
-  std::string name_;
+  std::unique_ptr<const std::string> name_;
 };
 
 }  // namespace pase::net

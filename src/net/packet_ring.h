@@ -41,9 +41,12 @@ class PacketRing {
   }
 
  private:
-  std::vector<PacketPtr> buf_;
-  std::size_t head_ = 0;
+  // Indices before storage: a queue embedding the ring right after its own
+  // scalar fields keeps size() on the same cache line as those fields, so
+  // the empty-queue fast paths never touch the vector header or buffer.
   std::size_t count_ = 0;
+  std::size_t head_ = 0;
+  std::vector<PacketPtr> buf_;
 };
 
 }  // namespace pase::net

@@ -50,6 +50,17 @@ class Queue {
   virtual bool do_enqueue(PacketPtr p) = 0;
   // Must return non-null iff len_packets() > 0.
   virtual PacketPtr do_dequeue() = 0;
+  // Arrival while the link is idle: returns the packet the link should
+  // serialize next, or null if the discipline dropped it. The default —
+  // push then immediately pop — is correct for any discipline; FIFO
+  // disciplines override it to skip the ring round-trip when empty (the
+  // common case, since an idle link implies a drained queue). Overrides
+  // must apply the same drop/mark decisions as do_enqueue and must return
+  // the head packet, not the arrival, whenever the queue is non-empty.
+  virtual PacketPtr do_pass(PacketPtr p) {
+    if (do_enqueue(std::move(p))) return do_dequeue();
+    return nullptr;
+  }
 
   // Disciplines report every drop/mark with the victim packet so traced
   // runs capture flow, sequence and queue identity. Without an installed

@@ -25,4 +25,25 @@ PacketPtr RedEcnQueue::do_dequeue() {
   return p;
 }
 
+PacketPtr RedEcnQueue::do_pass(PacketPtr p) {
+  const std::size_t n = q_.size();
+  if (n >= capacity_) {
+    count_drop(*p);
+    return nullptr;
+  }
+  if (n >= threshold_ && p->ecn_capable) {
+    p->ecn_ce = true;
+    count_mark(*p);
+  }
+  if (n > 0) [[unlikely]] {
+    // Non-empty despite an idle link (possible only under exotic wiring):
+    // fall back to FIFO order through the ring.
+    bytes_ += p->size_bytes;
+    q_.push_back(std::move(p));
+    p = q_.pop_front();
+    bytes_ -= p->size_bytes;
+  }
+  return p;
+}
+
 }  // namespace pase::net

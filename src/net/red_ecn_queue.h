@@ -15,8 +15,9 @@ namespace pase::net {
 class RedEcnQueue : public Queue {
  public:
   RedEcnQueue(std::size_t capacity_pkts, std::size_t mark_threshold_pkts)
-      : q_(capacity_pkts), capacity_(capacity_pkts),
-        threshold_(mark_threshold_pkts) {}
+      : capacity_(static_cast<std::uint32_t>(capacity_pkts)),
+        threshold_(static_cast<std::uint32_t>(mark_threshold_pkts)),
+        q_(capacity_pkts) {}
 
   std::size_t len_packets() const override { return q_.size(); }
   std::size_t len_bytes() const override { return bytes_; }
@@ -26,11 +27,18 @@ class RedEcnQueue : public Queue {
  protected:
   bool do_enqueue(PacketPtr p) override;
   PacketPtr do_dequeue() override;
+  PacketPtr do_pass(PacketPtr p) override;
 
  private:
+  // Thresholds (32-bit: queue capacities are small) ahead of the ring so the
+  // idle-link pass-through (do_pass) and the idle-kick emptiness probe
+  // (do_dequeue) resolve entirely against the queue's first cache line —
+  // counters, thresholds and the ring's occupancy count all pack into the
+  // base class's tail padding plus the first few derived bytes. The byte
+  // gauge trails: it is only touched when the ring actually holds packets.
+  std::uint32_t capacity_;
+  std::uint32_t threshold_;
   PacketRing q_;
-  std::size_t capacity_;
-  std::size_t threshold_;
   std::size_t bytes_ = 0;
 };
 

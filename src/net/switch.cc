@@ -1,6 +1,6 @@
 #include "net/switch.h"
 
-#include <numeric>
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -17,31 +17,58 @@ int Switch::add_port(std::unique_ptr<Queue> queue, std::unique_ptr<Link> link,
   return static_cast<int>(ports_.size()) - 1;
 }
 
+std::int32_t Switch::route_entry_slow(NodeId dst) const {
+  if (dst < 0 || dst >= route_id_bound_) return kNoRoute;
+  // Intervals are sorted and disjoint: the candidate is the last one whose
+  // lo is <= dst.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), dst,
+      [](NodeId d, const RouteInterval& iv) { return d < iv.lo; });
+  if (it != intervals_.begin()) {
+    const RouteInterval& iv = *(it - 1);
+    if (dst < iv.hi) {
+      if (iv.div > 0) {
+        return iv.port_base + static_cast<std::int32_t>(dst - iv.lo) / iv.div;
+      }
+      return iv.entry;
+    }
+  }
+  return default_entry_;
+}
+
 std::int32_t& Switch::route_slot(NodeId dst) {
-  if (static_cast<std::size_t>(dst) >= routes_.size()) {
-    routes_.resize(static_cast<std::size_t>(dst) + 1, kNoRoute);
+  PASE_DCHECK(dst >= 0);
+  if (dst >= dense_base_) {
+    const auto off = static_cast<std::size_t>(dst - dense_base_);
+    if (off >= routes_.size()) {
+      routes_.resize(off + 1, kNoRoute);
+    }
+    return routes_[off];
   }
-  return routes_[static_cast<std::size_t>(dst)];
+  // Legacy writer below the window: rebase it down to include dst. Happens
+  // at most once per base change (e.g. a BFS reinstall over a structurally
+  // routed switch); normal growth above stays an amortized resize.
+  const auto shift = static_cast<std::size_t>(dense_base_ - dst);
+  std::vector<std::int32_t> grown(routes_.size() + shift, kNoRoute);
+  std::copy(routes_.begin(), routes_.end(), grown.begin() + static_cast<std::ptrdiff_t>(shift));
+  routes_ = std::move(grown);
+  dense_base_ = dst;
+  return routes_[0];
 }
 
-void Switch::set_route(NodeId dst, int port) {
-  PASE_DCHECK(port >= 0 && port < num_ports());
-  route_slot(dst) = port;
+void Switch::release_owned_group(std::int32_t entry) {
+  if (entry > kGroupBase) return;
+  const std::size_t i = group_index(entry);
+  if (groups_[i].shared) return;
+  groups_[i] = Group{};
+  free_groups_.push_back(static_cast<std::uint32_t>(i));
 }
 
-void Switch::set_route_group(NodeId dst, const std::vector<int>& ports,
-                             const std::vector<std::uint32_t>& weights) {
-  PASE_DCHECK(!ports.empty());
-  PASE_DCHECK(weights.empty() || weights.size() == ports.size());
-  for (const int p : ports) {
-    PASE_DCHECK(p >= 0 && p < num_ports());
-    (void)p;
-  }
-  if (ports.size() == 1) {  // degenerate group: keep the dense fast path
-    route_slot(dst) = ports.front();
-    return;
-  }
+Switch::Group Switch::make_group(const std::vector<int>& ports,
+                                 const std::vector<std::uint32_t>& weights,
+                                 bool shared) {
   Group g;
+  g.shared = shared;
   g.ports = ports;
   g.weights = weights.empty()
                   ? std::vector<std::uint32_t>(ports.size(), 1u)
@@ -57,17 +84,155 @@ void Switch::set_route_group(NodeId dst, const std::vector<int>& ports,
       g.members.push_back(static_cast<std::uint16_t>(g.ports[i]));
     }
   }
-  // Reuse the group slot when `dst` already routes through one, so
-  // re-running Topology::build_routes (e.g. to change the ECMP seed)
-  // overwrites groups in place instead of leaking a stale entry per
-  // multi-port destination per reinstall.
-  std::int32_t& slot = route_slot(dst);
-  if (slot <= kGroupBase) {
-    groups_[group_index(slot)] = std::move(g);
-    return;
+  return g;
+}
+
+std::int32_t Switch::alloc_group(Group g) {
+  if (!free_groups_.empty()) {
+    const std::size_t i = free_groups_.back();
+    free_groups_.pop_back();
+    groups_[i] = std::move(g);
+    return kGroupBase - static_cast<std::int32_t>(i);
   }
   groups_.push_back(std::move(g));
-  slot = kGroupBase - static_cast<std::int32_t>(groups_.size() - 1);
+  return kGroupBase - static_cast<std::int32_t>(groups_.size() - 1);
+}
+
+void Switch::set_route(NodeId dst, int port) {
+  PASE_DCHECK(port >= 0 && port < num_ports());
+  std::int32_t& slot = route_slot(dst);
+  release_owned_group(slot);
+  slot = port;
+  invalidate_path_cache();
+}
+
+void Switch::set_route_group(NodeId dst, const std::vector<int>& ports,
+                             const std::vector<std::uint32_t>& weights) {
+  PASE_DCHECK(!ports.empty());
+  PASE_DCHECK(weights.empty() || weights.size() == ports.size());
+  for (const int p : ports) {
+    PASE_DCHECK(p >= 0 && p < num_ports());
+    (void)p;
+  }
+  if (ports.size() == 1) {  // degenerate group: keep the dense fast path
+    set_route(dst, ports.front());
+    return;
+  }
+  Group g = make_group(ports, weights, /*shared=*/false);
+  // Reuse the group slot when `dst` already owns one, so re-running
+  // Topology::build_routes (e.g. to change the ECMP seed) overwrites groups
+  // in place instead of leaking a stale entry per multi-port destination per
+  // reinstall. Shared groups are never clobbered — the destination gets a
+  // fresh (or recycled) slot instead.
+  std::int32_t& slot = route_slot(dst);
+  if (slot <= kGroupBase && !groups_[group_index(slot)].shared) {
+    groups_[group_index(slot)] = std::move(g);
+  } else {
+    slot = alloc_group(std::move(g));
+  }
+  invalidate_path_cache();
+}
+
+void Switch::clear_routes() {
+  routes_.clear();
+  dense_base_ = 0;
+  intervals_.clear();
+  default_entry_ = kNoRoute;
+  route_id_bound_ = 0;
+  groups_.clear();
+  free_groups_.clear();
+  invalidate_path_cache();
+}
+
+void Switch::set_dense_window(NodeId lo, NodeId hi) {
+  PASE_DCHECK(routes_.empty());
+  PASE_DCHECK(lo >= 0 && hi > lo);
+  dense_base_ = lo;
+  routes_.assign(static_cast<std::size_t>(hi - lo), kNoRoute);
+}
+
+void Switch::set_route_id_bound(NodeId bound) {
+  PASE_DCHECK(bound >= 0);
+  route_id_bound_ = bound;
+}
+
+std::int32_t Switch::add_shared_group(
+    const std::vector<int>& ports, const std::vector<std::uint32_t>& weights) {
+  PASE_DCHECK(!ports.empty());
+  PASE_DCHECK(weights.empty() || weights.size() == ports.size());
+  for (const int p : ports) {
+    PASE_DCHECK(p >= 0 && p < num_ports());
+    (void)p;
+  }
+  if (ports.size() == 1) {  // degenerate: the entry is the port itself
+    return ports.front();
+  }
+  invalidate_path_cache();
+  return alloc_group(make_group(ports, weights, /*shared=*/true));
+}
+
+void Switch::set_route_entry(NodeId dst, std::int32_t entry) {
+  PASE_DCHECK(entry >= 0 ? entry < num_ports()
+                         : entry <= kGroupBase &&
+                               group_index(entry) < groups_.size());
+  std::int32_t& slot = route_slot(dst);
+  release_owned_group(slot);
+  slot = entry;
+  invalidate_path_cache();
+}
+
+void Switch::add_route_interval(NodeId lo, NodeId hi, std::int32_t entry) {
+  PASE_DCHECK(lo >= 0 && hi > lo);
+  PASE_DCHECK(intervals_.empty() || intervals_.back().hi <= lo);
+  PASE_DCHECK(entry >= 0 ? entry < num_ports()
+                         : entry <= kGroupBase &&
+                               group_index(entry) < groups_.size());
+  intervals_.push_back(RouteInterval{lo, hi, entry, 0, 0});
+  invalidate_path_cache();
+}
+
+void Switch::add_route_interval_strided(NodeId lo, NodeId hi, int port_base,
+                                        int div) {
+  PASE_DCHECK(lo >= 0 && hi > lo);
+  PASE_DCHECK(div > 0 && port_base >= 0);
+  PASE_DCHECK(port_base + static_cast<std::int32_t>(hi - 1 - lo) / div <
+              num_ports());
+  PASE_DCHECK(intervals_.empty() || intervals_.back().hi <= lo);
+  intervals_.push_back(RouteInterval{lo, hi, kNoRoute,
+                                     static_cast<std::int32_t>(port_base),
+                                     static_cast<std::int32_t>(div)});
+  invalidate_path_cache();
+}
+
+void Switch::set_default_route_entry(std::int32_t entry) {
+  PASE_DCHECK(entry == kNoRoute ||
+              (entry >= 0 ? entry < num_ports()
+                          : entry <= kGroupBase &&
+                                group_index(entry) < groups_.size()));
+  default_entry_ = entry;
+  invalidate_path_cache();
+}
+
+void Switch::set_path_cache_capacity(std::size_t entries) {
+  std::size_t cap = 0;
+  if (entries > 0) {
+    cap = 1;
+    while (cap < entries) cap <<= 1;
+  }
+  path_cache_capacity_ = cap;
+  invalidate_path_cache();
+}
+
+std::size_t Switch::route_state_bytes() const {
+  std::size_t b = routes_.capacity() * sizeof(std::int32_t) +
+                  intervals_.capacity() * sizeof(RouteInterval) +
+                  free_groups_.capacity() * sizeof(std::uint32_t);
+  for (const Group& g : groups_) {
+    b += sizeof(Group) + g.members.capacity() * sizeof(std::uint16_t) +
+         g.ports.capacity() * sizeof(int) +
+         g.weights.capacity() * sizeof(std::uint32_t);
+  }
+  return b;
 }
 
 // Cold by construction: a missing route is a topology bug, so the message is
@@ -90,7 +255,7 @@ void Switch::receive(PacketPtr p) {
   if (port < 0) [[unlikely]] {
     throw_no_route(p->dst);
   }
-  if (!hooks_.empty()) {
+  if (has_hooks_) [[unlikely]] {
     for (auto& hook : hooks_) hook(*p, port);
   }
   ports_[static_cast<std::size_t>(port)].queue->enqueue(std::move(p));

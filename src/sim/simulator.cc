@@ -303,6 +303,44 @@ bool Simulator::step(Time until) {
     // lineage order key, so emit sites need neither a clock nor the engine.
     tb->begin_event(t, det_ ? det_nodes_[slot] : obs::kNoOrder);
   }
+  // Overlap upcoming events' cache misses with this callback's execution.
+  // The promoted top cache names the upcoming slots, so the objects the next
+  // raw payloads point at (a Link, a Packet in flight, a timer context) can
+  // be fetched while the current event runs — at fabric scale those lines
+  // have been evicted between a packet's consecutive hops, and this serial
+  // miss chain otherwise dominates the event loop. Reading the payload of a
+  // pending slot is safe (single-threaded engine, slots are stable), and a
+  // prefetch of whatever bytes a closure payload holds is harmless.
+  //
+  // The pipeline is two events deep: depth 1's payload objects were already
+  // prefetched while the previous event ran (when it sat at depth 2), so a
+  // registered hint can chase one pointer further (e.g. a delivery
+  // prefetching the destination node); depth 2's slot line was prefetched
+  // one step early, so its payload read below lands warm and its objects
+  // start fetching now.
+  if (top_count_ > 0) {
+    const Slot& n0 = slot_at(top_cache_[0].slot);
+    RawPayload np;
+    std::memcpy(&np, n0.payload, sizeof(np));
+    if (np.ctx != nullptr) __builtin_prefetch(np.ctx);
+    if (np.arg != nullptr) __builtin_prefetch(np.arg);
+    if (n0.kind == Kind::kRaw) {
+      for (std::uint32_t i = 0; i < num_hints_; ++i) {
+        if (hints_[i].fn == n0.fn) {
+          hints_[i].hint(np.ctx, np.arg);
+          break;
+        }
+      }
+    }
+    if (top_count_ > 1) {
+      const Slot& n1 = slot_at(top_cache_[1].slot);
+      RawPayload n1p;
+      std::memcpy(&n1p, n1.payload, sizeof(n1p));
+      if (n1p.ctx != nullptr) __builtin_prefetch(n1p.ctx);
+      if (n1p.arg != nullptr) __builtin_prefetch(n1p.arg);
+      if (top_count_ > 2) __builtin_prefetch(&slot_at(top_cache_[2].slot));
+    }
+  }
   switch (kind) {
     case Kind::kRaw: {
       RawPayload rp;

@@ -211,6 +211,28 @@ class Simulator {
   std::uint64_t calendar_rebuilds() const { return calendar_rebuilds_; }
   std::size_t slot_chunks_allocated() const { return slot_chunks_.size(); }
 
+  // Registers a prefetch helper for a raw-event function. While an event
+  // executes, the engine prefetches the payload pointers of the next two
+  // pending events; when the *next* event's fn has a registered hint, the
+  // hint is also invoked with that event's payload — its objects were
+  // prefetched one event earlier, so the hint can cheaply chase one pointer
+  // deeper (e.g. a link delivery prefetching the destination node). Hints
+  // must be pure prefetch: no state changes, no scheduling, no reliance on
+  // being called at all. Re-registering the same fn overwrites its hint.
+  using PrefetchHint = void (*)(void* ctx, void* arg);
+  void set_prefetch_hint(RawFn fn, PrefetchHint hint) {
+    for (std::uint32_t i = 0; i < num_hints_; ++i) {
+      if (hints_[i].fn == fn) {
+        hints_[i].hint = hint;
+        return;
+      }
+    }
+    PASE_DCHECK(num_hints_ < kMaxPrefetchHints && "too many prefetch hints");
+    if (num_hints_ < kMaxPrefetchHints) {
+      hints_[num_hints_++] = HintEntry{fn, hint};
+    }
+  }
+
  private:
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 
@@ -370,6 +392,17 @@ class Simulator {
   static constexpr std::uint32_t kTopCacheSize = 16;
   TopEntry top_cache_[kTopCacheSize];
   std::uint32_t top_count_ = 0;
+
+  // Prefetch-hint registry (see set_prefetch_hint). Two or three distinct
+  // raw fns in practice (link tx-done / delivery), so a linear scan over a
+  // tiny array beats any map.
+  static constexpr std::uint32_t kMaxPrefetchHints = 4;
+  struct HintEntry {
+    RawFn fn;
+    PrefetchHint hint;
+  };
+  HintEntry hints_[kMaxPrefetchHints] = {};
+  std::uint32_t num_hints_ = 0;
 
   // Same-time ties fall back to the FIFO seq sequentially, or to the
   // partition-invariant lineage order when det mode is on (the slot indices

@@ -92,6 +92,20 @@ std::vector<std::int32_t> Topology::hop_distances(net::NodeId to) const {
 }
 
 void Topology::build_routes() {
+  if (route_installer_) {
+    route_installer_(*this);
+  } else {
+    install_bfs_routes();
+  }
+  finalize_switch_config();
+}
+
+void Topology::build_routes_bfs() {
+  install_bfs_routes();
+  finalize_switch_config();
+}
+
+void Topology::install_bfs_routes() {
   // Per destination: one BFS yields min-hop distances, then every switch
   // installs all ports whose neighbor is strictly closer to the destination
   // (in port order, so tables depend only on construction order). A single
@@ -121,6 +135,9 @@ void Topology::build_routes() {
       sw->set_route_group(dst->id(), eq_ports);
     }
   }
+}
+
+void Topology::finalize_switch_config() {
   for (auto& sw : switches_) {
     sw->set_ecmp_seed(ecmp_seed_);
     sw->set_name_resolver([this](net::NodeId id) {
@@ -128,6 +145,12 @@ void Topology::build_routes() {
       return n ? n->name() : "#" + std::to_string(id);
     });
   }
+}
+
+std::size_t Topology::route_table_bytes() const {
+  std::size_t total = 0;
+  for (const auto& sw : switches_) total += sw->route_state_bytes();
+  return total;
 }
 
 sim::Time Topology::propagation_delay(net::NodeId from, net::NodeId to) const {

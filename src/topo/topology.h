@@ -39,11 +39,30 @@ class Topology {
   void connect_switches(net::Switch* a, net::Switch* b, double rate_bps,
                         sim::Time prop_delay, const QueueFactory& make_queue);
 
-  // Computes routing tables: per destination, every port on a min-hop path
-  // is installed (a multi-port destination becomes an ECMP group hashed per
-  // flow). Also stamps the ECMP seed and name resolver onto every switch.
-  // Must be called after all nodes/links exist.
+  // Computes routing tables and stamps the ECMP seed and name resolver onto
+  // every switch. Must be called after all nodes/links exist. When a
+  // structural route installer is registered (fat-tree), it runs instead of
+  // the generic per-destination BFS — O(V+E) arithmetic installs versus
+  // O(V * E) search — and re-runs on every call, so seed changes rebuild
+  // identically without leaking group state.
   void build_routes();
+
+  // Always the generic fallback: per destination, every port on a min-hop
+  // path is installed (a multi-port destination becomes an ECMP group hashed
+  // per flow). Public as the equivalence oracle for structural installers.
+  void build_routes_bfs();
+
+  // Registers a structural route synthesizer that build_routes dispatches
+  // to. The installer must fully rebuild every switch's tables (they call
+  // Switch::clear_routes first), since build_routes may run repeatedly.
+  using RouteInstaller = std::function<void(Topology&)>;
+  void set_route_installer(RouteInstaller installer) {
+    route_installer_ = std::move(installer);
+  }
+
+  // Total bytes held by all switches' route tables (compressed windows,
+  // intervals, groups) — the scale gate benches report this per fabric.
+  std::size_t route_table_bytes() const;
 
   // Seed folded into every switch's per-flow path hash. Set before
   // build_routes (or call build_routes again); same seed + same topology
@@ -109,6 +128,9 @@ class Topology {
   // Min-hop distance from every node to `to` (-1 when unreachable).
   std::vector<std::int32_t> hop_distances(net::NodeId to) const;
 
+  void install_bfs_routes();
+  void finalize_switch_config();
+
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<net::Host>> hosts_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
@@ -116,6 +138,7 @@ class Topology {
   std::vector<std::vector<HalfEdge>> adj_;   // indexed by node id
   std::vector<int> partition_group_;         // indexed by node id; -1 = none
   std::uint64_t ecmp_seed_ = 0;
+  RouteInstaller route_installer_;
 };
 
 }  // namespace pase::topo

@@ -81,9 +81,28 @@ void fold_common_metrics(obs::MetricsRegistry& reg, const ScenarioResult& r,
     reg.gauge("fabric.core_link_imbalance") =
         mean > 0.0 ? static_cast<double>(max_bytes) / mean : 0.0;
   }
+  // Route-table footprint across the fabric: the scale benches gate on
+  // bytes/switch staying sublinear in host count (compressed structural
+  // routes). Deterministic — a pure function of the built topology.
+  std::uint64_t route_bytes = 0;
+  for (const auto& sw : built.topo().switches()) {
+    route_bytes += sw->route_state_bytes();
+  }
+  reg.counter("fabric.switches") = built.topo().switches().size();
+  reg.counter("fabric.route_table_bytes") = route_bytes;
   // setup_wall_sec intentionally stays out of the registry: the metrics
   // snapshot is serialized into sweep JSON, which must be deterministic.
   if (r.trace) reg.counter("trace.dropped") = r.trace->dropped;
+}
+
+// Applies scenario-level switch knobs once the topology is built: currently
+// just the per-flow path-memo capacity (see ScenarioConfig::path_cache_entries;
+// 0 disables the memo). Selections are identical at any capacity, so this
+// never perturbs goldens.
+void apply_switch_tuning(topo::BuiltTopology& built, const ScenarioConfig& cfg) {
+  for (const auto& sw : built.topo().switches()) {
+    sw->set_path_cache_capacity(cfg.path_cache_entries);
+  }
 }
 
 const proto::TransportProfile& resolve_profile(const ScenarioConfig& cfg) {
@@ -246,6 +265,10 @@ struct Run {
   std::vector<stats::FlowRecord> records;  // exact mode: index == flow index
   std::unique_ptr<stats::StreamingFlowStats> streaming;  // streaming mode
   std::vector<bool> activated;  // flow index -> launch event ran
+  // Flow indices sorted by start time (stable, so same-instant flows keep
+  // generation order). Launches chain through it: exactly one pending
+  // launch event exists at a time — see launch_batch.
+  std::vector<std::uint32_t> launch_order;
   std::vector<std::uint32_t> retire_pending;  // done this chunk
   std::vector<std::uint32_t> retire_ready;    // quarantined one full chunk
   std::size_t outstanding = 0;  // short flows not yet finished
@@ -335,6 +358,29 @@ void launch_flow(Run& run, std::size_t i) {
   src->register_flow(flow.id, slot.sender);
   dst->register_flow(flow.id, slot.receiver);
   slot.sender->start();
+}
+
+// Launches every flow at launch_order[pos...] sharing one start instant,
+// then schedules the next batch. Chaining keeps the calendar free of tens
+// of thousands of far-future launch events: those alias into day buckets a
+// whole rotation out, and every steady-state insert that lands in a bucket
+// with such an alien at its head touches a cold slot line. One pending
+// launch at a time also keeps the slot arena sized by in-flight events,
+// not by workload length. Ordering is unchanged: same-instant flows run
+// inside one event in generation order — exactly the relative order the
+// schedule-everything-up-front driver produced (launch events were the
+// first seqs assigned, consecutively, so nothing could interleave them).
+void launch_batch(Run& run, std::size_t pos) {
+  const double t = run.flows[run.launch_order[pos]].start_time;
+  do {
+    launch_flow(run, run.launch_order[pos]);
+    ++pos;
+  } while (pos < run.launch_order.size() &&
+           run.flows[run.launch_order[pos]].start_time == t);
+  if (pos < run.launch_order.size()) {
+    run.sim.schedule_at(run.flows[run.launch_order[pos]].start_time,
+                        [&run, pos] { launch_batch(run, pos); });
+  }
 }
 
 // End-of-run folding shared by both stats modes: flush quarantine, fold
@@ -546,6 +592,7 @@ std::optional<ScenarioResult> try_run_parallel(
                                    profile.make_queue_factory(cfg));
   topo::BuiltTopology& built = *built_ptr;
   topo::Topology& topo = built.topo();
+  apply_switch_tuning(built, cfg);
 
   const topo::Partition part = partition_topology(topo, cfg.workers);
   if (!part.usable()) {
@@ -995,6 +1042,7 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   run.built =
       topology_builder(cfg)->build(run.sim, profile.make_queue_factory(cfg));
   topo::BuiltTopology& built = *run.built;
+  apply_switch_tuning(built, cfg);
 
   proto::RunContext ctx{run.sim, built,
                         static_cast<const proto::ProfileParams&>(cfg)};
@@ -1009,14 +1057,14 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   ctx.control = run.control.get();
   run.table.init(profile);
 
-  // Pre-size the engine and the packet pool from the workload: every launch
-  // event is staged up front (one pending event per flow), and the in-flight
-  // population beyond that is bounded by a few events per host (tx-done,
-  // delivery, timers, control). Reserving here means steady-state scheduling
+  // Pre-size the engine and the packet pool from the in-flight population:
+  // a few events per host (tx-done, delivery, timers, control) plus the one
+  // chained launch event (see launch_batch — launches no longer sit in the
+  // calendar all at once). Reserving here means steady-state scheduling
   // never grows a slot chunk or rebuilds the calendar mid-burst, and the
   // first wave of sends finds a warm packet pool.
   const std::size_t num_hosts = built.topo().num_hosts();
-  run.sim.reserve(run.flows.size() + num_hosts * 8 + 64);
+  run.sim.reserve(num_hosts * 8 + 1024);
   net::PacketPool::local().prewarm(num_hosts * 16 + 256);
 
   // Tracing: one preallocated ring for the whole (single-domain) run,
@@ -1043,12 +1091,21 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   }
   prewarm_demux(built.topo(), run.flows);
 
-  // Schedule flow launches. The closure fits the simulator's inline event
-  // payload, so even the launch burst allocates nothing per event; the
-  // endpoints themselves materialize inside the event, at start time.
-  for (std::size_t i = 0; i < run.flows.size(); ++i) {
-    run.sim.schedule_at(run.flows[i].start_time,
-                        [&run, i] { launch_flow(run, i); });
+  // Schedule flow launches as a chain in start-time order (stable sort:
+  // same-instant flows keep generation order, which the up-front scheduler
+  // expressed through consecutive setup seqs). The chain closure fits the
+  // simulator's inline event payload, so launches allocate nothing.
+  run.launch_order.resize(run.flows.size());
+  for (std::size_t i = 0; i < run.launch_order.size(); ++i) {
+    run.launch_order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::stable_sort(run.launch_order.begin(), run.launch_order.end(),
+                   [&run](std::uint32_t a, std::uint32_t b) {
+                     return run.flows[a].start_time < run.flows[b].start_time;
+                   });
+  if (!run.launch_order.empty()) {
+    run.sim.schedule_at(run.flows[run.launch_order[0]].start_time,
+                        [&run] { launch_batch(run, 0); });
   }
 
   ScenarioResult result;

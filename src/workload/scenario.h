@@ -108,6 +108,13 @@ struct ScenarioConfig : proto::ProfileParams {
   // endpoint alive to the end of the run (the historical behavior).
   bool recycle_endpoints = true;
 
+  // Per-switch path-cache (ECMP memo) capacity, rounded up to a power of
+  // two; 0 disables the memo. Selections are bit-identical at any value —
+  // the cache is a pure memo over the per-flow path hash — so this is a
+  // perf/memory knob only (≈24 B/entry/switch once a switch sees grouped
+  // traffic).
+  std::size_t path_cache_entries = 1024;
+
   // Structured tracing (src/obs/). Off by default: the harness then never
   // allocates a buffer and the simulation takes the exact same event path
   // (the 18 golden fingerprints pin this). When enabled, one ring buffer

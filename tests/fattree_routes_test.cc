@@ -1,0 +1,345 @@
+// Structural-vs-BFS route equivalence and compressed-table semantics.
+//
+// The fat-tree route synthesizer installs tables arithmetically (compressed
+// windows + intervals + shared default groups); Topology::build_routes_bfs
+// is the generic per-destination oracle. These tests pin exact equality —
+// same route_ports (port sets AND order, hence identical ECMP member
+// selection) and same port_for decisions on every switch — for k=4/8/16,
+// partial pods, and oversubscribed edges, plus tree degeneration, the
+// set_route group-release regression, shared-group safety, and path-cache
+// purity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/droptail_queue.h"
+#include "net/switch.h"
+#include "topo/fat_tree.h"
+#include "topo/three_tier.h"
+#include "trace_fingerprint.h"
+#include "workload/scenario.h"
+
+namespace pase {
+namespace {
+
+topo::QueueFactory droptail_factory() {
+  return [](double) { return std::make_unique<net::DropTailQueue>(100); };
+}
+
+// Every (switch, destination) pair: identical port lists from the structural
+// tables (a) and the BFS oracle re-run over the same fabric (b); then every
+// grouped destination hashes flows to the same port on both.
+void expect_equivalent_tables(const topo::FatTreeConfig& cfg) {
+  sim::Simulator sim_a, sim_b;
+  const topo::FatTree a = topo::build_fat_tree(sim_a, cfg, droptail_factory());
+  const topo::FatTree b = topo::build_fat_tree(sim_b, cfg, droptail_factory());
+  b.topo->build_routes_bfs();  // overwrite structural tables with the oracle
+
+  const auto n_nodes = static_cast<net::NodeId>(
+      b.topo->num_hosts() + b.topo->switches().size());
+  for (std::size_t s = 0; s < a.topo->switches().size(); ++s) {
+    const net::Switch* sa = a.topo->switches()[s].get();
+    const net::Switch* sb = b.topo->switches()[s].get();
+    for (net::NodeId dst = 0; dst <= n_nodes + 2; ++dst) {
+      ASSERT_EQ(sa->route_ports(dst), sb->route_ports(dst))
+          << sa->name() << " -> node " << dst;
+    }
+  }
+
+  // port_for: sample flows between remote host pairs (both directions, so
+  // every tier's groups are exercised) — selections must match bit for bit.
+  const net::NodeId h0 = a.topo->host(0)->id();
+  const net::NodeId hn =
+      a.topo->host(a.topo->num_hosts() - 1)->id();
+  for (net::FlowId f = 1; f <= 200; ++f) {
+    const net::PacketPtr fwd = net::make_data_packet(f, h0, hn, 0);
+    const net::PacketPtr rev = net::make_data_packet(f, hn, h0, 0);
+    for (std::size_t s = 0; s < a.topo->switches().size(); ++s) {
+      ASSERT_EQ(a.topo->switches()[s]->port_for(*fwd),
+                b.topo->switches()[s]->port_for(*fwd))
+          << a.topo->switches()[s]->name() << " flow " << f;
+      ASSERT_EQ(a.topo->switches()[s]->port_for(*rev),
+                b.topo->switches()[s]->port_for(*rev))
+          << a.topo->switches()[s]->name() << " flow " << f << " (reverse)";
+    }
+  }
+}
+
+TEST(StructuralRoutes, MatchesBfsOracleK4) {
+  topo::FatTreeConfig cfg;
+  cfg.ecmp_seed = 3;
+  expect_equivalent_tables(cfg);
+}
+
+TEST(StructuralRoutes, MatchesBfsOracleK8) {
+  topo::FatTreeConfig cfg;
+  cfg.k = 8;
+  expect_equivalent_tables(cfg);
+}
+
+TEST(StructuralRoutes, MatchesBfsOracleK16) {
+  topo::FatTreeConfig cfg;
+  cfg.k = 16;
+  expect_equivalent_tables(cfg);
+}
+
+TEST(StructuralRoutes, MatchesBfsOracleOnPartialPods) {
+  topo::FatTreeConfig cfg;
+  cfg.k = 8;
+  cfg.num_pods = 3;
+  expect_equivalent_tables(cfg);
+}
+
+TEST(StructuralRoutes, MatchesBfsOracleOnSinglePod) {
+  topo::FatTreeConfig cfg;
+  cfg.num_pods = 1;
+  expect_equivalent_tables(cfg);
+}
+
+TEST(StructuralRoutes, MatchesBfsOracleOversubscribed) {
+  topo::FatTreeConfig cfg;
+  cfg.k = 8;
+  cfg.oversubscription = 2.0;
+  expect_equivalent_tables(cfg);
+}
+
+// Trees have no structural installer: build_routes stays the BFS path and
+// the tables keep their legacy dense single-path shape (no groups at all on
+// a tree — every destination has a unique min-hop port).
+TEST(StructuralRoutes, TreesDegenerateToSinglePathBfs) {
+  sim::Simulator sim;
+  const topo::ThreeTier t =
+      topo::build_three_tier(sim, topo::ThreeTierConfig{}, droptail_factory());
+  const auto n_nodes = static_cast<net::NodeId>(
+      t.topo->num_hosts() + t.topo->switches().size());
+  for (const auto& sw : t.topo->switches()) {
+    EXPECT_EQ(sw->num_route_groups(), 0u) << sw->name();
+    for (net::NodeId dst = 0; dst < n_nodes; ++dst) {
+      if (dst == sw->id()) continue;
+      ASSERT_EQ(sw->route_width(dst), 1) << sw->name() << " -> " << dst;
+      const net::PacketPtr p = net::make_data_packet(1, 0, dst, 0);
+      ASSERT_EQ(sw->port_for(*p), sw->route_for(dst));
+    }
+  }
+}
+
+// Per-switch route state must be sublinear in fabric size: quadrupling the
+// hosts (k=8 -> k=16 is 8x) should grow the per-switch footprint by roughly
+// the pod size (~4x), never proportionally to total hosts.
+TEST(StructuralRoutes, PerSwitchStateSublinearInHosts) {
+  sim::Simulator sim8, sim16;
+  topo::FatTreeConfig c8, c16;
+  c8.k = 8;
+  c16.k = 16;
+  const topo::FatTree t8 = topo::build_fat_tree(sim8, c8, droptail_factory());
+  const topo::FatTree t16 =
+      topo::build_fat_tree(sim16, c16, droptail_factory());
+  const double per_sw8 =
+      static_cast<double>(t8.topo->route_table_bytes()) /
+      static_cast<double>(t8.topo->switches().size());
+  const double per_sw16 =
+      static_cast<double>(t16.topo->route_table_bytes()) /
+      static_cast<double>(t16.topo->switches().size());
+  const double host_ratio = static_cast<double>(t16.topo->num_hosts()) /
+                            static_cast<double>(t8.topo->num_hosts());  // 8x
+  EXPECT_LT(per_sw16 / per_sw8, host_ratio / 1.5);
+}
+
+// --- set_route group release (regression) ------------------------------------
+
+class CompressedSwitch : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  net::Switch sw{0, "leak-sw"};
+  net::Host a{1, "a"}, b{2, "b"};
+
+  void SetUp() override {
+    sw.add_port(std::make_unique<net::DropTailQueue>(16),
+                std::make_unique<net::Link>(sim, 1e9, 1e-6, "sw->a"), &a);
+    sw.add_port(std::make_unique<net::DropTailQueue>(16),
+                std::make_unique<net::Link>(sim, 1e9, 1e-6, "sw->b"), &b);
+  }
+};
+
+TEST_F(CompressedSwitch, SetRouteReleasesTheOverwrittenGroup) {
+  sw.set_route_group(99, {0, 1});
+  ASSERT_EQ(sw.num_route_groups(), 1u);
+  // Overwriting a grouped destination with a single-path route used to leak
+  // the group slot forever.
+  sw.set_route(99, 0);
+  EXPECT_EQ(sw.num_route_groups(), 0u);
+  EXPECT_EQ(sw.route_width(99), 1);
+  EXPECT_EQ(sw.route_for(99), 0);
+  // The released slot is recycled by the next group install.
+  sw.set_route_group(99, {1, 0});
+  EXPECT_EQ(sw.num_route_groups(), 1u);
+  EXPECT_EQ(sw.route_for(99), 1);
+}
+
+TEST_F(CompressedSwitch, SinglePortGroupOverwriteAlsoReleases) {
+  sw.set_route_group(42, {0, 1});
+  ASSERT_EQ(sw.num_route_groups(), 1u);
+  // The degenerate single-port form routes through set_route and must
+  // release just the same.
+  sw.set_route_group(42, {1});
+  EXPECT_EQ(sw.num_route_groups(), 0u);
+  EXPECT_EQ(sw.route_for(42), 1);
+}
+
+TEST_F(CompressedSwitch, RepeatedOverwriteCyclesDoNotAccumulateGroups) {
+  for (int i = 0; i < 100; ++i) {
+    sw.set_route_group(7, {0, 1});
+    sw.set_route(7, i % 2);
+  }
+  EXPECT_EQ(sw.num_route_groups(), 0u);
+}
+
+// --- Shared groups -----------------------------------------------------------
+
+TEST_F(CompressedSwitch, SharedGroupsSurvivePerDestinationOverwrites) {
+  const std::int32_t shared = sw.add_shared_group({0, 1});
+  sw.set_route_entry(10, shared);
+  sw.set_route_entry(11, shared);
+  ASSERT_EQ(sw.num_route_groups(), 1u);
+  EXPECT_EQ(sw.route_width(10), 2);
+  // Overwriting one destination must not release (or clobber) the group the
+  // other destination still routes through.
+  sw.set_route(10, 0);
+  EXPECT_EQ(sw.num_route_groups(), 1u);
+  EXPECT_EQ(sw.route_width(11), 2);
+  // Installing an owned group over a shared-entry slot allocates a fresh
+  // slot instead of rewriting the shared group in place.
+  sw.set_route_group(11, {1, 0});
+  EXPECT_EQ(sw.num_route_groups(), 2u);
+  sw.set_route_entry(12, shared);
+  EXPECT_EQ(sw.route_width(12), 2);
+  EXPECT_EQ(sw.route_ports(12), (std::vector<int>{0, 1}));
+}
+
+TEST_F(CompressedSwitch, SingleMemberSharedGroupIsAPlainPortEntry) {
+  const std::int32_t entry = sw.add_shared_group({1});
+  EXPECT_EQ(entry, 1);
+  EXPECT_EQ(sw.num_route_groups(), 0u);
+}
+
+// --- Compressed layers -------------------------------------------------------
+
+TEST_F(CompressedSwitch, IntervalAndDefaultLayersAreBoundedAndShadowed) {
+  sw.set_dense_window(10, 12);
+  sw.set_route_id_bound(100);
+  const std::int32_t shared = sw.add_shared_group({0, 1});
+  sw.set_default_route_entry(shared);
+  sw.add_route_interval(20, 30, 1);
+  sw.add_route_interval_strided(30, 34, 0, 2);  // 30,31 -> 0; 32,33 -> 1
+  sw.set_route(10, 0);  // in-window single path
+
+  EXPECT_EQ(sw.route_for(10), 0);
+  // In-window kNoRoute is authoritative: no fall-through to the default.
+  EXPECT_EQ(sw.route_width(11), 0);
+  // Constant and strided intervals.
+  EXPECT_EQ(sw.route_for(25), 1);
+  EXPECT_EQ(sw.route_for(30), 0);
+  EXPECT_EQ(sw.route_for(31), 0);
+  EXPECT_EQ(sw.route_for(33), 1);
+  // Gaps inside the bound hit the default group.
+  EXPECT_EQ(sw.route_width(50), 2);
+  EXPECT_EQ(sw.route_ports(50), (std::vector<int>{0, 1}));
+  // At/above the bound: unrouted, even though a default exists.
+  EXPECT_EQ(sw.route_width(100), 0);
+  EXPECT_EQ(sw.route_width(5000), 0);
+  // Grouped selection through the default is the usual per-flow hash.
+  const net::PacketPtr p = net::make_data_packet(3, 1, 50, 0);
+  const int port = sw.port_for(*p);
+  EXPECT_TRUE(port == 0 || port == 1);
+
+  sw.clear_routes();
+  EXPECT_EQ(sw.num_route_groups(), 0u);
+  EXPECT_EQ(sw.route_width(50), 0);
+  EXPECT_EQ(sw.route_width(10), 0);
+}
+
+// --- Path cache --------------------------------------------------------------
+
+TEST_F(CompressedSwitch, PathCacheIsAPureMemo) {
+  sw.set_route_group(99, {0, 1});
+  // Record selections with the cache off...
+  sw.set_path_cache_capacity(0);
+  std::vector<int> uncached;
+  for (net::FlowId f = 1; f <= 500; ++f) {
+    uncached.push_back(sw.port_for(*net::make_data_packet(f, 1, 99, 0)));
+  }
+  // ...then with a deliberately tiny (thrashing) cache, twice, so hits,
+  // misses and overwrites all occur: selections must be identical.
+  sw.set_path_cache_capacity(4);
+  for (int round = 0; round < 2; ++round) {
+    for (net::FlowId f = 1; f <= 500; ++f) {
+      EXPECT_EQ(sw.port_for(*net::make_data_packet(f, 1, 99, 0)),
+                uncached[static_cast<std::size_t>(f - 1)])
+          << "flow " << f << " round " << round;
+    }
+  }
+}
+
+TEST_F(CompressedSwitch, PathCacheKeysOnFullFlowIdentity) {
+  // ACKs reverse src/dst under the same flow id: the memo must treat the two
+  // directions as distinct keys, matching the hash exactly.
+  sw.set_route_group(99, {0, 1});
+  sw.set_route_group(98, {1, 0});
+  for (net::FlowId f = 1; f <= 200; ++f) {
+    const net::PacketPtr fwd = net::make_data_packet(f, 1, 99, 0);
+    const net::PacketPtr rev = net::make_data_packet(f, 99, 98, 0);
+    const int pf = sw.port_for(*fwd);
+    const int pr = sw.port_for(*rev);
+    sw.set_path_cache_capacity(1024);  // also clears: next lookups re-derive
+    EXPECT_EQ(sw.port_for(*fwd), pf);
+    EXPECT_EQ(sw.port_for(*rev), pr);
+  }
+}
+
+TEST_F(CompressedSwitch, SeedChangeInvalidatesCachedSelections) {
+  sw.set_route_group(99, {0, 1});
+  // Warm the cache under seed 0, then reseed: selections must match a
+  // fresh switch configured with the new seed from scratch (stale cached
+  // ports would break bit-reproducibility of reseeded runs).
+  for (net::FlowId f = 1; f <= 300; ++f) {
+    (void)sw.port_for(*net::make_data_packet(f, 1, 99, 0));
+  }
+  sw.set_ecmp_seed(1234);
+
+  net::Switch fresh{0, "fresh"};
+  net::Host fa{1, "fa"}, fb{2, "fb"};
+  fresh.add_port(std::make_unique<net::DropTailQueue>(16),
+                 std::make_unique<net::Link>(sim, 1e9, 1e-6, "f->a"), &fa);
+  fresh.add_port(std::make_unique<net::DropTailQueue>(16),
+                 std::make_unique<net::Link>(sim, 1e9, 1e-6, "f->b"), &fb);
+  fresh.set_route_group(99, {0, 1});
+  fresh.set_ecmp_seed(1234);
+  for (net::FlowId f = 1; f <= 300; ++f) {
+    const net::PacketPtr p = net::make_data_packet(f, 1, 99, 0);
+    EXPECT_EQ(sw.port_for(*p), fresh.port_for(*p)) << "flow " << f;
+  }
+}
+
+// End-to-end: a fat-tree scenario fingerprint is identical with the memo
+// disabled on every switch — the cache provably never alters a selection.
+TEST(PathCache, ScenarioFingerprintUnchangedWhenDisabled) {
+  workload::ScenarioConfig cfg;
+  cfg.protocol = workload::Protocol::kDctcp;
+  cfg.topology = workload::ScenarioConfig::TopologyKind::kFatTree;
+  cfg.fattree.k = 4;
+  cfg.fattree.fabric_rate_bps = cfg.fattree.host_rate_bps;  // congest fabric
+  cfg.traffic.pattern = workload::Pattern::kIntraRackRandom;
+  cfg.traffic.load = 0.8;
+  cfg.traffic.num_flows = 150;
+  cfg.traffic.seed = 11;
+  const std::uint64_t cached = trace_fingerprint(workload::run_scenario(cfg));
+  cfg.path_cache_entries = 0;
+  const std::uint64_t uncached =
+      trace_fingerprint(workload::run_scenario(cfg));
+  EXPECT_EQ(cached, uncached);
+}
+
+}  // namespace
+}  // namespace pase

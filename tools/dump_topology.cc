@@ -7,6 +7,12 @@
 //   dump_topology --topology=fattree --k=4 --domains=4 --out=ft4.dot
 //   dump_topology --topology=threetier
 //   dump_topology --topology=singlerack --hosts=8
+//
+// --summary collapses each tier to a single node (hosts / edge / agg /
+// core) with node counts in the label and link multiplicities on the
+// aggregated edges, so a k=32 fabric (8k hosts, 1.2k switches) renders as
+// a four-box diagram instead of an unreadable hairball. With --domains=N
+// the aggregate edges also carry the number of cut links they contain.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +41,7 @@ struct Options {
   double oversub = 1.0;
   int hosts = 8;          // single-rack
   int domains = 0;        // 0 = no partition overlay
+  bool summary = false;   // tier-collapsed view
   std::string out;        // empty = stdout
 };
 
@@ -42,7 +49,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--topology=fattree|threetier|singlerack] [--k=N] "
                "[--pods=N] [--oversub=X] [--hosts=N] [--domains=N] "
-               "[--out=FILE]\n",
+               "[--summary] [--out=FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +74,8 @@ Options parse(int argc, char** argv) {
       o.hosts = std::atoi(v);
     } else if (const char* v = val("--domains=")) {
       o.domains = std::atoi(v);
+    } else if (arg == "--summary") {
+      o.summary = true;
     } else if (const char* v = val("--out=")) {
       o.out = v;
     } else {
@@ -96,17 +105,9 @@ std::unique_ptr<topo::TopologyBuilder> make_builder(const Options& o) {
   std::exit(2);
 }
 
-void emit(std::ostream& os, topo::BuiltTopology& built, int domains) {
-  topo::Topology& topo = built.topo();
-
-  topo::Partition part;
-  if (domains > 1) part = topo::partition_topology(topo, domains);
-  const bool overlay = part.domains > 1;
-  std::set<const net::Link*> cut;
-  for (const auto& c : part.cut_links) cut.insert(c.link);
-
-  // Hosts are tier 0; a switch's tier is 1 + max tier below it, computed by
-  // sweeping switch adjacency until fixpoint (hosts pin the bottom).
+// Hosts are tier 0; a switch's tier is 1 + min tier below it, computed by
+// sweeping switch adjacency until fixpoint (hosts pin the bottom).
+std::vector<int> compute_tiers(topo::Topology& topo) {
   const std::size_t n = topo.hosts().size() + topo.switches().size();
   std::vector<int> tier(n, -1);
   for (const auto& h : topo.hosts()) {
@@ -130,6 +131,101 @@ void emit(std::ostream& os, topo::BuiltTopology& built, int domains) {
         changed = true;
       }
     }
+  }
+  return tier;
+}
+
+// Conventional tier names for the diagrams; tiers past the named ones fall
+// back to "tier N".
+std::string tier_label(int t) {
+  switch (t) {
+    case 0: return "hosts";
+    case 1: return "edge";
+    case 2: return "agg";
+    case 3: return "core";
+    default: return "tier " + std::to_string(t);
+  }
+}
+
+// Tier-collapsed view: one box per tier, aggregated edges labeled with link
+// multiplicity (and cut-link counts under a partition overlay).
+void emit_summary(std::ostream& os, topo::Topology& topo,
+                  const std::vector<int>& tier, const topo::Partition& part,
+                  const std::set<const net::Link*>& cut) {
+  const bool overlay = part.domains > 1;
+  std::map<int, std::size_t> tier_nodes;
+  for (const auto& h : topo.hosts()) {
+    ++tier_nodes[tier[static_cast<std::size_t>(h->id())]];
+  }
+  for (const auto& sw : topo.switches()) {
+    ++tier_nodes[tier[static_cast<std::size_t>(sw->id())]];
+  }
+
+  // Aggregate undirected adjacencies by (lower tier, higher tier): count
+  // each once per unordered node pair, tallying cut links alongside.
+  struct EdgeAgg {
+    std::size_t links = 0;
+    std::size_t cut = 0;
+  };
+  std::map<std::pair<int, int>, EdgeAgg> agg;
+  std::set<std::pair<net::NodeId, net::NodeId>> drawn;
+  const auto tally = [&](const net::Link& l, net::NodeId src,
+                         net::NodeId dst) {
+    const auto key = std::minmax(src, dst);
+    if (!drawn.insert(key).second) return;
+    const auto tk = std::minmax(tier[static_cast<std::size_t>(src)],
+                                tier[static_cast<std::size_t>(dst)]);
+    EdgeAgg& e = agg[tk];
+    ++e.links;
+    if (overlay && cut.count(&l) > 0) ++e.cut;
+  };
+  for (const auto& h : topo.hosts()) {
+    tally(h->uplink(), h->id(), h->uplink().destination()->id());
+  }
+  for (const auto& sw : topo.switches()) {
+    for (int p = 0; p < sw->num_ports(); ++p) {
+      tally(sw->port_link(p), sw->id(), sw->port_neighbor(p)->id());
+    }
+  }
+
+  os << "digraph topology_summary {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n"
+     << "  edge [dir=none, fontname=\"monospace\"];\n";
+  for (const auto& [t, count] : tier_nodes) {
+    os << "  t" << t << " [label=\"" << tier_label(t) << "\\n" << count
+       << " nodes\"";
+    if (t == 0) os << ", shape=ellipse";
+    os << "];\n";
+  }
+  for (const auto& [tk, e] : agg) {
+    os << "  t" << tk.first << " -> t" << tk.second << " [label=\""
+       << e.links << " links";
+    if (e.cut > 0) os << " (" << e.cut << " cut)";
+    os << "\"";
+    if (e.cut > 0) os << ", color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+void emit(std::ostream& os, topo::BuiltTopology& built, int domains,
+          bool summary) {
+  topo::Topology& topo = built.topo();
+
+  topo::Partition part;
+  if (domains > 1) part = topo::partition_topology(topo, domains);
+  const bool overlay = part.domains > 1;
+  std::set<const net::Link*> cut;
+  for (const auto& c : part.cut_links) cut.insert(c.link);
+
+  const std::vector<int> tier = compute_tiers(topo);
+
+  if (summary) {
+    emit_summary(os, topo, tier, part, cut);
+    std::cerr << "nodes: " << topo.hosts().size() << " hosts + "
+              << topo.switches().size() << " switches (summary)\n";
+    return;
   }
 
   os << "digraph topology {\n"
@@ -205,14 +301,14 @@ int main(int argc, char** argv) {
       make_builder(o)->build(sim, q);
 
   if (o.out.empty()) {
-    emit(std::cout, *built, o.domains);
+    emit(std::cout, *built, o.domains, o.summary);
   } else {
     std::ofstream f(o.out);
     if (!f) {
       std::fprintf(stderr, "cannot open %s\n", o.out.c_str());
       return 1;
     }
-    emit(f, *built, o.domains);
+    emit(f, *built, o.domains, o.summary);
     std::fprintf(stderr, "wrote %s\n", o.out.c_str());
   }
   return 0;
