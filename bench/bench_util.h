@@ -129,6 +129,43 @@ inline bool write_trace_file(const ScenarioResult& r, const std::string& path) {
   return chrome ? r.trace->write_chrome_json(path) : r.trace->write_jsonl(path);
 }
 
+// Telemetry request parsed from a bench's argv:
+//   --telemetry=<path>          enable the telemetry plane, write the
+//                               "pase-telemetry" JSONL summary there
+//   --telemetry-period=<sec>    sample grid period (default 1 ms)
+// Like tracing, telemetry applies to the grid's first cell.
+struct TelemetryOptions {
+  std::string path;  // empty = telemetry off
+  double period = 1e-3;
+  bool enabled() const { return !path.empty(); }
+};
+
+inline TelemetryOptions telemetry_from_cli(int argc, char** argv) {
+  TelemetryOptions t;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--telemetry=", 12) == 0) {
+      t.path = a + 12;
+    } else if (std::strcmp(a, "--telemetry") == 0 && i + 1 < argc) {
+      t.path = argv[++i];
+    } else if (std::strncmp(a, "--telemetry-period=", 19) == 0) {
+      const double p = std::atof(a + 19);
+      if (p > 0) t.period = p;
+    }
+  }
+  return t;
+}
+
+// `--profile`: enable the engine self-profiler, folding profile.* entries
+// (dispatch mix, calendar scan stats, path-cache hit rates) into every
+// cell's metrics snapshot — and therefore into the sweep JSON.
+inline bool profile_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) return true;
+  }
+  return false;
+}
+
 // Fabric override for any figure bench: `--topology=fattree [--k=N]`
 // rebases every sweep cell onto a k-ary fat-tree (default k=16, 1024 hosts)
 // so the paper's AFCT/CDF/deadline figures can be reproduced on a
@@ -181,15 +218,24 @@ class Sweep {
     return cases_.size() - 1;
   }
 
-  // Standard bench entry: honors --threads plus the tracing flags. Tracing
-  // applies to the grid's first cell (figures order cells per protocol, so
-  // pass --protocols=<one> to pick which run is traced).
+  // Standard bench entry: honors --threads plus the tracing, telemetry and
+  // profiling flags. Tracing and telemetry apply to the grid's first cell
+  // (figures order cells per protocol, so pass --protocols=<one> to pick
+  // which run is observed); --profile applies to every cell.
   const std::vector<ScenarioResult>& run(int argc, char** argv) {
     for (auto& c : cases_) apply_topology_override(c.config, argc, argv);
     const TraceOptions trace = trace_from_cli(argc, argv);
     if (trace.enabled() && !cases_.empty()) {
       cases_[0].config.trace.enabled = true;
       cases_[0].config.trace.categories = trace.categories;
+    }
+    const TelemetryOptions telemetry = telemetry_from_cli(argc, argv);
+    if (telemetry.enabled() && !cases_.empty()) {
+      cases_[0].config.telemetry.enabled = true;
+      cases_[0].config.telemetry.sample_period = telemetry.period;
+    }
+    if (profile_from_cli(argc, argv)) {
+      for (auto& c : cases_) c.config.profile = true;
     }
     run(parse_threads(argc, argv));
     if (trace.enabled() && !results_.empty()) {
@@ -199,6 +245,16 @@ class Sweep {
       } else {
         std::fprintf(stderr, "warning: could not write trace to %s\n",
                      trace.path.c_str());
+      }
+    }
+    if (telemetry.enabled() && !results_.empty()) {
+      if (results_[0].telemetry &&
+          results_[0].telemetry->write_jsonl(telemetry.path)) {
+        std::fprintf(stderr, "telemetry for '%s' written to %s\n",
+                     cases_[0].label.c_str(), telemetry.path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not write telemetry to %s\n",
+                     telemetry.path.c_str());
       }
     }
     return results_;

@@ -20,8 +20,14 @@
 // that scale's own high-water mark. Results land in BENCH_fattree.json.
 //
 // Flags:
-//   --quick    k = {4, 8, 16} (CI smoke; CI gates route memory sublinearity
-//              and k=16 throughput against the pre-compression baseline)
+//   --quick            k = {4, 8, 16} (CI smoke; CI gates route memory
+//                      sublinearity and k=16 throughput against the
+//                      pre-compression baseline)
+//   --telemetry=BASE   enable the telemetry plane; each scale's child writes
+//                      its summary to BASE.k<k>.jsonl ("pase-telemetry"
+//                      schema). CI gates the telemetry-on overhead <= 5%.
+//   --profile          enable the engine self-profiler; dispatch mix, scan
+//                      stats and path-cache hit rate land in the JSON rows
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -63,6 +69,20 @@ struct ScaleOut {
   double ns_per_packet = 0.0;
   double afct_s = 0.0;
   double end_time_s = 0.0;
+  // Self-profiler fields (zero unless --profile).
+  std::uint64_t profile_dispatch_raw = 0;
+  std::uint64_t profile_scan_max = 0;
+  std::uint64_t profile_peak_pending = 0;
+  double profile_scan_mean = 0.0;
+  double path_cache_hit_rate = 0.0;
+  // Telemetry fields (zero unless --telemetry).
+  std::uint64_t telemetry_samples = 0;
+};
+
+// Per-run observability knobs, forwarded into each forked child.
+struct ObsFlags {
+  bool profile = false;
+  std::string telemetry_base;  // empty = telemetry off
 };
 
 ScenarioConfig fattree_config(int k, int num_flows) {
@@ -91,8 +111,10 @@ double metric(const workload::ScenarioResult& r, const char* name) {
   return 0.0;
 }
 
-ScaleOut run_scale(int k, int num_flows) {
-  const ScenarioConfig cfg = fattree_config(k, num_flows);
+ScaleOut run_scale(int k, int num_flows, const ObsFlags& obs) {
+  ScenarioConfig cfg = fattree_config(k, num_flows);
+  cfg.profile = obs.profile;
+  if (!obs.telemetry_base.empty()) cfg.telemetry.enabled = true;
   const auto t0 = std::chrono::steady_clock::now();
   const workload::ScenarioResult r = workload::run_scenario(cfg);
   const auto t1 = std::chrono::steady_clock::now();
@@ -127,6 +149,26 @@ ScaleOut run_scale(int k, int num_flows) {
   out.afct_s = r.afct();
   out.end_time_s = r.end_time;
 
+  if (obs.profile) {
+    out.profile_dispatch_raw =
+        static_cast<std::uint64_t>(metric(r, "profile.engine.dispatch.raw"));
+    out.profile_scan_max =
+        static_cast<std::uint64_t>(metric(r, "profile.engine.scan_max"));
+    out.profile_peak_pending =
+        static_cast<std::uint64_t>(metric(r, "profile.engine.peak_pending"));
+    out.profile_scan_mean = metric(r, "profile.engine.scan_mean");
+    out.path_cache_hit_rate = metric(r, "profile.switch.path_cache_hit_rate");
+  }
+  if (r.telemetry) {
+    out.telemetry_samples = r.telemetry->samples;
+    const std::string path =
+        obs.telemetry_base + ".k" + std::to_string(k) + ".jsonl";
+    if (!r.telemetry->write_jsonl(path)) {
+      std::fprintf(stderr, "warning: could not write telemetry to %s\n",
+                   path.c_str());
+    }
+  }
+
   struct rusage ru;
   getrusage(RUSAGE_SELF, &ru);
   out.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
@@ -135,7 +177,8 @@ ScaleOut run_scale(int k, int num_flows) {
 
 // Forks, runs one scale in the child, and reads the result back. Returns
 // false if the child failed.
-bool run_scale_isolated(int k, int num_flows, ScaleOut* out) {
+bool run_scale_isolated(int k, int num_flows, const ObsFlags& obs,
+                        ScaleOut* out) {
   int fd[2];
   if (pipe(fd) != 0) return false;
   const pid_t pid = fork();
@@ -146,7 +189,7 @@ bool run_scale_isolated(int k, int num_flows, ScaleOut* out) {
   }
   if (pid == 0) {
     close(fd[0]);
-    const ScaleOut r = run_scale(k, num_flows);
+    const ScaleOut r = run_scale(k, num_flows, obs);
     ssize_t n = write(fd[1], &r, sizeof(r));
     close(fd[1]);
     _exit(n == static_cast<ssize_t>(sizeof(r)) ? 0 : 1);
@@ -170,8 +213,15 @@ bool run_scale_isolated(int k, int num_flows, ScaleOut* out) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  ObsFlags obs;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      obs.profile = true;
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      obs.telemetry_base = argv[i] + 12;
+    }
   }
 
   // Flow counts grow with the host population so per-host load is comparable
@@ -204,7 +254,7 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (std::size_t i = 0; i < scales.size(); ++i) {
     ScaleOut r;
-    if (!run_scale_isolated(scales[i].k, scales[i].flows, &r)) {
+    if (!run_scale_isolated(scales[i].k, scales[i].flows, obs, &r)) {
       std::fprintf(stderr, "error: k=%d failed\n", scales[i].k);
       ok = false;
       break;
@@ -221,7 +271,7 @@ int main(int argc, char** argv) {
         r.ns_per_packet, r.core_link_imbalance, r.afct_s * 1e3);
     std::fflush(stdout);
 
-    char row[1024];
+    char row[1536];
     std::snprintf(
         row, sizeof(row),
         "    {\"k\": %llu, \"hosts\": %llu, \"switches\": %llu,\n"
@@ -232,7 +282,11 @@ int main(int argc, char** argv) {
         "     \"packets_per_sec\": %.1f, \"ns_per_packet\": %.1f,\n"
         "     \"core_links\": %llu,\n"
         "     \"core_link_imbalance\": %.6f, \"afct_s\": %.9f,\n"
-        "     \"end_time_s\": %.6f}%s\n",
+        "     \"end_time_s\": %.6f,\n"
+        "     \"profile_dispatch_raw\": %llu, \"profile_scan_mean\": %.3f,\n"
+        "     \"profile_scan_max\": %llu, \"profile_peak_pending\": %llu,\n"
+        "     \"path_cache_hit_rate\": %.6f,\n"
+        "     \"telemetry_samples\": %llu}%s\n",
         static_cast<unsigned long long>(r.k),
         static_cast<unsigned long long>(r.hosts),
         static_cast<unsigned long long>(r.switches),
@@ -245,6 +299,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.sim_packets), r.packets_per_sec,
         r.ns_per_packet, static_cast<unsigned long long>(r.core_links),
         r.core_link_imbalance, r.afct_s, r.end_time_s,
+        static_cast<unsigned long long>(r.profile_dispatch_raw),
+        r.profile_scan_mean,
+        static_cast<unsigned long long>(r.profile_scan_max),
+        static_cast<unsigned long long>(r.profile_peak_pending),
+        r.path_cache_hit_rate,
+        static_cast<unsigned long long>(r.telemetry_samples),
         i + 1 < scales.size() ? "," : "");
     json += row;
   }

@@ -1,11 +1,12 @@
 // Example: a command-line experiment runner with fabric telemetry.
 //
 // Exposes the scenario harness as a small CLI, ns-2-script style, and uses
-// FabricTelemetry to report where the backlog lived — handy for exploring
-// parameter spaces without writing code.
+// the obs::TelemetryPlane to report where the backlog lived — handy for
+// exploring parameter spaces without writing code.
 //
 //   ./build/examples/run_experiment --protocol pase --topology tree \
-//       --pattern leftright --load 0.8 --flows 500 --seed 7
+//       --pattern leftright --load 0.8 --flows 500 --seed 7 \
+//       --telemetry run.jsonl
 //
 // Flags: --protocol NAME (any registered transport profile; the built-ins
 //                         are dctcp,d2tcp,l2dct,pdq,pfabric,pase)
@@ -14,6 +15,8 @@
 //        --load X   --flows N  --seed S
 //        --sizes  {uniform,websearch,datamining}
 //        --deadlines LO_MS,HI_MS
+//        --telemetry PATH (write a pase-telemetry JSONL summary; render it
+//                          with tools/telemetry_report)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +53,7 @@ workload::SizeDistribution parse_sizes(const std::string& s) {
 
 int main(int argc, char** argv) {
   workload::ScenarioConfig cfg;
+  std::string telemetry_path;
   cfg.protocol = workload::Protocol::kPase;
   cfg.topology = workload::ScenarioConfig::TopologyKind::kSingleRack;
   cfg.rack.num_hosts = 20;
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
       }
       cfg.traffic.deadline_min = lo * 1e-3;
       cfg.traffic.deadline_max = hi * 1e-3;
+    } else if (flag == "--telemetry") {
+      telemetry_path = val;
+      cfg.telemetry.enabled = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -124,6 +131,22 @@ int main(int argc, char** argv) {
                 res.control_msgs_per_sec(),
                 static_cast<unsigned long long>(res.control.arbitrations),
                 static_cast<unsigned long long>(res.control.pruned_requests));
+  }
+  if (res.telemetry) {
+    if (!res.telemetry->hot_links.empty()) {
+      const auto& hot = res.telemetry->hot_links.front();
+      std::printf("hottest link    : %s (%.1f MB)\n", hot.name.c_str(),
+                  static_cast<double>(hot.bytes) / (1 << 20));
+    }
+    if (res.telemetry->write_jsonl(telemetry_path)) {
+      std::printf("telemetry       : wrote %s (%llu samples, %zu groups)\n",
+                  telemetry_path.c_str(),
+                  static_cast<unsigned long long>(res.telemetry->samples),
+                  res.telemetry->group_names.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   telemetry_path.c_str());
+    }
   }
   return 0;
 }

@@ -107,6 +107,11 @@ class Link {
   void register_prefetch_hints() {
     sim_->set_prefetch_hint(&Link::on_tx_done, &Link::txdone_hint);
     sim_->set_prefetch_hint(&Link::on_deliver, &Link::deliver_hint);
+    // Profiler labels ride the same per-domain registration: a rebound link
+    // re-registers onto its domain clock, so every engine can attribute its
+    // dispatches whether the run is sequential or partitioned.
+    sim_->set_profile_label(&Link::on_tx_done, "link.tx_done");
+    sim_->set_profile_label(&Link::on_deliver, "link.deliver");
   }
   static void txdone_hint(void* self, void* arg);
   static void deliver_hint(void* self, void* arg);

@@ -40,7 +40,7 @@ class Queue {
   std::uint64_t enqueues() const { return enqueues_; }
 
   // Stable identity for trace records ("which queue dropped this packet").
-  // Assigned during harness/telemetry setup (stats::label_fabric_queues);
+  // Assigned during harness/telemetry setup (obs::label_fabric_queues);
   // queues outside a labeled topology keep id 0.
   void set_trace_id(std::uint32_t id) { trace_id_ = id; }
   std::uint32_t trace_id() const { return trace_id_; }

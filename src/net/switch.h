@@ -213,6 +213,12 @@ class Switch : public Node {
   void set_path_cache_capacity(std::size_t entries);
   std::size_t path_cache_capacity() const { return path_cache_capacity_; }
 
+  // Path-memo effectiveness counters (always on: two increments on a line
+  // select_group_port already owns). The profiler aggregates these into the
+  // fabric-wide hit rate.
+  std::uint64_t path_cache_hits() const { return path_cache_hits_; }
+  std::uint64_t path_cache_misses() const { return path_cache_misses_; }
+
   // Seeds the per-flow hash. The switch folds its own node id into the salt
   // so tiers decorrelate (every switch picking the same group index for a
   // flow would concentrate load); same seed + same topology => identical
@@ -323,8 +329,10 @@ class Switch : public Node {
       }
       PathCacheEntry& c = path_cache_[path_cache_slot(p)];
       if (c.flow == p.flow && c.src == p.src && c.dst == p.dst) [[likely]] {
+        ++path_cache_hits_;
         return static_cast<int>(c.port);
       }
+      ++path_cache_misses_;
       const std::uint64_t h =
           flow_path_hash(ecmp_salt_, p.src, p.dst, p.flow);
       const auto port = static_cast<std::int32_t>(
@@ -380,6 +388,8 @@ class Switch : public Node {
   // Lazily allocated at first grouped lookup; cleared on any route mutation.
   mutable std::vector<PathCacheEntry> path_cache_;
   std::size_t path_cache_capacity_ = 1024;
+  mutable std::uint64_t path_cache_hits_ = 0;
+  mutable std::uint64_t path_cache_misses_ = 0;
   std::vector<ForwardHook> hooks_;
   ControlHandler control_;
   NameResolver resolve_name_;

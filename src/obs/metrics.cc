@@ -1,43 +1,54 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace pase::obs {
 
 namespace {
 
-template <typename EntryPtr>
-EntryPtr find_entry(const std::vector<EntryPtr>& entries,
-                    const std::string& name) {
-  for (EntryPtr e : entries) {
-    if (e->name == name) return e;
+template <typename Entry>
+Entry* find_entry(const std::vector<std::unique_ptr<Entry>>& entries,
+                  const std::string& name) {
+  for (const auto& e : entries) {
+    if (e->name == name) return e.get();
   }
   return nullptr;
 }
 
-}  // namespace
-
-MetricsRegistry::~MetricsRegistry() {
-  for (auto* e : counters_) delete e;
-  for (auto* e : gauges_) delete e;
-  for (auto* e : series_) delete e;
+// Nearest-rank p99 over an unsorted series (copy + sort; series are short
+// and snapshot() is an end-of-run operation).
+double series_p99(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  std::vector<double> sorted(v);
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest rank: ceil(0.99 n), 1-based — the smallest value with at least
+  // 99% of the samples at or below it.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(sorted.size())));
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank == 0 ? 0 : rank - 1];
 }
+
+}  // namespace
 
 std::uint64_t& MetricsRegistry::counter(const std::string& name) {
   if (auto* e = find_entry(counters_, name)) return e->value;
-  counters_.push_back(new Entry<std::uint64_t>{name, 0});
+  counters_.push_back(
+      std::make_unique<Entry<std::uint64_t>>(Entry<std::uint64_t>{name, 0}));
   return counters_.back()->value;
 }
 
 double& MetricsRegistry::gauge(const std::string& name) {
   if (auto* e = find_entry(gauges_, name)) return e->value;
-  gauges_.push_back(new Entry<double>{name, 0.0});
+  gauges_.push_back(std::make_unique<Entry<double>>(Entry<double>{name, 0.0}));
   return gauges_.back()->value;
 }
 
 std::vector<double>& MetricsRegistry::series(const std::string& name) {
   if (auto* e = find_entry(series_, name)) return e->value;
-  series_.push_back(new Entry<std::vector<double>>{name, {}});
+  series_.push_back(std::make_unique<Entry<std::vector<double>>>(
+      Entry<std::vector<double>>{name, {}}));
   return series_.back()->value;
 }
 
@@ -54,22 +65,26 @@ const std::vector<double>* MetricsRegistry::find_series(
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
-  out.reserve(counters_.size() + gauges_.size() + series_.size() * 3);
-  for (const auto* e : counters_) {
+  out.reserve(counters_.size() + gauges_.size() + series_.size() * 5);
+  for (const auto& e : counters_) {
     out.push_back({e->name, static_cast<double>(e->value)});
   }
-  for (const auto* e : gauges_) out.push_back({e->name, e->value});
-  for (const auto* e : series_) {
+  for (const auto& e : gauges_) out.push_back({e->name, e->value});
+  for (const auto& e : series_) {
     const std::vector<double>& v = e->value;
     double max = 0.0, sum = 0.0;
+    double min = v.empty() ? 0.0 : v.front();
     for (const double x : v) {
       max = std::max(max, x);
+      min = std::min(min, x);
       sum += x;
     }
     out.push_back({e->name + ".count", static_cast<double>(v.size())});
     out.push_back({e->name + ".max", max});
     out.push_back(
         {e->name + ".mean", v.empty() ? 0.0 : sum / static_cast<double>(v.size())});
+    out.push_back({e->name + ".min", min});
+    out.push_back({e->name + ".p99", series_p99(v)});
   }
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) {

@@ -3,15 +3,16 @@
 // A MetricsRegistry is a cheap bag of named scalars owned by whoever wants
 // aggregate numbers without the event-level detail of a trace: the scenario
 // harness folds one into ScenarioResult (and sweep_to_json serializes it),
-// and FabricTelemetry records per-queue occupancy series plus drop/mark
-// counters through one. Everything here is simulation-domain data — event
-// counts, sim-time series — never wall-clock, so snapshots are deterministic
-// for a fixed configuration.
+// and the telemetry plane records per-queue occupancy aggregates plus
+// drop/mark counters through one. Everything here is simulation-domain data —
+// event counts, sim-time series — never wall-clock, so snapshots are
+// deterministic for a fixed configuration.
 //
 // Like the rest of obs/, this header depends only on the standard library.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,8 +40,8 @@ class MetricsRegistry {
   const std::vector<double>* find_series(const std::string& name) const;
 
   // Flattens everything into name-sorted samples. Counters and gauges
-  // export verbatim; a series exports "<name>.count", "<name>.max" and
-  // "<name>.mean" summaries.
+  // export verbatim; a series exports "<name>.count", "<name>.max",
+  // "<name>.mean", "<name>.min" and "<name>.p99" (nearest-rank) summaries.
   MetricsSnapshot snapshot() const;
 
  private:
@@ -49,15 +50,15 @@ class MetricsRegistry {
     std::string name;
     T value{};
   };
-  // Linear storage: registries hold tens of entries and stable references
-  // matter more than lookup speed (deque-like growth via index search).
-  std::vector<Entry<std::uint64_t>*> counters_;
-  std::vector<Entry<double>*> gauges_;
-  std::vector<Entry<std::vector<double>>*> series_;
+  // Linear storage behind stable heap nodes: registries hold tens of entries
+  // and the references handed out by counter()/gauge()/series() must survive
+  // vector growth.
+  std::vector<std::unique_ptr<Entry<std::uint64_t>>> counters_;
+  std::vector<std::unique_ptr<Entry<double>>> gauges_;
+  std::vector<std::unique_ptr<Entry<std::vector<double>>>> series_;
 
  public:
   MetricsRegistry() = default;
-  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 };

@@ -43,7 +43,7 @@ enum Category : std::uint32_t {
   kPacketCat = 1u << 1,    // per-packet fabric events: drops, ECN marks
   kArbCat = 1u << 2,       // PASE arbitration decisions (prio queue, Rref)
   kEndpointCat = 1u << 3,  // endpoint state samples: cwnd, alpha, rate
-  kQueueCat = 1u << 4,     // queue occupancy samples (FabricTelemetry)
+  kQueueCat = 1u << 4,     // queue occupancy samples (telemetry plane)
   kEngineCat = 1u << 5,    // engine self-profiling (worker-count dependent!)
   kAllCategories = (1u << 6) - 1,
 };

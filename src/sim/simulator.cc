@@ -156,6 +156,12 @@ bool Simulator::locate_top() {
           rebuild(bucket_heads_.size());
           return locate_top();
         }
+        if (profiling_) [[unlikely]] {
+          ++profile_walks_;
+          profile_scan_sum_ += scanned;
+          profile_scan_max_ =
+              std::max<std::uint64_t>(profile_scan_max_, scanned);
+        }
         cur_day_ = day;
         return true;
       }
@@ -282,6 +288,7 @@ bool Simulator::step(Time until) {
   unlink(slot, s);
   const RawFn fn = s.fn;
   const Kind kind = s.kind;
+  if (profiling_) [[unlikely]] profile_count(fn, kind);
   alignas(8) unsigned char payload[kInlinePayloadSize];
   std::memcpy(payload, s.payload, sizeof(payload));
   s.kind = Kind::kRaw;
@@ -366,6 +373,24 @@ void Simulator::run(Time until) {
   while (!stopped_ && step(until)) {
   }
   if (until != kTimeInfinity && now_ < until && !stopped_) now_ = until;
+}
+
+void Simulator::profile_count(RawFn fn, Kind kind) {
+  switch (kind) {
+    case Kind::kRaw: ++profile_raw_; break;
+    case Kind::kInlineClosure: ++profile_inline_; break;
+    case Kind::kHeapClosure: ++profile_heap_; break;
+  }
+  const std::size_t pending = pending_events();
+  if (pending > profile_peak_pending_) profile_peak_pending_ = pending;
+  if (kind != Kind::kRaw) return;
+  for (std::uint32_t i = 0; i < num_profiled_fns_; ++i) {
+    if (profiled_fns_[i].fn == fn) {
+      ++profiled_fns_[i].count;
+      return;
+    }
+  }
+  ++profile_other_;
 }
 
 void Simulator::enable_det(std::uint32_t domain_id, DetLineage* lineage) {

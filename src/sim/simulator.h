@@ -233,6 +233,52 @@ class Simulator {
     }
   }
 
+  // --- Engine self-profiler -----------------------------------------------
+  //
+  // Off by default: the per-dispatch cost is one predictable not-taken
+  // branch. When enabled (the harness's --profile flag), every dispatch is
+  // tallied by payload kind and by registered raw-fn label, calendar day
+  // scans record their walk lengths, and the pending-event high-water mark
+  // is tracked — the inputs to the "where do the events go and how long are
+  // the bucket chains" analysis that previously required a hand-run
+  // profiler.
+  void enable_profiling() { profiling_ = true; }
+  bool profiling_enabled() const { return profiling_; }
+
+  // Human-readable label for a raw event function (e.g. "link.deliver").
+  // Registered alongside prefetch hints; re-registering is idempotent.
+  void set_profile_label(RawFn fn, const char* label) {
+    for (std::uint32_t i = 0; i < num_profiled_fns_; ++i) {
+      if (profiled_fns_[i].fn == fn) return;
+    }
+    if (num_profiled_fns_ < kMaxProfiledFns) {
+      profiled_fns_[num_profiled_fns_++] = ProfiledFn{fn, label, 0};
+    }
+  }
+
+  std::uint64_t profile_raw_dispatches() const { return profile_raw_; }
+  std::uint64_t profile_inline_dispatches() const { return profile_inline_; }
+  std::uint64_t profile_heap_dispatches() const { return profile_heap_; }
+  // Raw dispatches whose fn carries no registered label.
+  std::uint64_t profile_unlabeled_dispatches() const { return profile_other_; }
+  // Calendar-queue behavior: day walks performed by the top locator, total
+  // and maximum entries visited per walk, and the pending-set high-water
+  // mark (bucket occupancy pressure).
+  std::uint64_t profile_top_walks() const { return profile_walks_; }
+  std::uint64_t profile_scan_sum() const { return profile_scan_sum_; }
+  std::uint64_t profile_scan_max() const { return profile_scan_max_; }
+  std::uint64_t profile_peak_pending() const { return profile_peak_pending_; }
+  // Labeled raw-fn dispatch counts, in registration order.
+  std::vector<std::pair<const char*, std::uint64_t>> profiled_fn_counts()
+      const {
+    std::vector<std::pair<const char*, std::uint64_t>> out;
+    out.reserve(num_profiled_fns_);
+    for (std::uint32_t i = 0; i < num_profiled_fns_; ++i) {
+      out.emplace_back(profiled_fns_[i].label, profiled_fns_[i].count);
+    }
+    return out;
+  }
+
  private:
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 
@@ -403,6 +449,28 @@ class Simulator {
   };
   HintEntry hints_[kMaxPrefetchHints] = {};
   std::uint32_t num_hints_ = 0;
+
+  // Profiler registry and tallies (cold; only touched when profiling_).
+  // profile_count stays out of line so the step() hot loop carries nothing
+  // but the flag test.
+  void profile_count(RawFn fn, Kind kind);
+  static constexpr std::uint32_t kMaxProfiledFns = 8;
+  struct ProfiledFn {
+    RawFn fn;
+    const char* label;
+    std::uint64_t count;
+  };
+  ProfiledFn profiled_fns_[kMaxProfiledFns] = {};
+  std::uint32_t num_profiled_fns_ = 0;
+  std::uint64_t profile_raw_ = 0;
+  std::uint64_t profile_inline_ = 0;
+  std::uint64_t profile_heap_ = 0;
+  std::uint64_t profile_other_ = 0;
+  std::uint64_t profile_walks_ = 0;
+  std::uint64_t profile_scan_sum_ = 0;
+  std::uint64_t profile_scan_max_ = 0;
+  std::uint64_t profile_peak_pending_ = 0;
+  bool profiling_ = false;
 
   // Same-time ties fall back to the FIFO seq sequentially, or to the
   // partition-invariant lineage order when det mode is on (the slot indices

@@ -47,6 +47,15 @@ class BuiltThreeTier : public BuiltTopology {
     return links;
   }
 
+ protected:
+  QueueClass classify_switch(const net::Switch* sw) const override {
+    if (sw == tree_.core) return {LinkTier::kCore, -1};
+    for (const net::Switch* a : tree_.aggs) {
+      if (a == sw) return {LinkTier::kAgg, -1};
+    }
+    return {LinkTier::kEdge, -1};
+  }
+
  private:
   ThreeTier tree_;
 };
@@ -74,11 +83,46 @@ class BuiltFatTree : public BuiltTopology {
     return tree_.core_links();
   }
 
+ protected:
+  // Aggs and edges are stored pod-major, so a switch's pod is its index over
+  // the per-pod stride.
+  QueueClass classify_switch(const net::Switch* sw) const override {
+    for (const net::Switch* c : tree_.cores) {
+      if (c == sw) return {LinkTier::kCore, -1};
+    }
+    for (std::size_t a = 0; a < tree_.aggs.size(); ++a) {
+      if (tree_.aggs[a] == sw) {
+        return {LinkTier::kAgg,
+                static_cast<int>(a) / tree_.config.aggs_per_pod()};
+      }
+    }
+    for (std::size_t e = 0; e < tree_.edges.size(); ++e) {
+      if (tree_.edges[e] == sw) {
+        return {LinkTier::kEdge,
+                static_cast<int>(e) / tree_.config.edges_per_pod()};
+      }
+    }
+    return {LinkTier::kEdge, -1};
+  }
+
  private:
   FatTree tree_;
 };
 
 }  // namespace
+
+std::vector<QueueClass> BuiltTopology::queue_classes() {
+  Topology& t = topo();
+  std::vector<QueueClass> classes;
+  for (std::size_t i = 0; i < t.hosts().size(); ++i) {
+    classes.push_back({LinkTier::kHost, attachment(i).pod});
+  }
+  for (const auto& sw : t.switches()) {
+    const QueueClass c = classify_switch(sw.get());
+    for (int p = 0; p < sw->num_ports(); ++p) classes.push_back(c);
+  }
+  return classes;
+}
 
 WorkloadHints SingleRackBuilder::hints() const {
   WorkloadHints h;

@@ -10,6 +10,7 @@
 // harness.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -29,6 +30,28 @@ struct HostAttachment {
   int pod = -1;
 };
 
+// Which fabric tier a queue's link belongs to: the tier of the *sending*
+// node, so a host uplink is kHost, a ToR port (down or up) is kEdge, and so
+// on. This is the rollup key the telemetry plane aggregates by.
+enum class LinkTier : std::uint8_t { kHost = 0, kEdge = 1, kAgg = 2, kCore = 3 };
+
+inline const char* link_tier_name(LinkTier t) {
+  switch (t) {
+    case LinkTier::kHost: return "host";
+    case LinkTier::kEdge: return "edge";
+    case LinkTier::kAgg: return "agg";
+    case LinkTier::kCore: return "core";
+  }
+  return "?";
+}
+
+// Tier plus pod membership for one queue (pod -1: the sender is not inside a
+// pod — core switches, or topologies without pods).
+struct QueueClass {
+  LinkTier tier = LinkTier::kEdge;
+  int pod = -1;
+};
+
 // A materialized topology plus the structural metadata builders preserve.
 class BuiltTopology {
  public:
@@ -42,6 +65,21 @@ class BuiltTopology {
   // Directed links touching the core tier — the surface ECMP is supposed to
   // balance. Empty when the topology has no core tier worth watching.
   virtual std::vector<net::Link*> core_links() const { return {}; }
+
+  // Tier/pod class of every queue, in the canonical order of
+  // Topology::for_each_queue (host uplinks in host order, then switch ports
+  // in construction order). Host uplinks take the host's attachment pod;
+  // switch ports take classify_switch of the owning switch. Defined in
+  // builder.cc.
+  std::vector<QueueClass> queue_classes();
+
+ protected:
+  // Tier/pod of one switch. The default says "edge, no pod", which is right
+  // for the single-rack topology; the tree and fat-tree builders override.
+  virtual QueueClass classify_switch(const net::Switch* sw) const {
+    (void)sw;
+    return {LinkTier::kEdge, -1};
+  }
 };
 
 // Workload sizing facts derivable from the config alone, before building.

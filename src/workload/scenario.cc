@@ -15,12 +15,12 @@
 
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
 #include "proto/registry.h"
 #include "proto/transport_profile.h"
 #include "sim/parallel.h"
-#include "stats/counters.h"
 #include "topo/builder.h"
 #include "topo/partition.h"
 #include "workload/endpoint_table.h"
@@ -93,6 +93,52 @@ void fold_common_metrics(obs::MetricsRegistry& reg, const ScenarioResult& r,
   // setup_wall_sec intentionally stays out of the registry: the metrics
   // snapshot is serialized into sweep JSON, which must be deterministic.
   if (r.trace) reg.counter("trace.dropped") = r.trace->dropped;
+}
+
+// Self-profiler fold (--profile): dispatch mix, per-labeled-handler counts,
+// calendar scan statistics, pending-event high-water mark and switch
+// path-cache hit rates. Every input is deterministic (event counts and
+// structural state, no wall clocks), so the profile.* entries are safe in
+// sweep JSON. A parallel run passes one simulator per domain; counts sum.
+void fold_profile_metrics(obs::MetricsRegistry& reg,
+                          const std::vector<const sim::Simulator*>& doms,
+                          topo::BuiltTopology& built) {
+  std::uint64_t raw = 0, inl = 0, heap = 0, unlabeled = 0;
+  std::uint64_t walks = 0, scan_sum = 0, scan_max = 0, peak = 0;
+  for (const sim::Simulator* s : doms) {
+    raw += s->profile_raw_dispatches();
+    inl += s->profile_inline_dispatches();
+    heap += s->profile_heap_dispatches();
+    unlabeled += s->profile_unlabeled_dispatches();
+    walks += s->profile_top_walks();
+    scan_sum += s->profile_scan_sum();
+    scan_max = std::max(scan_max, s->profile_scan_max());
+    peak += s->profile_peak_pending();
+    for (const auto& [label, count] : s->profiled_fn_counts()) {
+      reg.counter(std::string("profile.engine.dispatch.") + label) += count;
+    }
+  }
+  reg.counter("profile.engine.dispatch.raw") = raw;
+  reg.counter("profile.engine.dispatch.inline_closure") = inl;
+  reg.counter("profile.engine.dispatch.heap_closure") = heap;
+  reg.counter("profile.engine.dispatch.raw_unlabeled") = unlabeled;
+  reg.counter("profile.engine.top_walks") = walks;
+  reg.gauge("profile.engine.scan_mean") =
+      walks > 0 ? static_cast<double>(scan_sum) / static_cast<double>(walks)
+                : 0.0;
+  reg.counter("profile.engine.scan_max") = scan_max;
+  reg.counter("profile.engine.peak_pending") = peak;
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& sw : built.topo().switches()) {
+    hits += sw->path_cache_hits();
+    misses += sw->path_cache_misses();
+  }
+  reg.counter("profile.switch.path_cache_hits") = hits;
+  reg.counter("profile.switch.path_cache_misses") = misses;
+  reg.gauge("profile.switch.path_cache_hit_rate") =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
 }
 
 // Applies scenario-level switch knobs once the topology is built: currently
@@ -277,6 +323,9 @@ struct Run {
   std::vector<transport::Flow> flows;
   const proto::TransportProfile* profile = nullptr;
   proto::RunContext* ctx = nullptr;
+  // Non-null iff cfg.telemetry.enabled: launches feed the flow heavy-hitter
+  // sketch; the harness loop drives queue sampling at chunk boundaries.
+  obs::TelemetryPlane* telemetry = nullptr;
   bool recycle = true;
   // Accumulated at slot retirement; live slots are folded in at run end.
   std::uint64_t data_packets_sent = 0;
@@ -325,6 +374,12 @@ void launch_flow(Run& run, std::size_t i) {
   net::Host* dst = static_cast<net::Host*>(topo.node(flow.dst));
   assert(src && dst);
   run.activated[i] = true;
+  // Heavy-hitter feed rides the launch: launches run in start-time order
+  // (stable on flow index), the exact order the parallel driver stages
+  // flows, so the sketch sees an identical update sequence either way.
+  if (run.telemetry != nullptr) {
+    run.telemetry->note_flow(flow.id, flow.size_bytes);
+  }
 
   const std::uint32_t s = run.table.acquire();
   EndpointSlot& slot = run.table.slot(s);
@@ -604,6 +659,18 @@ std::optional<ScenarioResult> try_run_parallel(
     return std::nullopt;
   }
   engine.set_lookahead(part.lookahead);
+  if (cfg.profile) {
+    for (int d = 0; d < n_dom; ++d) engine.domain(d).enable_profiling();
+  }
+
+  // Telemetry plane, sampled only at engine-quiescent instants (run_until
+  // returns with every mailbox drained and all domain clocks on the target),
+  // so queue state reads race nothing and the sample sequence — hence the
+  // JSONL — is byte-identical at any worker count.
+  std::unique_ptr<obs::TelemetryPlane> telemetry;
+  if (cfg.telemetry.enabled) {
+    telemetry = std::make_unique<obs::TelemetryPlane>(built, cfg.telemetry);
+  }
 
   // Every link schedules on the clock of the node that transmits into it;
   // cut links post into the destination domain instead.
@@ -719,7 +786,7 @@ std::optional<ScenarioResult> try_run_parallel(
   // domain (the caller thread for domain 0). Lineage keys stamped on every
   // record let the buffers merge back into sequential emission order.
   if (cfg.trace.enabled) {
-    queue_names = stats::label_fabric_queues(topo);
+    queue_names = obs::label_fabric_queues(topo);
     tbufs.reserve(static_cast<std::size_t>(n_dom));
     for (int d = 0; d < n_dom; ++d) {
       tbufs.push_back(std::make_unique<obs::TraceBuffer>(
@@ -809,6 +876,9 @@ std::optional<ScenarioResult> try_run_parallel(
       const transport::Flow& f = flows[i];
       if (f.start_time > horizon) break;
       ++next_pending;
+      // Same traversal order as the sequential launch chain (start-time
+      // stable sort on flow index), so the sketch update sequence matches.
+      if (telemetry) telemetry->note_flow(f.id, f.size_bytes);
 
       const std::size_t sd =
           static_cast<std::size_t>(part.domain_of_node(f.src));
@@ -910,9 +980,22 @@ std::optional<ScenarioResult> try_run_parallel(
   // multiple of `step` when the last short flow finishes, so end_time (which
   // is fingerprinted) matches bit for bit.
   const sim::Time step = 10e-3;
+  std::uint64_t next_sample = 1;
   while (outstanding > 0 && engine.now() < cfg.max_duration) {
     const sim::Time target = std::min(cfg.max_duration, engine.now() + step);
     stage_until(target);
+    // Telemetry sub-boundaries, mirroring the sequential driver: run to each
+    // absolute grid instant (multiplicative, drift-free), sample with every
+    // domain quiescent, continue. run_until(t) executes every event <= t and
+    // parks all domain clocks at t, so the event sequence matches a
+    // telemetry-off run and the samples match the sequential driver's.
+    if (telemetry) {
+      for (sim::Time ts = telemetry->sample_time(next_sample); ts <= target;
+           ts = telemetry->sample_time(++next_sample)) {
+        engine.run_until(ts);
+        telemetry->sample(engine.now());
+      }
+    }
     engine.run_until(target);
     apply_completions();
     recycle_at_barrier();
@@ -958,6 +1041,7 @@ std::optional<ScenarioResult> try_run_parallel(
   }
   result.workers_used = part.domains;
   result.parallel_barrier_wait_sec = engine.barrier_wait_sec();
+  if (telemetry) result.telemetry = telemetry->finish(result.end_time);
 
   if (!tbufs.empty()) {
     obs::install_tracer(nullptr);  // caller thread ran domain 0
@@ -987,6 +1071,16 @@ std::optional<ScenarioResult> try_run_parallel(
   reg.counter("parallel.drains") = engine.drains_executed();
   reg.counter("parallel.quiet_rounds") = engine.quiet_rounds();
   reg.gauge("parallel.horizon_width_mean") = engine.mean_horizon_width();
+  if (result.telemetry) {
+    reg.counter("telemetry.samples") = result.telemetry->samples;
+    reg.counter("telemetry.windows") = result.telemetry->windows.size();
+  }
+  if (cfg.profile) {
+    std::vector<const sim::Simulator*> doms;
+    doms.reserve(static_cast<std::size_t>(n_dom));
+    for (int d = 0; d < n_dom; ++d) doms.push_back(&engine.domain(d));
+    fold_profile_metrics(reg, doms, built);
+  }
   result.metrics = reg.snapshot();
   return result;
 }
@@ -1043,6 +1137,16 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
       topology_builder(cfg)->build(run.sim, profile.make_queue_factory(cfg));
   topo::BuiltTopology& built = *run.built;
   apply_switch_tuning(built, cfg);
+  if (cfg.profile) run.sim.enable_profiling();
+
+  // Telemetry plane: sampled from the harness at chunk boundaries (below),
+  // never via scheduled events, so the event path — and every golden
+  // fingerprint — is identical with it on or off.
+  std::unique_ptr<obs::TelemetryPlane> telemetry;
+  if (cfg.telemetry.enabled) {
+    telemetry = std::make_unique<obs::TelemetryPlane>(built, cfg.telemetry);
+    run.telemetry = telemetry.get();
+  }
 
   proto::RunContext ctx{run.sim, built,
                         static_cast<const proto::ProfileParams&>(cfg)};
@@ -1073,7 +1177,7 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   std::unique_ptr<obs::TraceBuffer> tbuf;
   std::vector<std::string> queue_names;
   if (cfg.trace.enabled) {
-    queue_names = stats::label_fabric_queues(built.topo());
+    queue_names = obs::label_fabric_queues(built.topo());
     tbuf = std::make_unique<obs::TraceBuffer>(cfg.trace.buffer_capacity,
                                               cfg.trace.categories);
   }
@@ -1114,9 +1218,23 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   // Run until every short flow completes (or the hard cap), reclaiming
   // quarantined endpoint slots at every chunk boundary.
   const sim::Time step = 10e-3;
+  std::uint64_t next_sample = 1;
   while (run.outstanding > 0 && run.sim.now() < cfg.max_duration) {
     const sim::Time before = run.sim.now();
-    run.sim.run(std::min(cfg.max_duration, run.sim.now() + step));
+    const sim::Time target = std::min(cfg.max_duration, run.sim.now() + step);
+    // Telemetry sub-boundaries: run to each absolute grid instant inside the
+    // chunk (computed multiplicatively, so the grid never drifts), sample
+    // while the engine is quiescent, then continue to the chunk target.
+    // run(t) executes every event <= t and leaves the clock at t, so the
+    // executed-event sequence is identical to a telemetry-off run.
+    if (run.telemetry != nullptr) {
+      for (sim::Time ts = run.telemetry->sample_time(next_sample);
+           ts <= target; ts = run.telemetry->sample_time(++next_sample)) {
+        run.sim.run(ts);
+        run.telemetry->sample(run.sim.now());
+      }
+    }
+    run.sim.run(target);
     recycle_tick(run);
     if (run.sim.now() == before && run.sim.pending_events() == 0) break;
   }
@@ -1139,6 +1257,7 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   result.heap_closure_events = run.sim.heap_closure_events();
   result.workers_used = 1;
   result.parallel_fallback_reason = std::move(fallback_reason);
+  if (telemetry) result.telemetry = telemetry->finish(result.end_time);
 
   if (tbuf) {
     tbuf->emit_at(result.end_time, obs::kEngineCat,
@@ -1156,6 +1275,11 @@ ScenarioResult run_scenario_with_flows(ScenarioConfig cfg,
   fold_common_metrics(reg, result, built);
   reg.counter("engine.executed_events") = run.sim.executed_events();
   reg.counter("engine.calendar_rebuilds") = run.sim.calendar_rebuilds();
+  if (result.telemetry) {
+    reg.counter("telemetry.samples") = result.telemetry->samples;
+    reg.counter("telemetry.windows") = result.telemetry->windows.size();
+  }
+  if (cfg.profile) fold_profile_metrics(reg, {&run.sim}, built);
   result.metrics = reg.snapshot();
   return result;
 }

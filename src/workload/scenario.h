@@ -14,6 +14,7 @@
 
 #include "core/control_stats.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "proto/profile_params.h"
 #include "proto/protocol.h"
@@ -123,6 +124,20 @@ struct ScenarioConfig : proto::ProfileParams {
   // worker count (modulo the engine category, which is worker-dependent by
   // nature).
   obs::TraceConfig trace;
+
+  // Fabric telemetry plane (src/obs/telemetry.h). Off by default: no plane
+  // is constructed and the event path is untouched. When enabled, the
+  // harness samples every queue/link on the plane's time grid at
+  // domain-quiescent instants — event execution is identical to a
+  // telemetry-off run, and the summary (ScenarioResult::telemetry) is
+  // byte-identical in JSONL form at any worker count.
+  obs::TelemetryConfig telemetry;
+
+  // Engine self-profiler (--profile): tallies per-event-type dispatches,
+  // calendar scan lengths, pending high-water mark and path-cache hit rates
+  // into the metrics snapshot as profile.* entries. Purely observational —
+  // the event path is identical with it on or off.
+  bool profile = false;
 };
 
 struct ScenarioResult {
@@ -166,6 +181,9 @@ struct ScenarioResult {
   // Merged trace when cfg.trace.enabled, else null. Shared so results stay
   // copyable (exp::SweepRunner copies them into its grid).
   std::shared_ptr<const obs::Trace> trace;
+  // Telemetry summary when cfg.telemetry.enabled, else null. Shared for the
+  // same copyability reason; serialize with TelemetrySummary::write_jsonl.
+  std::shared_ptr<const obs::TelemetrySummary> telemetry;
   // Aggregate run metrics (fabric drop/mark totals, engine event counts,
   // parallel round statistics), name-sorted. sweep_to_json serializes this.
   obs::MetricsSnapshot metrics;

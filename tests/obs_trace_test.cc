@@ -93,14 +93,19 @@ TEST(MetricsRegistry, StableReferencesAndSortedSnapshot) {
   EXPECT_EQ(reg.counter_value("b.count"), 8u);
 
   const MetricsSnapshot snap = reg.snapshot();
-  ASSERT_EQ(snap.size(), 5u);  // gauge + counter + series {count,max,mean}
+  // gauge + counter + series {count,max,mean,min,p99}
+  ASSERT_EQ(snap.size(), 7u);
   EXPECT_EQ(snap[0].name, "a.gauge");
   EXPECT_EQ(snap[1].name, "b.count");
   EXPECT_EQ(snap[2].name, "c.series.count");
   EXPECT_EQ(snap[3].name, "c.series.max");
   EXPECT_EQ(snap[4].name, "c.series.mean");
+  EXPECT_EQ(snap[5].name, "c.series.min");
+  EXPECT_EQ(snap[6].name, "c.series.p99");
   EXPECT_DOUBLE_EQ(snap[3].value, 3.0);
   EXPECT_DOUBLE_EQ(snap[4].value, 2.0);
+  EXPECT_DOUBLE_EQ(snap[5].value, 1.0);
+  EXPECT_DOUBLE_EQ(snap[6].value, 3.0);
 }
 
 // A small traced scenario shared by the sink-shape tests.

@@ -62,10 +62,30 @@ hits=$(scan '(transport/|core/|proto/|workload/)' src/sim src/net src/topo)
 
 # 1f. The obs layer is the bottom of the tree (sim and net emit into it), so
 #     it must stay standard-library-pure: no includes from any other layer.
+#     Exception: obs/telemetry.* is the fabric telemetry plane, which sits
+#     ABOVE sim/topo/stats by design (it samples built topologies) — it gets
+#     its own, looser rule below (1g).
 hits=$(scan '(sim/|net/|topo/|transport/|core/|proto/|workload/|stats/|exp/)' \
-  src/obs)
+  src/obs | grep -v 'src/obs/telemetry\.')
 [ -n "$hits" ] && fail \
   "src/obs must depend only on the standard library (it sits below sim/net)" \
+  "$hits"
+
+# 1g. The telemetry plane may see the fabric (sim/net/topo/stats) but must
+#     stay protocol- and harness-agnostic: no transport, control-plane,
+#     proto, workload, or exp headers.
+hits=$(grep -nE '^#include "(transport/|core/|proto/|workload/|exp/)' \
+  src/obs/telemetry.h src/obs/telemetry.cc 2>/dev/null)
+[ -n "$hits" ] && fail \
+  "obs/telemetry must not include transport/core/proto/workload/exp" \
+  "$hits"
+
+# 1h. Dependency direction: the fabric layers never reach up into the
+#     telemetry plane (workload/bench own it; sim/net only see obs/trace.h).
+hits=$(scan 'obs/telemetry' src/sim src/net src/topo src/transport src/core \
+  src/proto src/stats)
+[ -n "$hits" ] && fail \
+  "lower layers must not include obs/telemetry.h (owned by workload/bench)" \
   "$hits"
 
 # 1e. scenario.h itself: the refactor's headline. Only the interfaces it

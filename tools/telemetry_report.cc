@@ -1,0 +1,242 @@
+// Renders a "pase-telemetry" JSONL summary (see src/obs/telemetry.h) as
+// terminal tables: run header, per-group utilization/depth totals, a
+// per-window mean-utilization matrix over the tier groups, and the top-K
+// heavy-hitter links and flows.
+//
+//   ./build/tools/telemetry_report TELEMETRY.k16.jsonl
+//
+// The sink's records are flat one-line JSON objects with a fixed field
+// order, so this reads them with plain string scanning — no JSON library.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Value of "key":<number> in a one-line JSON object; 0 when absent.
+double num_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+// Value of "key":"string" in a one-line JSON object; "" when absent.
+// Telemetry strings (tier/pod/link names, "flow:<id>") never contain
+// escapes, so scanning to the closing quote is enough.
+std::string str_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+bool type_is(const std::string& line, const char* type) {
+  return line.find(std::string("\"type\":\"") + type + "\"") !=
+         std::string::npos;
+}
+
+struct GroupTotal {
+  std::string name;
+  std::uint64_t samples = 0;
+  double util_mean = 0.0, util_max = 0.0, util_p99 = 0.0;
+  double depth_mean = 0.0, depth_max = 0.0;
+  std::uint64_t drops = 0, marks = 0, bytes = 0;
+};
+
+struct WindowRow {
+  std::uint32_t window = 0;
+  std::uint32_t group = 0;
+  double t0 = 0.0, t1 = 0.0;
+  double util_mean = 0.0;
+};
+
+struct Hitter {
+  std::string name;
+  std::uint64_t bytes = 0, error = 0;
+};
+
+const char* human_bytes(std::uint64_t b, char* buf, std::size_t n) {
+  if (b >= 1ull << 30) {
+    std::snprintf(buf, n, "%.2f GB", static_cast<double>(b) / (1ull << 30));
+  } else if (b >= 1ull << 20) {
+    std::snprintf(buf, n, "%.2f MB", static_cast<double>(b) / (1ull << 20));
+  } else if (b >= 1ull << 10) {
+    std::snprintf(buf, n, "%.1f KB", static_cast<double>(b) / (1ull << 10));
+  } else {
+    std::snprintf(buf, n, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TELEMETRY.jsonl\n", argv[0]);
+    return 2;
+  }
+  std::ifstream f(argv[1]);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::vector<std::string> group_names;
+  std::vector<GroupTotal> totals;
+  std::vector<WindowRow> windows;
+  std::vector<Hitter> hot_links, hot_flows;
+  double period = 0.0, end_time = 0.0;
+  std::uint64_t samples = 0, queues = 0;
+  int samples_per_window = 0;
+  bool saw_header = false;
+
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (str_field(line, "schema") != "pase-telemetry") {
+        std::fprintf(stderr, "error: %s is not a pase-telemetry file\n",
+                     argv[1]);
+        return 1;
+      }
+      if (static_cast<int>(num_field(line, "version")) != 1) {
+        std::fprintf(stderr, "error: unsupported telemetry schema version\n");
+        return 1;
+      }
+      period = num_field(line, "period");
+      samples_per_window = static_cast<int>(num_field(line, "samples_per_window"));
+      samples = static_cast<std::uint64_t>(num_field(line, "samples"));
+      end_time = num_field(line, "end_time");
+      queues = static_cast<std::uint64_t>(num_field(line, "queues"));
+      saw_header = true;
+      continue;
+    }
+    if (type_is(line, "group")) {
+      const auto id = static_cast<std::size_t>(num_field(line, "id"));
+      if (group_names.size() <= id) group_names.resize(id + 1);
+      group_names[id] = str_field(line, "name");
+    } else if (type_is(line, "window")) {
+      WindowRow w;
+      w.window = static_cast<std::uint32_t>(num_field(line, "w"));
+      w.group = static_cast<std::uint32_t>(num_field(line, "group"));
+      w.t0 = num_field(line, "t0");
+      w.t1 = num_field(line, "t1");
+      w.util_mean = num_field(line, "util_mean");
+      windows.push_back(w);
+    } else if (type_is(line, "total")) {
+      GroupTotal t;
+      const auto g = static_cast<std::size_t>(num_field(line, "group"));
+      t.name = g < group_names.size() ? group_names[g] : "?";
+      t.samples = static_cast<std::uint64_t>(num_field(line, "samples"));
+      t.util_mean = num_field(line, "util_mean");
+      t.util_max = num_field(line, "util_max");
+      t.util_p99 = num_field(line, "util_p99");
+      t.depth_mean = num_field(line, "depth_mean");
+      t.depth_max = num_field(line, "depth_max");
+      t.drops = static_cast<std::uint64_t>(num_field(line, "drops"));
+      t.marks = static_cast<std::uint64_t>(num_field(line, "marks"));
+      t.bytes = static_cast<std::uint64_t>(num_field(line, "bytes"));
+      totals.push_back(t);
+    } else if (type_is(line, "hot_link")) {
+      hot_links.push_back({str_field(line, "name"),
+                           static_cast<std::uint64_t>(num_field(line, "bytes")),
+                           static_cast<std::uint64_t>(num_field(line, "error"))});
+    } else if (type_is(line, "hot_flow")) {
+      char name[40];
+      std::snprintf(name, sizeof(name), "flow %llu",
+                    static_cast<unsigned long long>(num_field(line, "flow")));
+      hot_flows.push_back({name,
+                           static_cast<std::uint64_t>(num_field(line, "bytes")),
+                           static_cast<std::uint64_t>(num_field(line, "error"))});
+    }
+  }
+  if (!saw_header) {
+    std::fprintf(stderr, "error: %s is empty or has no header\n", argv[1]);
+    return 1;
+  }
+
+  std::printf("pase-telemetry report: %s\n", argv[1]);
+  std::printf(
+      "period %.3g ms, %d samples/window, %llu samples, end %.4g s, "
+      "%llu queues, %zu groups\n\n",
+      period * 1e3, samples_per_window,
+      static_cast<unsigned long long>(samples), end_time,
+      static_cast<unsigned long long>(queues), group_names.size());
+
+  std::printf("group totals (utilization as a fraction, depth in packets)\n");
+  std::printf("%-12s %10s %10s %9s %9s %11s %10s %8s %8s %11s\n", "group",
+              "samples", "util_mean", "util_max", "util_p99", "depth_mean",
+              "depth_max", "drops", "marks", "bytes");
+  char hb[32];
+  for (const GroupTotal& t : totals) {
+    std::printf("%-12s %10llu %10.4f %9.4f %9.4f %11.2f %10.0f %8llu %8llu "
+                "%11s\n",
+                t.name.c_str(), static_cast<unsigned long long>(t.samples),
+                t.util_mean, t.util_max, t.util_p99, t.depth_mean, t.depth_max,
+                static_cast<unsigned long long>(t.drops),
+                static_cast<unsigned long long>(t.marks),
+                human_bytes(t.bytes, hb, sizeof(hb)));
+  }
+
+  // Per-window mean utilization over the tier groups (pods stay in the
+  // totals — a k=32 fat-tree has 32 of them, too wide for a matrix).
+  std::vector<std::size_t> tier_groups;
+  for (std::size_t g = 0; g < group_names.size(); ++g) {
+    if (group_names[g].rfind("tier:", 0) == 0) tier_groups.push_back(g);
+  }
+  std::uint32_t num_windows = 0;
+  for (const WindowRow& w : windows) {
+    num_windows = w.window + 1 > num_windows ? w.window + 1 : num_windows;
+  }
+  if (num_windows > 0 && !tier_groups.empty()) {
+    std::printf("\nper-window mean utilization by tier\n");
+    std::printf("%-8s %12s", "window", "t(ms)");
+    for (const std::size_t g : tier_groups) {
+      std::printf(" %10s", group_names[g].c_str());
+    }
+    std::printf("\n");
+    for (std::uint32_t w = 0; w < num_windows; ++w) {
+      double t0 = 0.0, t1 = 0.0;
+      std::vector<double> util(group_names.size(), 0.0);
+      for (const WindowRow& row : windows) {
+        if (row.window != w) continue;
+        t0 = row.t0;
+        t1 = row.t1;
+        if (row.group < util.size()) util[row.group] = row.util_mean;
+      }
+      char span[32];
+      std::snprintf(span, sizeof(span), "%.1f-%.1f", t0 * 1e3, t1 * 1e3);
+      std::printf("%-8u %12s", w, span);
+      for (const std::size_t g : tier_groups) std::printf(" %10.4f", util[g]);
+      std::printf("\n");
+    }
+  }
+
+  if (!hot_links.empty()) {
+    std::printf("\ntop links by bytes (estimate; +/- error)\n");
+    for (std::size_t r = 0; r < hot_links.size(); ++r) {
+      std::printf("%3zu. %-28s %11s  (err %llu)\n", r + 1,
+                  hot_links[r].name.c_str(),
+                  human_bytes(hot_links[r].bytes, hb, sizeof(hb)),
+                  static_cast<unsigned long long>(hot_links[r].error));
+    }
+  }
+  if (!hot_flows.empty()) {
+    std::printf("\ntop flows by bytes (estimate; +/- error)\n");
+    for (std::size_t r = 0; r < hot_flows.size(); ++r) {
+      std::printf("%3zu. %-28s %11s  (err %llu)\n", r + 1,
+                  hot_flows[r].name.c_str(),
+                  human_bytes(hot_flows[r].bytes, hb, sizeof(hb)),
+                  static_cast<unsigned long long>(hot_flows[r].error));
+    }
+  }
+  return 0;
+}
